@@ -1,0 +1,243 @@
+//! Criterion micro-benchmarks of the algorithmic kernels behind every
+//! experiment: conflict-graph construction, Bellman–Ford scheduling, the
+//! MILP solver, mesh election, the distributed reservation protocol, and
+//! both packet-level MACs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wimesh::conflict::{greedy_coloring, ConflictGraph, InterferenceModel};
+use wimesh::mac80216::csch::{run_centralized, uplink_demands, CschConfig, CschMode};
+use wimesh::mac80216::election::MeshElection;
+use wimesh::mac80216::entry::{run_network_entry, EntryConfig};
+use wimesh::mac80216::reservation::{run_distributed, ReservationConfig};
+use wimesh::milp::{LinExpr, Model, Sense, SolverConfig};
+use wimesh::phy80211::dcf::{DcfConfig, DcfFlow, DcfSimulation};
+use wimesh::sim::traffic::CbrSource;
+use wimesh::sim::FlowId;
+use wimesh::tdma::milp::min_max_delay_order;
+use wimesh::tdma::{order, schedule_from_order, Demands, FrameConfig};
+use wimesh_emu::tdma::{TdmaFlow, TdmaSimulation};
+use wimesh_emu::{EmulationModel, EmulationParams};
+use wimesh_topology::routing::{shortest_path, GatewayRouting};
+use wimesh_topology::{generators, NodeId};
+
+fn bench_conflict_graph(c: &mut Criterion) {
+    let topo = generators::grid(5, 5);
+    c.bench_function("conflict_graph_build_grid5x5", |b| {
+        b.iter(|| ConflictGraph::build(&topo, InterferenceModel::protocol_default()))
+    });
+    let cg = ConflictGraph::build(&topo, InterferenceModel::protocol_default());
+    c.bench_function("greedy_coloring_grid5x5", |b| b.iter(|| greedy_coloring(&cg)));
+}
+
+fn bench_schedule_from_order(c: &mut Criterion) {
+    let topo = generators::chain(20);
+    let path = shortest_path(&topo, NodeId(0), NodeId(19)).unwrap();
+    let mut demands = Demands::new();
+    for &l in path.links() {
+        demands.set(l, 2);
+    }
+    let cg = ConflictGraph::build_for_links(
+        &topo,
+        demands.links().collect(),
+        InterferenceModel::protocol_default(),
+    );
+    let ord = order::hop_order(&cg, std::slice::from_ref(&path));
+    let frame = FrameConfig::new(128, 250);
+    c.bench_function("bellman_ford_schedule_chain19", |b| {
+        b.iter(|| schedule_from_order(&cg, &demands, &ord, frame).unwrap())
+    });
+}
+
+fn bench_milp(c: &mut Criterion) {
+    // LP relaxation of a medium assignment-style model.
+    c.bench_function("simplex_lp_20x40", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Model::new();
+                let vars: Vec<_> = (0..40)
+                    .map(|i| m.add_var(0.0, 10.0, &format!("x{i}")))
+                    .collect();
+                for r in 0..20 {
+                    let mut e = LinExpr::new();
+                    for (i, &v) in vars.iter().enumerate() {
+                        e.add_term(v, ((i + r) % 7 + 1) as f64);
+                    }
+                    m.add_le(e, 50.0 + r as f64);
+                }
+                let mut obj = LinExpr::new();
+                for (i, &v) in vars.iter().enumerate() {
+                    obj.add_term(v, (i % 5 + 1) as f64);
+                }
+                m.set_objective(Sense::Maximize, obj);
+                m
+            },
+            |m| m.solve().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    // Branch & bound on a 16-item knapsack.
+    c.bench_function("branch_bound_knapsack16", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Model::new();
+                let vars: Vec<_> = (0..16).map(|i| m.add_binary_var(&format!("x{i}"))).collect();
+                let mut w = LinExpr::new();
+                let mut v = LinExpr::new();
+                for (i, &x) in vars.iter().enumerate() {
+                    w.add_term(x, (3 + (i * 7) % 11) as f64);
+                    v.add_term(x, (5 + (i * 13) % 17) as f64);
+                }
+                m.add_le(w, 40.0);
+                m.set_objective(Sense::Maximize, v);
+                m
+            },
+            |m| m.solve().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    // The exact order MILP on a 2-flow chain (the E9 kernel).
+    let topo = generators::chain(6);
+    let p1 = shortest_path(&topo, NodeId(0), NodeId(5)).unwrap();
+    let p2 = shortest_path(&topo, NodeId(5), NodeId(0)).unwrap();
+    let mut demands = Demands::new();
+    for &l in p1.links().iter().chain(p2.links()) {
+        demands.add(l, 1);
+    }
+    let cg = ConflictGraph::build_for_links(
+        &topo,
+        demands.links().collect(),
+        InterferenceModel::protocol_default(),
+    );
+    let frame = FrameConfig::new(64, 250);
+    c.bench_function("order_milp_chain6_2flows", |b| {
+        b.iter(|| {
+            min_max_delay_order(
+                &cg,
+                &demands,
+                &[p1.clone(), p2.clone()],
+                frame,
+                &SolverConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_election(c: &mut Criterion) {
+    let topo = generators::grid(6, 6);
+    let election = MeshElection::new(&topo);
+    c.bench_function("mesh_election_winners_grid6x6", |b| {
+        let mut opp = 0u32;
+        b.iter(|| {
+            opp = opp.wrapping_add(1);
+            election.winners(opp)
+        })
+    });
+}
+
+fn bench_reservation(c: &mut Criterion) {
+    let topo = generators::chain(8);
+    let routing = GatewayRouting::new(&topo, NodeId(0)).unwrap();
+    let mut demands = Demands::new();
+    for l in routing.uplink_links(&topo) {
+        demands.set(l, 2);
+    }
+    c.bench_function("distributed_reservation_chain8", |b| {
+        b.iter(|| run_distributed(&topo, &demands, ReservationConfig::default()).unwrap())
+    });
+    let tree = generators::binary_tree(3);
+    let tree_routing = GatewayRouting::new(&tree, NodeId(0)).unwrap();
+    let tree_demands = uplink_demands(&tree, &tree_routing, 2);
+    c.bench_function("centralized_csch_tree_btree3", |b| {
+        b.iter(|| {
+            run_centralized(
+                &tree,
+                &tree_routing,
+                &tree_demands,
+                CschConfig {
+                    frame: FrameConfig::new(64, 250),
+                    mode: CschMode::SpatialReuse,
+                },
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("network_entry_btree3", |b| {
+        b.iter(|| run_network_entry(&tree, NodeId(0), EntryConfig::default()))
+    });
+}
+
+fn bench_packet_macs(c: &mut Criterion) {
+    // One simulated second of a 4-node chain under each MAC.
+    let topo = generators::chain(4);
+    c.bench_function("dcf_sim_1s_chain4", |b| {
+        b.iter_batched(
+            || {
+                let flows = vec![DcfFlow {
+                    id: FlowId(0),
+                    route: (0..4).map(NodeId).collect(),
+                    source: Box::new(CbrSource::new(Duration::from_millis(20), 200)),
+                }];
+                (
+                    DcfSimulation::new(&topo, DcfConfig::default(), flows),
+                    StdRng::seed_from_u64(1),
+                )
+            },
+            |(mut sim, mut rng)| {
+                sim.run(Duration::from_secs(1), &mut rng);
+                sim.flow_stats(0).delivered()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let model = EmulationModel::new(EmulationParams::default()).unwrap();
+    let path = shortest_path(&topo, NodeId(0), NodeId(3)).unwrap();
+    let mut demands = Demands::new();
+    for &l in path.links() {
+        demands.set(l, 2);
+    }
+    let cg = ConflictGraph::build_for_links(
+        &topo,
+        demands.links().collect(),
+        InterferenceModel::protocol_default(),
+    );
+    let ord = order::hop_order(&cg, std::slice::from_ref(&path));
+    let schedule = schedule_from_order(&cg, &demands, &ord, model.frame()).unwrap();
+    c.bench_function("tdma_sim_1s_chain4", |b| {
+        b.iter_batched(
+            || {
+                let flows = vec![TdmaFlow {
+                    id: FlowId(0),
+                    path: path.clone(),
+                    source: Box::new(CbrSource::new(Duration::from_millis(20), 200)),
+                }];
+                (
+                    TdmaSimulation::new(model, &schedule, flows, 100).unwrap(),
+                    StdRng::seed_from_u64(1),
+                )
+            },
+            |(mut sim, mut rng)| {
+                sim.run(Duration::from_secs(1), &mut rng);
+                sim.flow_stats(0).delivered()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_conflict_graph,
+    bench_schedule_from_order,
+    bench_milp,
+    bench_election,
+    bench_reservation,
+    bench_packet_macs
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates the paper's figures and tables.
+//!
+//! ```text
+//! cargo run -p wimesh-bench --release --bin experiments            # all
+//! cargo run -p wimesh-bench --release --bin experiments -- e4 e5  # some
+//! cargo run -p wimesh-bench --release --bin experiments -- --quick
+//! ```
+//!
+//! CSV outputs land in `results/`.
+
+use std::process::ExitCode;
+
+use wimesh_bench::{run_experiment, Ctx, ALL_EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
+    let ids: Vec<&str> = if ids.is_empty() {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    let ctx = Ctx::new("results", quick);
+    let mut failed = false;
+    for id in ids {
+        println!("\n########## experiment {id} ##########");
+        let start = std::time::Instant::now();
+        match run_experiment(id, &ctx) {
+            Ok(()) => println!("  ({id} finished in {:.1} s)", start.elapsed().as_secs_f64()),
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

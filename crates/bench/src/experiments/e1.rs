@@ -1,0 +1,63 @@
+//! E1 — VoIP capacity vs chain length: emulated TDMA vs native DCF.
+//!
+//! Reconstruction of the paper's headline figure: the number of VoIP
+//! calls a multi-hop chain can carry at toll quality. TDMA capacity is
+//! what the admission controller accepts (and is *guaranteed*); DCF
+//! capacity is found empirically by loading calls until quality breaks.
+//!
+//! Expected shape: TDMA capacity degrades gracefully with hop count
+//! (spatial reuse caps the per-clique load), while DCF collapses —
+//! contention and hidden terminals destroy quality several hops earlier.
+
+use wimesh::{MeshQos, OrderPolicy};
+use wimesh_emu::EmulationParams;
+use wimesh_sim::traffic::VoipCodec;
+use wimesh_topology::{generators, NodeId};
+
+use crate::experiments::common;
+use crate::{BenchError, Ctx, Table};
+
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    let lengths: &[usize] = if ctx.quick {
+        &[3, 5]
+    } else {
+        &[3, 4, 5, 6, 7, 8, 9]
+    };
+    let sim_time = if ctx.quick {
+        std::time::Duration::from_secs(5)
+    } else {
+        std::time::Duration::from_secs(20)
+    };
+    let max_calls = if ctx.quick { 24 } else { 100 };
+
+    let mut table = Table::new(
+        "E1: VoIP capacity vs chain length (G.729, gateway at node 0)",
+        &["nodes", "hops", "tdma_calls", "dcf_calls", "tdma/dcf"],
+    );
+    for &n in lengths {
+        let topo = generators::chain(n);
+        let mesh = MeshQos::new(topo, EmulationParams::default())?;
+        let flows =
+            common::voip_calls_to_gateway(n, NodeId(0), max_calls, VoipCodec::G729);
+        let tdma = common::tdma_capacity(
+            &mesh,
+            &flows,
+            OrderPolicy::TreeOrder { gateway: NodeId(0) },
+        );
+        let dcf = common::dcf_capacity(&mesh, &flows, sim_time, 1);
+        let ratio = if dcf > 0 {
+            format!("{:.2}", tdma as f64 / dcf as f64)
+        } else {
+            "inf".to_string()
+        };
+        table.row_strings(vec![
+            n.to_string(),
+            (n - 1).to_string(),
+            tdma.to_string(),
+            dcf.to_string(),
+            ratio,
+        ]);
+    }
+    table.print();
+    ctx.write_csv("e1", &table)
+}

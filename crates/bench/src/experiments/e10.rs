@@ -1,0 +1,77 @@
+//! E10 (ablation) — interference-model radius.
+//!
+//! The conflict graph is the sole input encoding interference. This
+//! ablation fixes the demands (2 minislots on every uplink of a chain /
+//! grid) and measures what the protocol-model radius costs under a
+//! *reuse-seeking* scheduler (greedy coloring, which exploits every
+//! non-conflict): conflict-graph density, chromatic slots, and the clique
+//! lower bound. Expected shape: wider radii densify the graph and push
+//! the achievable makespan up — the 2-hop conservative model pays
+//! measurably more slots than the 1-hop (802.16 coordination) model;
+//! primary-only is the no-interference lower envelope.
+
+use wimesh::conflict::{
+    greedy_clique_cover, greedy_coloring, ConflictGraph, InterferenceModel,
+};
+use wimesh::mac80216::csch::uplink_demands;
+use wimesh::tdma::Demands;
+use wimesh_topology::routing::GatewayRouting;
+use wimesh_topology::{generators, MeshTopology, NodeId};
+
+use crate::{BenchError, Ctx, Table};
+
+fn clique_lb(graph: &ConflictGraph, demands: &Demands) -> u32 {
+    greedy_clique_cover(graph)
+        .iter()
+        .map(|c| c.iter().map(|&v| demands.get(graph.link_at(v))).sum::<u32>())
+        .max()
+        .unwrap_or(0)
+}
+
+fn measure(topo: &MeshTopology, demands: &Demands, model: InterferenceModel) -> (usize, u32, u32) {
+    let graph = ConflictGraph::build_for_links(topo, demands.links().collect(), model);
+    let coloring = greedy_coloring(&graph);
+    // Coloring makespan with uniform demand d = colors * d.
+    let d = demands.iter().map(|(_, d)| d).max().unwrap_or(0);
+    (
+        graph.edge_count(),
+        coloring.color_count() as u32 * d,
+        clique_lb(&graph, demands),
+    )
+}
+
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    let mut table = Table::new(
+        "E10: interference radius ablation — coloring makespan for 2-slot uplinks",
+        &["topology", "links", "radius", "conflict_edges", "coloring_slots", "clique_lb"],
+    );
+    let chains: &[usize] = if ctx.quick { &[7] } else { &[5, 7, 9, 12] };
+    let mut cases: Vec<(String, MeshTopology)> = chains
+        .iter()
+        .map(|&n| (format!("chain{n}"), generators::chain(n)))
+        .collect();
+    cases.push(("grid4x4".to_string(), generators::grid(4, 4)));
+    cases.push(("btree3".to_string(), generators::binary_tree(3)));
+
+    for (name, topo) in cases {
+        let routing = GatewayRouting::new(&topo, NodeId(0))?;
+        let demands = uplink_demands(&topo, &routing, 2);
+        for (label, model) in [
+            ("primary", InterferenceModel::PrimaryOnly),
+            ("1hop", InterferenceModel::Protocol { hops: 1 }),
+            ("2hop", InterferenceModel::Protocol { hops: 2 }),
+        ] {
+            let (edges, slots, lb) = measure(&topo, &demands, model);
+            table.row_strings(vec![
+                name.clone(),
+                demands.len().to_string(),
+                label.to_string(),
+                edges.to_string(),
+                slots.to_string(),
+                lb.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    ctx.write_csv("e10", &table)
+}

@@ -1,0 +1,143 @@
+//! E11 (ablation) — scheduler comparison: centralized MSH-CSCH modes vs
+//! distributed MSH-DSCH vs the exact order MILP.
+//!
+//! Same uplink demands on a binary tree, five schedulers. Reported per
+//! scheduler: makespan (slots the guaranteed region eats), the deepest
+//! leaf's pipeline delay, and the signalling cost before data can flow.
+//! Expected shape: sequential TDM wastes the most slots with good delay;
+//! coloring minimises slots but wrecks delay; tree-order and the exact
+//! MILP get both; the distributed protocol lands near the centralized
+//! reuse point while paying convergence frames instead of tree flooding.
+
+use wimesh::conflict::{greedy_clique_cover, ConflictGraph, InterferenceModel};
+use wimesh::mac80216::csch::{run_centralized, uplink_demands, CschConfig, CschMode};
+use wimesh::mac80216::reservation::{run_distributed, ReservationConfig};
+use wimesh::milp::SolverConfig;
+use wimesh::tdma::milp::{feasible_order_within, min_max_delay_order, PathRequirement};
+use wimesh::tdma::{delay, FrameConfig, Schedule};
+use wimesh_topology::routing::GatewayRouting;
+use wimesh_topology::{generators, NodeId};
+
+use crate::{BenchError, Ctx, Table};
+
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    let depth = 3usize;
+    let per_link = 2u32;
+    let topo = generators::binary_tree(depth);
+    let routing = GatewayRouting::new(&topo, NodeId(0))?;
+    let demands = uplink_demands(&topo, &routing, per_link);
+    let frame = FrameConfig::new(64, 250);
+    let graph = ConflictGraph::build_for_links(
+        &topo,
+        demands.links().collect(),
+        InterferenceModel::protocol_default(),
+    );
+    let leaf_paths: Vec<_> = (7u32..=14)
+        .map(|n| routing.uplink(&topo, NodeId(n)).expect("leaf"))
+        .collect();
+
+    let mut table = Table::new(
+        "E11: scheduler comparison, binary tree depth 3, 2 slots per uplink, 64x250us frame",
+        &["scheduler", "makespan", "max_leaf_delay_slots", "max_wraps", "signalling"],
+    );
+    let mut report = |name: &str, schedule: &Schedule, signalling: String| -> Result<(), BenchError> {
+        if let Err((a, b)) = schedule.validate(&graph) {
+            return Err(BenchError(format!("{name}: conflict {a}/{b}")));
+        }
+        let d = leaf_paths
+            .iter()
+            .map(|p| delay::path_delay_slots(schedule, p))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| BenchError(format!("{name}: leaf path unscheduled")))?
+            .into_iter()
+            .max()
+            .expect("non-empty");
+        let w = leaf_paths
+            .iter()
+            .filter_map(|p| delay::frame_wraps(schedule, p))
+            .max()
+            .expect("non-empty");
+        table.row_strings(vec![
+            name.to_string(),
+            schedule.makespan().to_string(),
+            d.to_string(),
+            w.to_string(),
+            signalling,
+        ]);
+        Ok(())
+    };
+
+    for (name, mode) in [
+        ("csch sequential", CschMode::Sequential),
+        ("csch tree-order", CschMode::SpatialReuse),
+        ("csch coloring", CschMode::MinSlots),
+    ] {
+        let out = run_centralized(&topo, &routing, &demands, CschConfig { frame, mode })?;
+        report(
+            name,
+            &out.schedule,
+            format!("{} frames, {} msgs", out.signalling_frames, out.messages),
+        )?;
+    }
+
+    let dist = run_distributed(
+        &topo,
+        &demands,
+        ReservationConfig {
+            frame,
+            ..Default::default()
+        },
+    )?;
+    if !dist.converged {
+        return Err(BenchError("distributed did not converge".into()));
+    }
+    report(
+        "distributed dsch",
+        &dist.schedule,
+        format!("{} frames, {} msgs", dist.frames_elapsed, dist.messages_sent),
+    )?;
+
+    // Exact: first find the optimal max delay, then the smallest
+    // guaranteed region achieving it (the linear slot search).
+    let exact = min_max_delay_order(
+        &graph,
+        &demands,
+        &leaf_paths,
+        frame,
+        &SolverConfig::default(),
+    )?;
+    let reqs: Vec<PathRequirement> = leaf_paths
+        .iter()
+        .map(|p| PathRequirement {
+            path: p.clone(),
+            deadline_slots: Some(exact.max_delay_slots),
+        })
+        .collect();
+    let mut compact = exact.schedule.clone();
+    // Start the slot search at the clique lower bound: nothing smaller
+    // can ever be feasible.
+    let lb = greedy_clique_cover(&graph)
+        .iter()
+        .map(|c| c.iter().map(|&v| demands.get(graph.link_at(v))).sum::<u32>())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    // Bound each feasibility proof: a node-limit hit is treated as "no"
+    // (conservative — the search just tries one more slot).
+    let step_cfg = SolverConfig::with_max_nodes(20_000);
+    for used in lb..=frame.slots() {
+        match feasible_order_within(&graph, &demands, &reqs, frame, used, &step_cfg) {
+            Ok(sol) => {
+                compact = sol.schedule;
+                break;
+            }
+            Err(wimesh::tdma::ScheduleError::Infeasible)
+            | Err(wimesh::tdma::ScheduleError::SolverFailed(_)) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    report("exact milp", &compact, "offline".to_string())?;
+
+    table.print();
+    ctx.write_csv("e11", &table)
+}

@@ -1,0 +1,150 @@
+//! E13 (extension) — resilience to channel errors.
+//!
+//! The paper's testbed lived on real radios, so frame errors were part of
+//! life. This experiment injects per-transmission channel errors into
+//! both MACs carrying the same (light) VoIP load. The measured shape is
+//! an honest trade-off, not a TDMA win: both MACs deliver ~everything,
+//! but DCF's *immediate* retransmission (per-frame ACK + backoff)
+//! recovers a loss in milliseconds, while the emulated TDMA MAC has no
+//! ARQ inside a reservation — a corrupted minislot is retried at the
+//! link's next minislot or next frame, so the delay tail stretches by
+//! roughly one frame per retry and the admission-time bound (which is
+//! conditional on a clean channel) is exceeded under loss. This is the
+//! classic reason 802.16 pairs TDMA with ARQ, and the flip side of E2,
+//! where *contention* (not noise) destroys DCF while leaving TDMA
+//! untouched. The `tdma_prov20` column shows the mitigation the library
+//! offers: over-provisioning the reservation's *slot count* for an
+//! expected loss rate (`MeshQos::set_loss_provisioning`) buys in-frame
+//! retry headroom and pulls the tail back near the clean bound.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wimesh::emu::tdma::{TdmaFlow, TdmaSimulation};
+use wimesh::phy80211::dcf::DcfConfig;
+use wimesh::sim::traffic::{TrafficSource, VoipCodec, VoipSource};
+use wimesh::{FlowSpec, MeshQos, OrderPolicy};
+use wimesh_emu::EmulationParams;
+use wimesh_topology::{generators, NodeId};
+
+use crate::experiments::common::ms;
+use crate::{BenchError, Ctx, Table};
+
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    let loss_rates: &[f64] = if ctx.quick {
+        &[0.0, 0.05, 0.20]
+    } else {
+        &[0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.30]
+    };
+    let sim_time = if ctx.quick {
+        Duration::from_secs(10)
+    } else {
+        Duration::from_secs(40)
+    };
+    let topo = generators::chain(5);
+    let mesh = MeshQos::new(topo.clone(), EmulationParams::default())?;
+    // A second controller that over-provisions for 20% loss: the fix the
+    // measured TDMA tail motivates.
+    let mut provisioned = MeshQos::new(topo, EmulationParams::default())?;
+    provisioned.set_loss_provisioning(0.20);
+    let flows: Vec<FlowSpec> = (0..2)
+        .map(|i| FlowSpec::voip(i, NodeId(4 - i), NodeId(0), VoipCodec::G711))
+        .collect();
+    let outcome = mesh.admit(&flows, OrderPolicy::TreeOrder { gateway: NodeId(0) })?;
+    let outcome_prov =
+        provisioned.admit(&flows, OrderPolicy::TreeOrder { gateway: NodeId(0) })?;
+    let bound = outcome
+        .admitted
+        .iter()
+        .map(|f| f.worst_case_delay)
+        .max()
+        .expect("flows admitted");
+
+    let voip = |_: &FlowSpec| -> Box<dyn TrafficSource> {
+        Box::new(VoipSource::new(VoipCodec::G711))
+    };
+
+    let mut table = Table::new(
+        "E13: channel-error resilience, 4-hop chain, 2 G.711 calls",
+        &["loss_pct", "tdma_delivery_pct", "tdma_p99_ms", "tdma_max_ms", "tdma_prov20_p99_ms", "dcf_delivery_pct", "dcf_p99_ms"],
+    );
+    let run_tdma = |outcome: &wimesh::AdmissionOutcome,
+                    model: &wimesh_emu::EmulationModel,
+                    p: f64|
+     -> Result<(f64, Duration, Duration), BenchError> {
+        let tdma_flows: Vec<TdmaFlow> = outcome
+            .admitted
+            .iter()
+            .map(|a| TdmaFlow {
+                id: a.spec.id,
+                path: a.path.clone(),
+                source: Box::new(VoipSource::new(VoipCodec::G711)),
+            })
+            .collect();
+        let mut sim = TdmaSimulation::new(*model, &outcome.schedule, tdma_flows, 200)?
+            .with_loss(p);
+        sim.run(sim_time, &mut StdRng::seed_from_u64(13));
+        let (mut sent, mut delivered) = (0u64, 0u64);
+        let mut p99 = Duration::ZERO;
+        let mut max = Duration::ZERO;
+        for s in sim.all_stats() {
+            sent += s.sent();
+            delivered += s.delivered();
+            if let Some(q) = s.delay_quantile(0.99) {
+                p99 = p99.max(q);
+            }
+            max = max.max(s.max_delay());
+        }
+        Ok((100.0 * delivered as f64 / sent.max(1) as f64, p99, max))
+    };
+    for &p in loss_rates {
+        // Emulated TDMA with per-transmission loss: plain reservation and
+        // the 20%-loss-provisioned one.
+        let (tdma_delivery, p99, max) = run_tdma(&outcome, mesh.model(), p)?;
+        let (_, p99_prov, _) = run_tdma(&outcome_prov, provisioned.model(), p)?;
+
+        // DCF with the same frame error rate.
+        let mut rng = StdRng::seed_from_u64(13);
+        let dcf = mesh.simulate_dcf(
+            &flows,
+            voip,
+            DcfConfig {
+                frame_error_rate: p.min(0.99),
+                ..DcfConfig::default()
+            },
+            sim_time,
+            &mut rng,
+        );
+        let (mut dsent, mut ddel) = (0u64, 0u64);
+        let mut dp99 = Duration::ZERO;
+        for (_, s) in &dcf {
+            dsent += s.sent();
+            ddel += s.delivered();
+            if let Some(q) = s.delay_quantile(0.99) {
+                dp99 = dp99.max(q);
+            }
+        }
+        let dcf_delivery = 100.0 * ddel as f64 / dsent.max(1) as f64;
+
+        table.row_strings(vec![
+            format!("{:.0}", p * 100.0),
+            format!("{tdma_delivery:.2}"),
+            ms(p99),
+            ms(max),
+            ms(p99_prov),
+            format!("{dcf_delivery:.2}"),
+            ms(dp99),
+        ]);
+    }
+    table.print();
+    println!(
+        "  admission-time bound (valid for a clean channel): {}\n  \
+         TDMA pays ~1 frame per retry (no in-reservation ARQ) unless slots are\n  \
+         over-provisioned for loss (prov20 column: tail pulled back near the bound);\n  \
+         lightly-loaded DCF recovers via immediate ARQ — contention, not noise,\n  \
+         is what breaks DCF (see E2)",
+        ms(bound)
+    );
+    ctx.write_csv("e13", &table)
+}

@@ -1,0 +1,93 @@
+//! E4 — maximum end-to-end scheduling delay vs hop count, by order
+//! policy.
+//!
+//! The core figure of the delay-aware scheduling theory: with the *same*
+//! bandwidth allocation, the transmission order alone separates
+//! one-frame-total delay from one-frame-per-hop delay.
+//!
+//! Expected shape: hop-order and exact-MILP delay stay flat (a fraction
+//! of a frame, independent of hops); random orders grow linearly with
+//! hop count at about half a frame per hop; reverse order is the
+//! one-frame-per-hop worst case.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wimesh::conflict::{ConflictGraph, InterferenceModel};
+use wimesh::milp::SolverConfig;
+use wimesh::tdma::milp::min_max_delay_order;
+use wimesh::tdma::{delay, order, schedule_from_order, Demands, FrameConfig, TransmissionOrder};
+use wimesh_topology::routing::shortest_path;
+use wimesh_topology::{generators, NodeId};
+
+use crate::{BenchError, Ctx, Table};
+
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    let hop_counts: &[usize] = if ctx.quick {
+        &[2, 4, 6]
+    } else {
+        &[2, 3, 4, 5, 6, 8, 10, 12]
+    };
+    let frame = FrameConfig::new(64, 250);
+    let mut table = Table::new(
+        "E4: max scheduling delay (ms) vs hops, per order policy (2 slots/link, 64x250us frame)",
+        &["hops", "hop_order", "exact_milp", "random_mean", "random_max", "reverse"],
+    );
+    for &hops in hop_counts {
+        let topo = generators::chain(hops + 1);
+        let path = shortest_path(&topo, NodeId(0), NodeId(hops as u32))?;
+        let mut demands = Demands::new();
+        for &l in path.links() {
+            demands.set(l, 2);
+        }
+        let graph = ConflictGraph::build_for_links(
+            &topo,
+            demands.links().collect(),
+            InterferenceModel::protocol_default(),
+        );
+        let to_ms = |slots: u64| frame.slots_to_duration(slots).as_secs_f64() * 1e3;
+
+        let d_hop = {
+            let ord = order::hop_order(&graph, std::slice::from_ref(&path));
+            let s = schedule_from_order(&graph, &demands, &ord, frame)?;
+            delay::path_delay_slots(&s, &path).expect("scheduled")
+        };
+        let d_exact = if hops <= 8 || !ctx.quick {
+            let sol = min_max_delay_order(
+                &graph,
+                &demands,
+                std::slice::from_ref(&path),
+                frame,
+                &SolverConfig::default(),
+            )?;
+            sol.max_delay_slots
+        } else {
+            d_hop
+        };
+        let seeds = if ctx.quick { 3 } else { 10 };
+        let mut rand_delays = Vec::new();
+        for seed in 0..seeds {
+            let ord = order::random_order(&graph, &mut StdRng::seed_from_u64(seed));
+            let s = schedule_from_order(&graph, &demands, &ord, frame)?;
+            rand_delays.push(delay::path_delay_slots(&s, &path).expect("scheduled"));
+        }
+        let rand_mean = rand_delays.iter().sum::<u64>() as f64 / rand_delays.len() as f64;
+        let rand_max = *rand_delays.iter().max().expect("non-empty");
+        let d_rev = {
+            let mut perm: Vec<_> = path.links().to_vec();
+            perm.reverse();
+            let ord = TransmissionOrder::from_permutation(&graph, &perm);
+            let s = schedule_from_order(&graph, &demands, &ord, frame)?;
+            delay::path_delay_slots(&s, &path).expect("scheduled")
+        };
+        table.row_strings(vec![
+            hops.to_string(),
+            format!("{:.2}", to_ms(d_hop)),
+            format!("{:.2}", to_ms(d_exact)),
+            format!("{:.2}", to_ms(rand_mean.round() as u64)),
+            format!("{:.2}", to_ms(rand_max)),
+            format!("{:.2}", to_ms(d_rev)),
+        ]);
+    }
+    table.print();
+    ctx.write_csv("e4", &table)
+}

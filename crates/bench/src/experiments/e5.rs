@@ -1,0 +1,67 @@
+//! E5 — scheduling delay vs frame length.
+//!
+//! Fixing the route (6 hops) and the per-link demand, the frame length is
+//! swept. Delay-aware orders pay the frame length at most once (their
+//! delay is the in-frame pipeline, independent of how long the frame is);
+//! delay-oblivious orders pay ~half a frame per hop, so their delay grows
+//! linearly with frame length with slope ≈ hops/2.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wimesh::conflict::{ConflictGraph, InterferenceModel};
+use wimesh::tdma::{delay, order, schedule_from_order, Demands, FrameConfig};
+use wimesh_topology::routing::shortest_path;
+use wimesh_topology::{generators, NodeId};
+
+use crate::{BenchError, Ctx, Table};
+
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    let frame_slots: &[u32] = if ctx.quick {
+        &[16, 64, 128]
+    } else {
+        &[16, 24, 32, 48, 64, 96, 128, 160]
+    };
+    let hops = 6;
+    let topo = generators::chain(hops + 1);
+    let path = shortest_path(&topo, NodeId(0), NodeId(hops as u32))?;
+    let mut demands = Demands::new();
+    for &l in path.links() {
+        demands.set(l, 2);
+    }
+    let graph = ConflictGraph::build_for_links(
+        &topo,
+        demands.links().collect(),
+        InterferenceModel::protocol_default(),
+    );
+
+    let mut table = Table::new(
+        "E5: scheduling delay (ms) vs frame length (6 hops, 2 slots/link, 250 us slots)",
+        &["frame_slots", "frame_ms", "hop_order", "random_mean"],
+    );
+    for &slots in frame_slots {
+        let frame = FrameConfig::new(slots, 250);
+        let ord = order::hop_order(&graph, std::slice::from_ref(&path));
+        let s = schedule_from_order(&graph, &demands, &ord, frame)?;
+        let d_hop = delay::path_delay_slots(&s, &path).expect("scheduled");
+
+        let seeds = if ctx.quick { 3 } else { 10 };
+        let mut total = 0u64;
+        for seed in 0..seeds {
+            let ord = order::random_order(&graph, &mut StdRng::seed_from_u64(seed));
+            let s = schedule_from_order(&graph, &demands, &ord, frame)?;
+            total += delay::path_delay_slots(&s, &path).expect("scheduled");
+        }
+        let d_rand = total as f64 / seeds as f64;
+        table.row_strings(vec![
+            slots.to_string(),
+            format!("{:.2}", frame.frame_duration().as_secs_f64() * 1e3),
+            format!("{:.2}", frame.slots_to_duration(d_hop).as_secs_f64() * 1e3),
+            format!(
+                "{:.2}",
+                frame.slots_to_duration(d_rand.round() as u64).as_secs_f64() * 1e3
+            ),
+        ]);
+    }
+    table.print();
+    ctx.write_csv("e5", &table)
+}

@@ -1,0 +1,70 @@
+//! E6 — emulation overhead table: what one minislot costs per PHY rate
+//! and minislot length.
+//!
+//! Guard time, PLCP preamble, MAC header, SIFS and the ACK are fixed
+//! costs per minislot; the control subframe is a fixed cost per frame.
+//! Expected shape: efficiency falls with PHY rate (fixed time costs eat a
+//! larger share of faster slots) and rises with minislot length
+//! (amortisation); 802.11b long preambles make short minislots unusable.
+
+use std::time::Duration;
+
+use wimesh::mac80216::MeshFrameConfig;
+use wimesh::phy80211::PhyStandard;
+use wimesh::tdma::FrameConfig;
+use wimesh_emu::{ClockParams, EmulationModel, EmulationParams};
+
+use crate::{BenchError, Ctx, Table};
+
+fn try_model(phy: PhyStandard, rate: f64, slot_us: u64) -> Option<EmulationModel> {
+    EmulationModel::new(EmulationParams {
+        phy,
+        rate_mbps: rate,
+        mesh_frame: MeshFrameConfig::with_data(FrameConfig::new(32, slot_us)),
+        clock: ClockParams::default(),
+        turnaround: Duration::from_micros(5),
+        max_sync_depth: 4,
+    })
+    .ok()
+}
+
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    let mut table = Table::new(
+        "E6: emulated minislot capacity and efficiency (20 ppm, 500 ms resync)",
+        &["phy", "rate_mbps", "slot_us", "guard_us", "payload_B", "slot_kbps", "efficiency_pct"],
+    );
+    let cases: &[(PhyStandard, &[f64])] = &[
+        (PhyStandard::Dot11b, &[1.0, 11.0]),
+        (PhyStandard::Dot11a, &[6.0, 24.0, 54.0]),
+        (PhyStandard::Dot11g, &[6.0, 24.0, 54.0]),
+    ];
+    let slot_lengths: &[u64] = &[250, 500, 1000, 2000];
+    for (phy, rates) in cases {
+        for &rate in *rates {
+            for &slot_us in slot_lengths {
+                match try_model(*phy, rate, slot_us) {
+                    Some(m) => table.row_strings(vec![
+                        format!("{phy:?}"),
+                        format!("{rate}"),
+                        slot_us.to_string(),
+                        m.guard_time().as_micros().to_string(),
+                        m.slot_payload_bytes().to_string(),
+                        format!("{:.0}", m.slot_capacity_bps() / 1e3),
+                        format!("{:.1}", m.efficiency() * 100.0),
+                    ]),
+                    None => table.row_strings(vec![
+                        format!("{phy:?}"),
+                        format!("{rate}"),
+                        slot_us.to_string(),
+                        "-".into(),
+                        "0".into(),
+                        "0".into(),
+                        "0.0".into(),
+                    ]),
+                }
+            }
+        }
+    }
+    table.print();
+    ctx.write_csv("e6", &table)
+}

@@ -1,0 +1,83 @@
+//! E7 — guard time and capacity vs resynchronisation interval.
+//!
+//! Guard time must cover the worst mutual clock error between any two
+//! nodes, which grows linearly with drift x resync interval. The table
+//! reports the analytic bound, the *empirically simulated* maximum error
+//! over a 6-deep sync tree (which must stay below the bound), and what
+//! remains of the minislot capacity. Expected shape: capacity has a knee
+//! where the guard approaches the slot length, after which the
+//! configuration is unusable.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wimesh::mac80216::MeshFrameConfig;
+use wimesh::phy80211::PhyStandard;
+use wimesh::tdma::FrameConfig;
+use wimesh_emu::{sync, ClockParams, EmulationModel, EmulationParams};
+use wimesh_topology::routing::GatewayRouting;
+use wimesh_topology::{generators, NodeId};
+
+use crate::{BenchError, Ctx, Table};
+
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    let resyncs_ms: &[u64] = if ctx.quick {
+        &[100, 1000, 5000]
+    } else {
+        &[50, 100, 250, 500, 1000, 2000, 5000, 10000]
+    };
+    let drifts: &[f64] = &[5.0, 20.0, 50.0];
+    let topo = generators::chain(7);
+    let routing = GatewayRouting::new(&topo, NodeId(0)).expect("gateway exists");
+
+    let mut table = Table::new(
+        "E7: guard time and capacity vs resync interval (802.11a @ 24 Mbit/s, 500 us slots)",
+        &["drift_ppm", "resync_ms", "bound_us", "simulated_us", "guard_us", "payload_B", "efficiency_pct"],
+    );
+    for &ppm in drifts {
+        for &resync_ms in resyncs_ms {
+            let clock = ClockParams {
+                drift_ppm: ppm,
+                resync_interval: Duration::from_millis(resync_ms),
+                timestamp_error: Duration::from_micros(2),
+            };
+            let bound = sync::mutual_error_bound(&clock, 6);
+            let sim_secs = (resync_ms / 1000 * 20 + 10).min(60);
+            let report = sync::simulate(
+                &topo,
+                &routing,
+                &clock,
+                Duration::from_secs(sim_secs),
+                &mut StdRng::seed_from_u64(7),
+            );
+            let model = EmulationModel::new(EmulationParams {
+                phy: PhyStandard::Dot11a,
+                rate_mbps: 24.0,
+                mesh_frame: MeshFrameConfig::with_data(FrameConfig::new(32, 500)),
+                clock,
+                turnaround: Duration::from_micros(5),
+                max_sync_depth: 6,
+            });
+            let (guard, payload, eff) = match model {
+                Ok(m) => (
+                    m.guard_time().as_micros().to_string(),
+                    m.slot_payload_bytes().to_string(),
+                    format!("{:.1}", m.efficiency() * 100.0),
+                ),
+                Err(_) => ("-".into(), "0".into(), "0.0".into()),
+            };
+            table.row_strings(vec![
+                format!("{ppm}"),
+                resync_ms.to_string(),
+                bound.as_micros().to_string(),
+                report.max_mutual_error.as_micros().to_string(),
+                guard,
+                payload,
+                eff,
+            ]);
+        }
+    }
+    table.print();
+    ctx.write_csv("e7", &table)
+}

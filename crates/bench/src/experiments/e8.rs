@@ -1,0 +1,101 @@
+//! E8 — convergence and utilisation of the distributed MSH-DSCH
+//! three-way handshake.
+//!
+//! Random unit-disk meshes of growing size, uplink demands toward a
+//! gateway, reserved by the distributed protocol. Reported: frames to
+//! convergence, control messages, handshake restarts, and the makespan
+//! against the centralized clique lower bound. Expected shape:
+//! convergence in tens of frames, sub-linear in links thanks to
+//! control-subframe spatial reuse; distributed makespan within a small
+//! factor of the bound.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wimesh::conflict::{greedy_clique_cover, ConflictGraph, InterferenceModel};
+use wimesh::mac80216::reservation::{run_distributed, ReservationConfig};
+use wimesh::tdma::Demands;
+use wimesh_topology::routing::GatewayRouting;
+use wimesh_topology::{generators, NodeId};
+
+use crate::{BenchError, Ctx, Table};
+
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    let sizes: &[usize] = if ctx.quick {
+        &[10, 16]
+    } else {
+        &[10, 14, 18, 22, 26, 30]
+    };
+    let seeds = if ctx.quick { 2 } else { 5 };
+
+    let mut table = Table::new(
+        "E8: distributed 3-way-handshake scheduling on random meshes (2 slots per uplink)",
+        &["nodes", "links", "frames_mean", "frames_max", "msgs_mean", "retries_mean", "makespan_mean", "clique_lb_mean", "converged"],
+    );
+    for &n in sizes {
+        let mut frames = Vec::new();
+        let mut msgs = Vec::new();
+        let mut retries = Vec::new();
+        let mut makespans = Vec::new();
+        let mut bounds = Vec::new();
+        let mut links = Vec::new();
+        let mut converged = 0usize;
+        for seed in 0..seeds {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let topo = generators::random_unit_disk(
+                generators::UnitDiskParams {
+                    nodes: n,
+                    area_m: 280.0 * (n as f64).sqrt(),
+                    range_m: 350.0,
+                    max_attempts: 200,
+                },
+                &mut rng,
+            )
+            .ok_or_else(|| BenchError(format!("no connected {n}-node placement")))?;
+            let routing = GatewayRouting::new(&topo, NodeId(0)).expect("gateway exists");
+            let mut demands = Demands::new();
+            for link in routing.uplink_links(&topo) {
+                demands.set(link, 2);
+            }
+            links.push(demands.len());
+            let out = run_distributed(&topo, &demands, ReservationConfig::default())?;
+            if out.converged {
+                converged += 1;
+            }
+            frames.push(out.frames_elapsed as f64);
+            msgs.push(out.messages_sent as f64);
+            retries.push(out.retries as f64);
+            makespans.push(out.schedule.makespan() as f64);
+            let graph = ConflictGraph::build_for_links(
+                &topo,
+                demands.links().collect(),
+                InterferenceModel::protocol_default(),
+            );
+            // Validate conflict-freeness on every instance.
+            if let Err((a, b)) = out.schedule.validate(&graph) {
+                return Err(BenchError(format!(
+                    "seed {seed}: conflicting reservations {a}/{b}"
+                )));
+            }
+            let lb = greedy_clique_cover(&graph)
+                .iter()
+                .map(|c| c.iter().map(|&v| demands.get(graph.link_at(v))).sum::<u32>())
+                .max()
+                .unwrap_or(0);
+            bounds.push(lb as f64);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        table.row_strings(vec![
+            n.to_string(),
+            format!("{:.0}", mean(&links.iter().map(|&x| x as f64).collect::<Vec<_>>())),
+            format!("{:.1}", mean(&frames)),
+            format!("{:.0}", frames.iter().cloned().fold(0.0, f64::max)),
+            format!("{:.0}", mean(&msgs)),
+            format!("{:.1}", mean(&retries)),
+            format!("{:.1}", mean(&makespans)),
+            format!("{:.1}", mean(&bounds)),
+            format!("{converged}/{seeds}"),
+        ]);
+    }
+    table.print();
+    ctx.write_csv("e8", &table)
+}

@@ -1,0 +1,108 @@
+//! E9 — scaling of the exact order MILP (solver ablation).
+//!
+//! The min-max delay order problem is NP-complete; this experiment
+//! measures where our from-scratch branch-and-bound stops being
+//! practical, and how close the polynomial hop-order heuristic stays to
+//! the exact optimum while it is still computable. Expected shape:
+//! exact solve time explodes with the number of order binaries; the
+//! heuristic is within a small constant factor of the optimum on every
+//! instance the exact solver finishes.
+
+use std::time::Instant;
+
+use wimesh::conflict::{ConflictGraph, InterferenceModel};
+use wimesh::milp::SolverConfig;
+use wimesh::tdma::milp::min_max_delay_order;
+use wimesh::tdma::{delay, order, schedule_from_order, Demands, FrameConfig};
+use wimesh_topology::routing::{shortest_path, Path};
+use wimesh_topology::{generators, MeshTopology, NodeId};
+
+use crate::{BenchError, Ctx, Table};
+
+/// Builds a multi-flow chain instance: `k` paths crossing a chain in
+/// alternating directions.
+fn instance(nodes: usize, k: usize) -> (MeshTopology, Vec<Path>, Demands) {
+    let topo = generators::chain(nodes);
+    let last = (nodes - 1) as u32;
+    let mut paths = Vec::new();
+    let mut demands = Demands::new();
+    for i in 0..k {
+        let (a, b) = if i % 2 == 0 { (0, last) } else { (last, 0) };
+        let p = shortest_path(&topo, NodeId(a), NodeId(b)).expect("chain is connected");
+        for &l in p.links() {
+            demands.add(l, 1);
+        }
+        paths.push(p);
+    }
+    (topo, paths, demands)
+}
+
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    let cases: &[(usize, usize)] = if ctx.quick {
+        &[(4, 1), (5, 2), (6, 2)]
+    } else {
+        &[(4, 1), (5, 1), (6, 1), (5, 2), (6, 2), (7, 2), (6, 3), (7, 3), (8, 3), (8, 4)]
+    };
+    let frame = FrameConfig::new(96, 250);
+    let mut table = Table::new(
+        "E9: exact order-MILP scaling vs hop-order heuristic (alternating chain flows)",
+        &["nodes", "flows", "binaries", "bb_nodes", "exact_ms", "exact_delay", "heur_delay", "gap"],
+    );
+    for &(nodes, k) in cases {
+        let (topo, paths, demands) = instance(nodes, k);
+        let graph = ConflictGraph::build_for_links(
+            &topo,
+            demands.links().collect(),
+            InterferenceModel::protocol_default(),
+        );
+        let binaries = graph
+            .edges()
+            .filter(|&(i, j)| {
+                demands.get(graph.link_at(i)) > 0 && demands.get(graph.link_at(j)) > 0
+            })
+            .count();
+
+        let config = SolverConfig::with_max_nodes(100_000);
+        let start = Instant::now();
+        let exact = min_max_delay_order(&graph, &demands, &paths, frame, &config);
+        let elapsed = start.elapsed();
+
+        let ord = order::hop_order(&graph, &paths);
+        let heur_sched = schedule_from_order(&graph, &demands, &ord, frame)?;
+        let heur_delay = paths
+            .iter()
+            .map(|p| delay::path_delay_slots(&heur_sched, p).expect("scheduled"))
+            .max()
+            .expect("non-empty");
+
+        match exact {
+            Ok(sol) => {
+                let gap = heur_delay as f64 / sol.max_delay_slots.max(1) as f64;
+                table.row_strings(vec![
+                    nodes.to_string(),
+                    k.to_string(),
+                    binaries.to_string(),
+                    sol.nodes_explored.to_string(),
+                    format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+                    sol.max_delay_slots.to_string(),
+                    heur_delay.to_string(),
+                    format!("{gap:.2}"),
+                ]);
+            }
+            Err(e) => {
+                table.row_strings(vec![
+                    nodes.to_string(),
+                    k.to_string(),
+                    binaries.to_string(),
+                    "-".into(),
+                    format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+                    format!("fail: {e}"),
+                    heur_delay.to_string(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    table.print();
+    ctx.write_csv("e9", &table)
+}

@@ -1,0 +1,113 @@
+//! Experiment implementations regenerating the paper's figures and
+//! tables.
+//!
+//! Each experiment module exposes `run(ctx) -> Result<(), BenchError>`;
+//! the `experiments` binary dispatches on experiment ids (`e1`..`e9`,
+//! `t10`). Results are printed as aligned tables and written as CSV under
+//! `results/`. See `DESIGN.md` §4 for the experiment ↔ figure mapping and
+//! `EXPERIMENTS.md` for recorded outcomes.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+mod table;
+
+pub use table::Table;
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Error type for experiment runs.
+#[derive(Debug)]
+pub struct BenchError(pub String);
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<wimesh::QosError> for BenchError {
+    fn from(e: wimesh::QosError) -> Self {
+        BenchError(e.to_string())
+    }
+}
+
+impl From<wimesh::tdma::ScheduleError> for BenchError {
+    fn from(e: wimesh::tdma::ScheduleError) -> Self {
+        BenchError(e.to_string())
+    }
+}
+
+impl From<wimesh::topology::TopologyError> for BenchError {
+    fn from(e: wimesh::topology::TopologyError) -> Self {
+        BenchError(e.to_string())
+    }
+}
+
+impl From<wimesh::emu::EmuError> for BenchError {
+    fn from(e: wimesh::emu::EmuError) -> Self {
+        BenchError(e.to_string())
+    }
+}
+
+/// Shared experiment context: output directory and global scale knob.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Directory CSV outputs are written to.
+    pub out_dir: PathBuf,
+    /// `true` shrinks sweeps for quick smoke runs (used by tests).
+    pub quick: bool,
+}
+
+impl Ctx {
+    /// Context writing to `results/` at the workspace root.
+    pub fn new(out_dir: impl Into<PathBuf>, quick: bool) -> Self {
+        Self {
+            out_dir: out_dir.into(),
+            quick,
+        }
+    }
+
+    /// Writes a finished table to `<out_dir>/<id>.csv`.
+    pub fn write_csv(&self, id: &str, table: &Table) -> Result<(), BenchError> {
+        std::fs::create_dir_all(&self.out_dir).map_err(|e| BenchError(e.to_string()))?;
+        let path = self.out_dir.join(format!("{id}.csv"));
+        std::fs::write(&path, table.to_csv()).map_err(|e| BenchError(e.to_string()))?;
+        println!("  -> {}", path.display());
+        Ok(())
+    }
+}
+
+/// All experiment ids in run order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "t10", "e10", "e11", "e12", "e13", "e14",
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns an error for unknown ids or experiment failures.
+pub fn run_experiment(id: &str, ctx: &Ctx) -> Result<(), BenchError> {
+    match id {
+        "e1" => experiments::e1::run(ctx),
+        "e2" => experiments::e2::run(ctx),
+        "e3" => experiments::e3::run(ctx),
+        "e4" => experiments::e4::run(ctx),
+        "e5" => experiments::e5::run(ctx),
+        "e6" => experiments::e6::run(ctx),
+        "e7" => experiments::e7::run(ctx),
+        "e8" => experiments::e8::run(ctx),
+        "e9" => experiments::e9::run(ctx),
+        "e10" => experiments::e10::run(ctx),
+        "e11" => experiments::e11::run(ctx),
+        "e12" => experiments::e12::run(ctx),
+        "e13" => experiments::e13::run(ctx),
+        "e14" => experiments::e14::run(ctx),
+        "t10" => experiments::t10::run(ctx),
+        other => Err(BenchError(format!("unknown experiment id: {other}"))),
+    }
+}

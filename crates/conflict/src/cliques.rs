@@ -1,0 +1,168 @@
+//! Clique helpers for capacity bounds.
+//!
+//! Every clique of the conflict graph must be served sequentially, so the
+//! total slot demand inside any clique lower-bounds the TDMA frame length.
+//! A *clique cover* (partition of vertices into cliques) turns per-clique
+//! demand sums into a set of necessary frame-length conditions that the
+//! admission controller checks before invoking the expensive feasibility
+//! MILP.
+
+use crate::ConflictGraph;
+
+/// Grows a maximal clique containing vertex `seed` greedily: repeatedly
+/// adds the highest-degree vertex adjacent to everything already chosen.
+///
+/// Returns dense vertex indices, sorted ascending, always containing
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `seed >= graph.vertex_count()`.
+pub fn maximal_clique_containing(graph: &ConflictGraph, seed: usize) -> Vec<usize> {
+    assert!(seed < graph.vertex_count(), "seed out of range");
+    let mut clique = vec![seed];
+    // Candidates: neighbors of seed, highest degree first.
+    let mut candidates: Vec<usize> = graph.neighbors(seed).to_vec();
+    candidates.sort_by(|&a, &b| graph.degree(b).cmp(&graph.degree(a)).then(a.cmp(&b)));
+    for v in candidates {
+        if clique
+            .iter()
+            .all(|&u| graph.neighbors(v).binary_search(&u).is_ok())
+        {
+            clique.push(v);
+        }
+    }
+    clique.sort_unstable();
+    clique
+}
+
+/// Greedy clique cover: partitions the vertex set into disjoint cliques.
+///
+/// Visits vertices in decreasing-degree order; each uncovered vertex seeds
+/// a maximal clique restricted to uncovered vertices. The result is a
+/// partition (every vertex appears in exactly one clique). Smaller covers
+/// give tighter capacity bounds, but any cover is sound.
+pub fn greedy_clique_cover(graph: &ConflictGraph) -> Vec<Vec<usize>> {
+    let n = graph.vertex_count();
+    let mut covered = vec![false; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| graph.degree(b).cmp(&graph.degree(a)).then(a.cmp(&b)));
+
+    let mut cover = Vec::new();
+    for &seed in &order {
+        if covered[seed] {
+            continue;
+        }
+        let mut clique = vec![seed];
+        covered[seed] = true;
+        let mut candidates: Vec<usize> = graph
+            .neighbors(seed)
+            .iter()
+            .copied()
+            .filter(|&v| !covered[v])
+            .collect();
+        candidates.sort_by(|&a, &b| graph.degree(b).cmp(&graph.degree(a)).then(a.cmp(&b)));
+        for v in candidates {
+            if covered[v] {
+                continue;
+            }
+            if clique
+                .iter()
+                .all(|&u| graph.neighbors(v).binary_search(&u).is_ok())
+            {
+                clique.push(v);
+                covered[v] = true;
+            }
+        }
+        clique.sort_unstable();
+        cover.push(clique);
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InterferenceModel;
+    use wimesh_topology::generators;
+
+    fn is_clique(graph: &ConflictGraph, verts: &[usize]) -> bool {
+        for (i, &u) in verts.iter().enumerate() {
+            for &v in &verts[i + 1..] {
+                if graph.neighbors(u).binary_search(&v).is_err() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn maximal_clique_is_clique_and_maximal() {
+        let topo = generators::grid(3, 3);
+        let graph = ConflictGraph::build(&topo, InterferenceModel::protocol_default());
+        for seed in 0..graph.vertex_count() {
+            let clique = maximal_clique_containing(&graph, seed);
+            assert!(clique.contains(&seed));
+            assert!(is_clique(&graph, &clique));
+            // Maximality: no vertex outside is adjacent to all members.
+            for v in 0..graph.vertex_count() {
+                if clique.contains(&v) {
+                    continue;
+                }
+                let adjacent_to_all = clique
+                    .iter()
+                    .all(|&u| graph.neighbors(v).binary_search(&u).is_ok());
+                assert!(!adjacent_to_all, "clique from seed {seed} not maximal");
+            }
+        }
+    }
+
+    #[test]
+    fn cover_is_partition_of_cliques() {
+        let topo = generators::chain(7);
+        let graph = ConflictGraph::build(&topo, InterferenceModel::protocol_default());
+        let cover = greedy_clique_cover(&graph);
+        let mut seen = vec![false; graph.vertex_count()];
+        for clique in &cover {
+            assert!(is_clique(&graph, clique));
+            for &v in clique {
+                assert!(!seen[v], "vertex {v} covered twice");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "not all vertices covered");
+    }
+
+    #[test]
+    fn star_cover_is_single_clique() {
+        let topo = generators::star(5);
+        let graph = ConflictGraph::build(&topo, InterferenceModel::PrimaryOnly);
+        let cover = greedy_clique_cover(&graph);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].len(), graph.vertex_count());
+    }
+
+    #[test]
+    fn independent_links_get_singleton_cliques() {
+        // Two far-apart hops with primary-only conflicts: independent.
+        let mut topo = wimesh_topology::MeshTopology::new();
+        let a = topo.add_node();
+        let b = topo.add_node();
+        let c = topo.add_node();
+        let d = topo.add_node();
+        topo.add_link(a, b).unwrap();
+        topo.add_link(c, d).unwrap();
+        let graph = ConflictGraph::build(&topo, InterferenceModel::PrimaryOnly);
+        let cover = greedy_clique_cover(&graph);
+        assert_eq!(cover.len(), 2);
+        assert!(cover.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn empty_graph_empty_cover() {
+        let topo = wimesh_topology::MeshTopology::new();
+        let graph = ConflictGraph::build(&topo, InterferenceModel::PrimaryOnly);
+        assert!(greedy_clique_cover(&graph).is_empty());
+    }
+}

@@ -1,0 +1,376 @@
+//! Conflict graph construction.
+
+use std::collections::HashMap;
+
+use wimesh_topology::{Link, LinkId, MeshTopology, NodeId};
+
+/// How secondary (interference) conflicts are decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum InterferenceModel {
+    /// Protocol model in hops: a transmission at node `t` corrupts
+    /// reception at node `r` whenever `hop_distance(t, r) <= hops`.
+    ///
+    /// `hops = 1` is the standard hidden-terminal rule (and the
+    /// coordination assumption of the 802.16 mesh election); `hops = 2`
+    /// is the conservative "two-hop interference" variant.
+    Protocol {
+        /// Interference radius in hops (`>= 1`).
+        hops: usize,
+    },
+    /// Distance model: a transmission at `t` corrupts reception at `r`
+    /// whenever their Euclidean distance is at most `range_m` meters.
+    /// Requires meaningful node positions.
+    Distance {
+        /// Interference radius in meters.
+        range_m: f64,
+    },
+    /// Only primary conflicts (shared endpoints). Appropriate when links
+    /// use orthogonal channels or directional antennas.
+    PrimaryOnly,
+}
+
+impl InterferenceModel {
+    /// The default protocol model (`hops = 1`).
+    pub fn protocol_default() -> Self {
+        InterferenceModel::Protocol { hops: 1 }
+    }
+}
+
+/// The conflict graph over a set of directed links.
+///
+/// Vertices are links (either all links of a topology, via
+/// [`ConflictGraph::build`], or an explicit active subset, via
+/// [`ConflictGraph::build_for_links`]); edges join links that cannot share
+/// a TDMA slot. The graph is symmetric and irreflexive by construction.
+#[derive(Debug, Clone)]
+pub struct ConflictGraph {
+    /// The vertex set, in insertion order.
+    links: Vec<LinkId>,
+    /// Dense index of each link in `links`.
+    index: HashMap<LinkId, usize>,
+    /// Adjacency lists over dense indices, each sorted ascending.
+    adj: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl ConflictGraph {
+    /// Builds the conflict graph over *all* links of `topo`.
+    pub fn build(topo: &MeshTopology, model: InterferenceModel) -> Self {
+        Self::build_for_links(topo, topo.link_ids().collect(), model)
+    }
+
+    /// Builds the conflict graph over an explicit set of active links.
+    ///
+    /// Only links that actually carry scheduled demand need vertices;
+    /// restricting the vertex set keeps the downstream order-optimization
+    /// MILP small.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links` contains an id not present in `topo` or a
+    /// duplicate id.
+    pub fn build_for_links(
+        topo: &MeshTopology,
+        links: Vec<LinkId>,
+        model: InterferenceModel,
+    ) -> Self {
+        let mut index = HashMap::with_capacity(links.len());
+        for (i, &l) in links.iter().enumerate() {
+            assert!(topo.link(l).is_some(), "link {l} not in topology");
+            let prev = index.insert(l, i);
+            assert!(prev.is_none(), "duplicate link {l} in active set");
+        }
+        // Precompute pairwise hop distances between link endpoints when the
+        // protocol model needs them.
+        let hop_dist = match model {
+            InterferenceModel::Protocol { hops } => {
+                Some(all_pairs_hop_distance(topo, hops + 1))
+            }
+            _ => None,
+        };
+        let n = links.len();
+        let mut adj = vec![Vec::new(); n];
+        let mut edge_count = 0;
+        for i in 0..n {
+            let li = *topo.link(links[i]).expect("validated above");
+            for j in (i + 1)..n {
+                let lj = *topo.link(links[j]).expect("validated above");
+                if conflicts(topo, &li, &lj, model, hop_dist.as_deref()) {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                    edge_count += 1;
+                }
+            }
+        }
+        Self {
+            links,
+            index,
+            adj,
+            edge_count,
+        }
+    }
+
+    /// The vertex set: the active links, in insertion order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of conflict edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Dense index of a link, if it is a vertex of this graph.
+    pub fn index_of(&self, link: LinkId) -> Option<usize> {
+        self.index.get(&link).copied()
+    }
+
+    /// Link at dense index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= vertex_count()`.
+    pub fn link_at(&self, i: usize) -> LinkId {
+        self.links[i]
+    }
+
+    /// Links conflicting with `link` (empty if `link` is not a vertex).
+    pub fn conflicts_of(&self, link: LinkId) -> Vec<LinkId> {
+        match self.index_of(link) {
+            Some(i) => self.adj[i].iter().map(|&j| self.links[j]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Adjacency (dense indices) of vertex `i`, sorted ascending.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Whether two links conflict. Links not in the graph never conflict.
+    pub fn are_in_conflict(&self, a: LinkId, b: LinkId) -> bool {
+        match (self.index_of(a), self.index_of(b)) {
+            (Some(i), Some(j)) => self.adj[i].binary_search(&j).is_ok(),
+            _ => false,
+        }
+    }
+
+    /// Degree of vertex `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+
+    /// Maximum vertex degree (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// All conflict edges as dense index pairs `(i, j)` with `i < j`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(i, nbrs)| nbrs.iter().filter(move |&&j| i < j).map(move |&j| (i, j)))
+    }
+}
+
+/// Decides whether two distinct links conflict under `model`.
+fn conflicts(
+    topo: &MeshTopology,
+    a: &Link,
+    b: &Link,
+    model: InterferenceModel,
+    hop_dist: Option<&[Vec<usize>]>,
+) -> bool {
+    if a.shares_endpoint(b) {
+        return true;
+    }
+    match model {
+        InterferenceModel::PrimaryOnly => false,
+        InterferenceModel::Protocol { hops } => {
+            let dist = hop_dist.expect("precomputed for protocol model");
+            let d = |t: NodeId, r: NodeId| dist[t.index()][r.index()];
+            d(a.tx, b.rx) <= hops || d(b.tx, a.rx) <= hops
+        }
+        InterferenceModel::Distance { range_m } => {
+            let node = |id: NodeId| *topo.node(id).expect("links reference valid nodes");
+            node(a.tx).distance_to(&node(b.rx)) <= range_m
+                || node(b.tx).distance_to(&node(a.rx)) <= range_m
+        }
+    }
+}
+
+/// BFS hop distances between all node pairs, truncated at `cap` (distances
+/// greater than `cap` are reported as `cap + 1`). Truncation keeps the
+/// computation `O(V * (V + E))` but bounded per query radius.
+fn all_pairs_hop_distance(topo: &MeshTopology, cap: usize) -> Vec<Vec<usize>> {
+    let n = topo.node_count();
+    let mut all = vec![vec![cap + 1; n]; n];
+    for src in topo.node_ids() {
+        let row = &mut all[src.index()];
+        row[src.index()] = 0;
+        let mut queue = std::collections::VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            let d = row[u.index()];
+            if d == cap {
+                continue;
+            }
+            for v in topo.neighbors(u) {
+                if row[v.index()] > d + 1 {
+                    row[v.index()] = d + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimesh_topology::generators;
+
+    fn link(topo: &MeshTopology, a: u32, b: u32) -> LinkId {
+        topo.link_between(NodeId(a), NodeId(b)).expect("link exists")
+    }
+
+    #[test]
+    fn chain_primary_conflicts() {
+        let topo = generators::chain(3);
+        let cg = ConflictGraph::build(&topo, InterferenceModel::PrimaryOnly);
+        let l01 = link(&topo, 0, 1);
+        let l10 = link(&topo, 1, 0);
+        let l12 = link(&topo, 1, 2);
+        assert!(cg.are_in_conflict(l01, l10));
+        assert!(cg.are_in_conflict(l01, l12));
+        assert_eq!(cg.vertex_count(), 4);
+        // All 4 links share node 1, so the graph is complete: C(4,2)=6 edges.
+        assert_eq!(cg.edge_count(), 6);
+    }
+
+    #[test]
+    fn chain_secondary_conflicts() {
+        let topo = generators::chain(5);
+        let cg = ConflictGraph::build(&topo, InterferenceModel::protocol_default());
+        let l01 = link(&topo, 0, 1);
+        let l23 = link(&topo, 2, 3);
+        let l34 = link(&topo, 3, 4);
+        let l43 = link(&topo, 4, 3);
+        // tx=2 of l23 is 1 hop from rx=1 of l01: secondary conflict.
+        assert!(cg.are_in_conflict(l01, l23));
+        // l34: tx=3 is 2 hops from rx=1; l01: tx=0 is 3 hops from rx=4. No conflict.
+        assert!(!cg.are_in_conflict(l01, l34));
+        // l43: tx 4 is 3 hops from rx 1 of l01; tx 0 of l01 is 3 hops from rx 3. OK together.
+        assert!(!cg.are_in_conflict(l01, l43));
+    }
+
+    #[test]
+    fn symmetric_and_irreflexive() {
+        let topo = generators::grid(3, 3);
+        let cg = ConflictGraph::build(&topo, InterferenceModel::protocol_default());
+        for i in 0..cg.vertex_count() {
+            assert!(!cg.neighbors(i).contains(&i), "self-conflict at {i}");
+            for &j in cg.neighbors(i) {
+                assert!(cg.neighbors(j).contains(&i), "asymmetric edge {i}-{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_edges_iter() {
+        let topo = generators::grid(3, 2);
+        let cg = ConflictGraph::build(&topo, InterferenceModel::protocol_default());
+        assert_eq!(cg.edges().count(), cg.edge_count());
+    }
+
+    #[test]
+    fn subset_restriction() {
+        let topo = generators::chain(5);
+        let l01 = link(&topo, 0, 1);
+        let l12 = link(&topo, 1, 2);
+        let l34 = link(&topo, 3, 4);
+        let cg = ConflictGraph::build_for_links(
+            &topo,
+            vec![l01, l12, l34],
+            InterferenceModel::protocol_default(),
+        );
+        assert_eq!(cg.vertex_count(), 3);
+        assert!(cg.are_in_conflict(l01, l12));
+        assert!(!cg.are_in_conflict(l01, l34));
+        // Links outside the subset report no conflicts.
+        let l23 = link(&topo, 2, 3);
+        assert!(cg.conflicts_of(l23).is_empty());
+        assert!(!cg.are_in_conflict(l01, l23));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_active_link_panics() {
+        let topo = generators::chain(3);
+        let l01 = link(&topo, 0, 1);
+        let _ = ConflictGraph::build_for_links(
+            &topo,
+            vec![l01, l01],
+            InterferenceModel::PrimaryOnly,
+        );
+    }
+
+    #[test]
+    fn distance_model_uses_positions() {
+        // Two parallel hops 1000 m apart: no secondary conflict at 300 m
+        // interference range, conflict at 2000 m.
+        let mut topo = MeshTopology::new();
+        let a = topo.add_node_at(0.0, 0.0);
+        let b = topo.add_node_at(200.0, 0.0);
+        let c = topo.add_node_at(0.0, 1000.0);
+        let d = topo.add_node_at(200.0, 1000.0);
+        let ab = topo.add_link(a, b).unwrap();
+        let cd = topo.add_link(c, d).unwrap();
+        let near = ConflictGraph::build(&topo, InterferenceModel::Distance { range_m: 300.0 });
+        assert!(!near.are_in_conflict(ab, cd));
+        let far = ConflictGraph::build(&topo, InterferenceModel::Distance { range_m: 2000.0 });
+        assert!(far.are_in_conflict(ab, cd));
+    }
+
+    #[test]
+    fn wider_protocol_radius_adds_conflicts() {
+        let topo = generators::chain(6);
+        let h1 = ConflictGraph::build(&topo, InterferenceModel::Protocol { hops: 1 });
+        let h2 = ConflictGraph::build(&topo, InterferenceModel::Protocol { hops: 2 });
+        assert!(h2.edge_count() > h1.edge_count());
+        // Every h1 conflict is also an h2 conflict (monotonicity).
+        for (i, j) in h1.edges() {
+            assert!(h2
+                .are_in_conflict(h1.link_at(i), h1.link_at(j)));
+        }
+    }
+
+    #[test]
+    fn disjoint_star_arms_conflict_through_center() {
+        let topo = generators::star(4);
+        let cg = ConflictGraph::build(&topo, InterferenceModel::protocol_default());
+        let l10 = link(&topo, 1, 0);
+        let l20 = link(&topo, 2, 0);
+        // Both arms terminate at the center: primary conflict.
+        assert!(cg.are_in_conflict(l10, l20));
+        // Leaf-to-leaf "parallel" transmissions 1->0 and 0->2 share node 0.
+        let l02 = link(&topo, 0, 2);
+        assert!(cg.are_in_conflict(l10, l02));
+    }
+
+    #[test]
+    fn max_degree_reasonable() {
+        let topo = generators::chain(4);
+        let cg = ConflictGraph::build(&topo, InterferenceModel::PrimaryOnly);
+        // Each link conflicts with at most all links at its two endpoints.
+        assert!(cg.max_degree() < cg.vertex_count());
+        assert!(cg.max_degree() >= 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: conflict graphs are well-formed for arbitrary
+//! topologies and interference radii; colorings and clique covers stay
+//! structurally valid.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wimesh_conflict::{
+    greedy_clique_cover, greedy_coloring, maximal_clique_containing, ConflictGraph,
+    InterferenceModel,
+};
+use wimesh_topology::{generators, MeshTopology};
+
+fn arb_topology() -> impl Strategy<Value = MeshTopology> {
+    (2usize..14, any::<u64>(), 0usize..8).prop_map(|(n, seed, extra)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut topo = generators::random_tree(n, &mut rng);
+        use rand::Rng;
+        for _ in 0..extra {
+            let a = wimesh_topology::NodeId(rng.gen_range(0..n as u32));
+            let b = wimesh_topology::NodeId(rng.gen_range(0..n as u32));
+            if a != b && topo.link_between(a, b).is_none() {
+                topo.add_bidirectional(a, b).expect("checked");
+            }
+        }
+        topo
+    })
+}
+
+fn arb_model() -> impl Strategy<Value = InterferenceModel> {
+    prop_oneof![
+        Just(InterferenceModel::PrimaryOnly),
+        (1usize..4).prop_map(|hops| InterferenceModel::Protocol { hops }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_is_symmetric_irreflexive((topo, model) in (arb_topology(), arb_model())) {
+        let cg = ConflictGraph::build(&topo, model);
+        prop_assert_eq!(cg.vertex_count(), topo.link_count());
+        for i in 0..cg.vertex_count() {
+            prop_assert!(!cg.neighbors(i).contains(&i));
+            for &j in cg.neighbors(i) {
+                prop_assert!(cg.neighbors(j).contains(&i));
+            }
+        }
+        prop_assert_eq!(cg.edges().count(), cg.edge_count());
+    }
+
+    #[test]
+    fn primary_conflicts_always_present((topo, model) in (arb_topology(), arb_model())) {
+        let cg = ConflictGraph::build(&topo, model);
+        // Any two links sharing an endpoint must conflict under every model.
+        for a in topo.links() {
+            for b in topo.links() {
+                if a.id != b.id && a.shares_endpoint(b) {
+                    prop_assert!(
+                        cg.are_in_conflict(a.id, b.id),
+                        "links {} and {} share a node but do not conflict",
+                        a.id, b.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_radius_only_adds_edges(topo in arb_topology()) {
+        let h1 = ConflictGraph::build(&topo, InterferenceModel::Protocol { hops: 1 });
+        let h2 = ConflictGraph::build(&topo, InterferenceModel::Protocol { hops: 2 });
+        prop_assert!(h2.edge_count() >= h1.edge_count());
+        for (i, j) in h1.edges() {
+            prop_assert!(h2.are_in_conflict(h1.link_at(i), h1.link_at(j)));
+        }
+    }
+
+    #[test]
+    fn coloring_is_proper((topo, model) in (arb_topology(), arb_model())) {
+        let cg = ConflictGraph::build(&topo, model);
+        let coloring = greedy_coloring(&cg);
+        prop_assert!(coloring.is_proper(&cg));
+        prop_assert!(coloring.color_count() <= cg.max_degree() + 1);
+    }
+
+    #[test]
+    fn clique_cover_is_partition_of_cliques((topo, model) in (arb_topology(), arb_model())) {
+        let cg = ConflictGraph::build(&topo, model);
+        let cover = greedy_clique_cover(&cg);
+        let mut seen = vec![false; cg.vertex_count()];
+        for clique in &cover {
+            for (i, &u) in clique.iter().enumerate() {
+                prop_assert!(!seen[u]);
+                seen[u] = true;
+                for &v in &clique[i + 1..] {
+                    prop_assert!(cg.neighbors(u).binary_search(&v).is_ok());
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn maximal_cliques_are_maximal((topo, model) in (arb_topology(), arb_model())) {
+        let cg = ConflictGraph::build(&topo, model);
+        if cg.vertex_count() == 0 {
+            return Ok(());
+        }
+        let clique = maximal_clique_containing(&cg, 0);
+        for v in 0..cg.vertex_count() {
+            if clique.contains(&v) {
+                continue;
+            }
+            let adj_all = clique
+                .iter()
+                .all(|&u| cg.neighbors(v).binary_search(&u).is_ok());
+            prop_assert!(!adj_all, "vertex {} extends the 'maximal' clique", v);
+        }
+    }
+}

@@ -1,0 +1,562 @@
+//! Admission control: the linear minislot search over a scheduling
+//! feasibility oracle.
+//!
+//! Guaranteed flows are admitted sequentially. For each candidate the
+//! controller:
+//!
+//! 1. routes it (minimum-hop path),
+//! 2. maps its reserved rate to a per-link minislot demand through the
+//!    emulation capacity model,
+//! 3. converts its wall-clock deadline into a pipeline-delay budget in
+//!    minislots (subtracting the worst-case source wait of one mesh frame
+//!    and the control subframes the packet can straddle), and
+//! 4. asks the scheduling oracle whether *all* accepted flows plus the
+//!    candidate fit: for the heuristic order policies the oracle is
+//!    Bellman–Ford schedule construction plus a delay check; for
+//!    [`OrderPolicy::ExactMilp`] it is a **linear search for the minimum
+//!    number of minislots** whose feasibility test is the integer program
+//!    of [`wimesh_tdma::milp`] — the optimization the companion paper
+//!    describes.
+//!
+//! Minislots not claimed by the guaranteed region remain for best-effort
+//! traffic.
+
+use std::time::Duration;
+
+use wimesh_conflict::{greedy_clique_cover, ConflictGraph, InterferenceModel};
+use wimesh_emu::EmulationModel;
+use wimesh_milp::SolverConfig;
+use wimesh_tdma::milp::{feasible_order_within, PathRequirement};
+use wimesh_tdma::{
+    delay, min_slots_for_order, order, schedule_from_order, Demands, Schedule, ScheduleError,
+    TransmissionOrder,
+};
+use wimesh_topology::routing::{shortest_path, GatewayRouting, Path};
+use wimesh_topology::{MeshTopology, NodeId};
+
+use crate::{FlowSpec, QosError};
+
+/// How transmission orders are chosen during admission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum OrderPolicy {
+    /// Greedy delay-aware heuristic: links ordered by hop position.
+    HopOrder,
+    /// Polynomial overlay-tree ordering toward a gateway (optimal for
+    /// tree routing).
+    TreeOrder {
+        /// The tree root.
+        gateway: NodeId,
+    },
+    /// Exact minimum-minislot search with the MILP feasibility oracle.
+    ExactMilp,
+}
+
+/// Why a flow was not admitted.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// No route between the flow's endpoints.
+    NoRoute,
+    /// The deadline is smaller than one mesh frame plus fixed overheads —
+    /// no schedule could ever meet it.
+    DeadlineTooTight,
+    /// No conflict-free schedule meets all deadlines with this flow
+    /// added.
+    Infeasible,
+    /// The MILP oracle gave up (limits); the flow is rejected
+    /// conservatively.
+    SolverLimit(String),
+}
+
+/// An admitted flow with its reservation and delay bound.
+#[derive(Debug, Clone)]
+pub struct AdmittedFlow {
+    /// The original request.
+    pub spec: FlowSpec,
+    /// The route the reservation follows.
+    pub path: Path,
+    /// Minislots reserved per frame on every link of the path.
+    pub slots_per_link: u32,
+    /// Hard worst-case end-to-end delay under the final schedule
+    /// (source wait + pipeline + control subframes).
+    pub worst_case_delay: Duration,
+}
+
+/// The result of an admission run.
+#[derive(Debug, Clone)]
+pub struct AdmissionOutcome {
+    /// Flows admitted, with reservations.
+    pub admitted: Vec<AdmittedFlow>,
+    /// Flows rejected, with reasons, in input order.
+    pub rejected: Vec<(FlowSpec, RejectReason)>,
+    /// The final conflict-free schedule for all admitted flows.
+    pub schedule: Schedule,
+    /// The transmission order realising it.
+    pub order: TransmissionOrder,
+    /// Minislots consumed by the guaranteed region (the makespan).
+    pub guaranteed_slots: u32,
+}
+
+impl AdmissionOutcome {
+    /// Minislots per frame left for best-effort traffic.
+    pub fn best_effort_slots(&self) -> u32 {
+        self.schedule.frame().slots() - self.guaranteed_slots
+    }
+}
+
+/// Internal working state: currently accepted flows.
+struct Accepted {
+    spec: FlowSpec,
+    path: Path,
+    slots_per_link: u32,
+}
+
+#[allow(clippy::too_many_arguments)] // internal plumbing behind MeshQos
+pub(crate) fn admit(
+    topo: &MeshTopology,
+    model: &EmulationModel,
+    interference: InterferenceModel,
+    link_payloads: &[u32],
+    loss_provisioning: f64,
+    flows: &[FlowSpec],
+    policy: OrderPolicy,
+    solver: &SolverConfig,
+) -> Result<AdmissionOutcome, QosError> {
+    let routed: Vec<(FlowSpec, Option<Path>)> = flows
+        .iter()
+        .map(|spec| {
+            let path = shortest_path(topo, spec.src, spec.dst).ok();
+            (spec.clone(), path)
+        })
+        .collect();
+    admit_routed(
+        topo,
+        model,
+        interference,
+        link_payloads,
+        loss_provisioning,
+        &routed,
+        policy,
+        solver,
+    )
+}
+
+/// Admission over caller-supplied routes: `None` paths are rejected with
+/// [`RejectReason::NoRoute`]. This is the entry point for multipath
+/// admission (subflows over edge-disjoint paths) and any custom routing.
+#[allow(clippy::too_many_arguments)] // internal plumbing behind MeshQos
+pub(crate) fn admit_routed(
+    topo: &MeshTopology,
+    model: &EmulationModel,
+    interference: InterferenceModel,
+    link_payloads: &[u32],
+    loss_provisioning: f64,
+    flows: &[(FlowSpec, Option<Path>)],
+    policy: OrderPolicy,
+    solver: &SolverConfig,
+) -> Result<AdmissionOutcome, QosError> {
+    let frame = model.frame();
+    let mesh_frame = model.mesh_frame();
+    let ctrl = mesh_frame.ctrl_duration();
+    let slot = Duration::from_micros(frame.slot_duration_us());
+
+    let mut accepted: Vec<Accepted> = Vec::new();
+    let mut rejected: Vec<(FlowSpec, RejectReason)> = Vec::new();
+    let mut best: Option<(Schedule, TransmissionOrder, u32)> = None;
+
+    for (spec, maybe_path) in flows {
+        // `<= 0.0 || NaN` spelled to reject non-finite rates too.
+        if spec.rate_bps <= 0.0 || spec.rate_bps.is_nan() {
+            return Err(QosError::InvalidRate { flow: spec.id.0 });
+        }
+        let path = match maybe_path {
+            Some(p) => {
+                // Routes must actually start and end at the flow's
+                // endpoints.
+                if p.source() != spec.src || p.destination() != spec.dst {
+                    rejected.push((spec.clone(), RejectReason::NoRoute));
+                    continue;
+                }
+                p.clone()
+            }
+            None => {
+                rejected.push((spec.clone(), RejectReason::NoRoute));
+                continue;
+            }
+        };
+        // Deadline budget in pipeline minislots.
+        if let Some(deadline) = spec.deadline {
+            if pipeline_budget_slots(deadline, &path, mesh_frame.frame_duration(), ctrl, slot)
+                .is_none()
+            {
+                rejected.push((spec.clone(), RejectReason::DeadlineTooTight));
+                continue;
+            }
+        }
+        // Under rate adaptation the reservation differs per link; report
+        // the largest one along the path. Loss provisioning scales the
+        // *slot count* by the expected retransmission factor — a failed
+        // minislot needs a spare minislot, not spare bytes.
+        let scale = 1.0 / (1.0 - loss_provisioning);
+        let slots_per_link = path
+            .links()
+            .iter()
+            .map(|&l| {
+                let base = model.slots_for_load_at(
+                    spec.rate_bps,
+                    spec.burst_bytes as u64,
+                    link_payloads[l.index()],
+                );
+                (base as f64 * scale).ceil() as u32
+            })
+            .max()
+            .unwrap_or(1);
+        let candidate = Accepted {
+            spec: spec.clone(),
+            path,
+            slots_per_link,
+        };
+        let trial: Vec<&Accepted> = accepted.iter().chain(std::iter::once(&candidate)).collect();
+        match try_schedule(
+            topo,
+            model,
+            interference,
+            link_payloads,
+            loss_provisioning,
+            &trial,
+            policy,
+            solver,
+        ) {
+            Ok((schedule, ord, used)) => {
+                accepted.push(candidate);
+                best = Some((schedule, ord, used));
+            }
+            Err(ScheduleError::Infeasible)
+            | Err(ScheduleError::FrameTooShort { .. })
+            | Err(ScheduleError::OrderCycle { .. }) => {
+                rejected.push((spec.clone(), RejectReason::Infeasible));
+            }
+            Err(ScheduleError::SolverFailed(msg)) => {
+                rejected.push((spec.clone(), RejectReason::SolverLimit(msg)));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    let (schedule, order, guaranteed_slots) = match best {
+        Some(b) => b,
+        None => (
+            Schedule::from_ranges(frame, Default::default())?,
+            TransmissionOrder::new(),
+            0,
+        ),
+    };
+
+    // Final hard delay bounds from the actual schedule.
+    let mut admitted = Vec::with_capacity(accepted.len());
+    for a in accepted {
+        let pipeline = delay::path_delay_slots(&schedule, &a.path)
+            .expect("admitted paths are fully scheduled");
+        let wraps = delay::frame_wraps(&schedule, &a.path).expect("scheduled");
+        let worst_case_delay = mesh_frame.frame_duration()
+            + frame.slots_to_duration(pipeline)
+            + ctrl * wraps as u32;
+        admitted.push(AdmittedFlow {
+            spec: a.spec,
+            path: a.path,
+            slots_per_link: a.slots_per_link,
+            worst_case_delay,
+        });
+    }
+
+    Ok(AdmissionOutcome {
+        admitted,
+        rejected,
+        schedule,
+        order,
+        guaranteed_slots,
+    })
+}
+
+/// Pipeline-delay budget in minislots for `deadline`, or `None` when the
+/// fixed overheads alone exceed it.
+///
+/// `deadline >= mesh_frame (source wait) + pipeline*slot + wraps*ctrl`,
+/// bounded with `wraps <= hops - 1`.
+fn pipeline_budget_slots(
+    deadline: Duration,
+    path: &Path,
+    mesh_frame_duration: Duration,
+    ctrl: Duration,
+    slot: Duration,
+) -> Option<u64> {
+    let max_wraps = path.hop_count().saturating_sub(1) as u32;
+    let fixed = mesh_frame_duration + ctrl * max_wraps;
+    if deadline <= fixed {
+        return None;
+    }
+    let budget = deadline - fixed;
+    Some((budget.as_nanos() / slot.as_nanos()) as u64)
+}
+
+/// Tries to schedule all `flows` under `policy`, returning the schedule,
+/// the order, and the guaranteed-region size in minislots.
+#[allow(clippy::too_many_arguments)] // internal plumbing behind MeshQos
+fn try_schedule(
+    topo: &MeshTopology,
+    model: &EmulationModel,
+    interference: InterferenceModel,
+    link_payloads: &[u32],
+    loss_provisioning: f64,
+    flows: &[&Accepted],
+    policy: OrderPolicy,
+    solver: &SolverConfig,
+) -> Result<(Schedule, TransmissionOrder, u32), ScheduleError> {
+    let frame = model.frame();
+    let mesh_frame = model.mesh_frame();
+    let ctrl = mesh_frame.ctrl_duration();
+    let slot = Duration::from_micros(frame.slot_duration_us());
+
+    // Aggregate rates and bursts per link before rounding to minislots:
+    // flows sharing a link share its reservation, so the demand is the
+    // ceiling of `sum(sigma) + sum(rho) * T` (one tiny flow does not
+    // consume a whole minislot on every link it crosses, yet the range
+    // can absorb a simultaneous burst from every sharer).
+    let mut load_per_link: std::collections::BTreeMap<wimesh_topology::LinkId, (f64, u64)> =
+        std::collections::BTreeMap::new();
+    for f in flows {
+        for &l in f.path.links() {
+            let e = load_per_link.entry(l).or_insert((0.0, 0));
+            e.0 += f.spec.rate_bps;
+            e.1 += f.spec.burst_bytes as u64;
+        }
+    }
+    // Retransmission headroom is bought in minislots: scale the slot
+    // count, not the byte load (one lost packet costs a whole slot).
+    let scale = 1.0 / (1.0 - loss_provisioning);
+    let mut demands = Demands::new();
+    for (l, (rate, burst)) in load_per_link {
+        let base = model.slots_for_load_at(rate, burst, link_payloads[l.index()]);
+        demands.set(l, (base as f64 * scale).ceil() as u32);
+    }
+    if demands.is_empty() {
+        let schedule = Schedule::from_ranges(frame, Default::default())?;
+        return Ok((schedule, TransmissionOrder::new(), 0));
+    }
+    let graph = ConflictGraph::build_for_links(topo, demands.links().collect(), interference);
+
+    let budget = |f: &Accepted| -> Option<u64> {
+        f.spec.deadline.and_then(|d| {
+            pipeline_budget_slots(d, &f.path, mesh_frame.frame_duration(), ctrl, slot)
+        })
+    };
+
+    match policy {
+        OrderPolicy::HopOrder | OrderPolicy::TreeOrder { .. } => {
+            let paths: Vec<Path> = flows.iter().map(|f| f.path.clone()).collect();
+            let ord = match policy {
+                OrderPolicy::HopOrder => order::hop_order(&graph, &paths),
+                OrderPolicy::TreeOrder { gateway } => {
+                    let routing = GatewayRouting::new(topo, gateway)
+                        .map_err(|e| ScheduleError::SolverFailed(e.to_string()))?;
+                    order::tree_order(topo, &routing, &graph)
+                }
+                OrderPolicy::ExactMilp => unreachable!(),
+            };
+            let used = min_slots_for_order(&graph, &demands, &ord)?;
+            if used > frame.slots() {
+                return Err(ScheduleError::FrameTooShort {
+                    needed: used,
+                    available: frame.slots(),
+                });
+            }
+            let schedule = schedule_from_order(&graph, &demands, &ord, frame)?;
+            for f in flows {
+                if let Some(b) = budget(f) {
+                    let d = delay::path_delay_slots(&schedule, &f.path)
+                        .ok_or(ScheduleError::Infeasible)?;
+                    if d > b {
+                        return Err(ScheduleError::Infeasible);
+                    }
+                }
+            }
+            Ok((schedule, ord, used))
+        }
+        OrderPolicy::ExactMilp => {
+            let reqs: Vec<PathRequirement> = flows
+                .iter()
+                .map(|f| PathRequirement {
+                    path: f.path.clone(),
+                    deadline_slots: budget(f),
+                })
+                .collect();
+            // Linear search from the clique-cover lower bound: any clique
+            // of conflicting links must be served sequentially.
+            let cover = greedy_clique_cover(&graph);
+            let lower = cover
+                .iter()
+                .map(|clique| {
+                    clique
+                        .iter()
+                        .map(|&v| demands.get(graph.link_at(v)))
+                        .sum::<u32>()
+                })
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            for used in lower..=frame.slots() {
+                match feasible_order_within(&graph, &demands, &reqs, frame, used, solver) {
+                    Ok(sol) => return Ok((sol.schedule, sol.order, used)),
+                    Err(ScheduleError::Infeasible) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(ScheduleError::Infeasible)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MeshQos;
+    use wimesh_emu::EmulationParams;
+    use wimesh_sim::traffic::VoipCodec;
+    use wimesh_topology::generators;
+
+    fn mesh(n: usize) -> MeshQos {
+        MeshQos::new(generators::chain(n), EmulationParams::default()).unwrap()
+    }
+
+    #[test]
+    fn admits_single_voip_call() {
+        let mesh = mesh(4);
+        let flows = vec![FlowSpec::voip(0, NodeId(3), NodeId(0), VoipCodec::G711)];
+        let out = mesh.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        assert_eq!(out.admitted.len(), 1);
+        assert!(out.rejected.is_empty());
+        assert!(out.guaranteed_slots >= 3);
+        assert!(out.best_effort_slots() > 0);
+        let f = &out.admitted[0];
+        assert!(f.worst_case_delay <= f.spec.deadline.unwrap());
+    }
+
+    #[test]
+    fn rejects_unroutable_flow() {
+        let mut topo = generators::chain(3);
+        let isolated = topo.add_node();
+        let mesh = MeshQos::new(topo, EmulationParams::default()).unwrap();
+        let flows = vec![FlowSpec::voip(0, isolated, NodeId(0), VoipCodec::G729)];
+        let out = mesh.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        assert!(out.admitted.is_empty());
+        assert_eq!(out.rejected[0].1, RejectReason::NoRoute);
+    }
+
+    #[test]
+    fn rejects_impossible_deadline() {
+        let mesh = mesh(4);
+        let flows = vec![FlowSpec::guaranteed(
+            0,
+            NodeId(3),
+            NodeId(0),
+            64_000.0,
+            Duration::from_millis(1), // less than one mesh frame
+        )];
+        let out = mesh.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        assert_eq!(out.rejected[0].1, RejectReason::DeadlineTooTight);
+    }
+
+    #[test]
+    fn capacity_exhaustion_rejects_later_flows() {
+        let mesh = mesh(3);
+        // Each 2 Mbit/s flow over 2 hops eats many minislots (rate plus
+        // burst provisioning); pile them on
+        // until the frame is full.
+        let flows: Vec<FlowSpec> = (0..12)
+            .map(|i| {
+                FlowSpec::guaranteed(
+                    i,
+                    NodeId(2),
+                    NodeId(0),
+                    2_000_000.0,
+                    Duration::from_millis(200),
+                )
+            })
+            .collect();
+        let out = mesh.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        assert!(!out.admitted.is_empty(), "at least one flow must fit");
+        assert!(!out.rejected.is_empty(), "overload must reject something");
+        assert!(out
+            .rejected
+            .iter()
+            .all(|(_, r)| *r == RejectReason::Infeasible));
+        // The schedule stays valid for the admitted subset.
+        assert!(out.guaranteed_slots <= mesh.model().frame().slots());
+    }
+
+    #[test]
+    fn exact_policy_admits_no_less_than_heuristic() {
+        let mesh = mesh(5);
+        let flows: Vec<FlowSpec> = (0..3)
+            .map(|i| FlowSpec::voip(i, NodeId(4), NodeId(0), VoipCodec::G729))
+            .collect();
+        let heuristic = mesh.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        let exact = mesh.admit(&flows, OrderPolicy::ExactMilp).unwrap();
+        assert!(exact.admitted.len() >= heuristic.admitted.len());
+        // The exact search never uses more guaranteed slots.
+        if exact.admitted.len() == heuristic.admitted.len() {
+            assert!(exact.guaranteed_slots <= heuristic.guaranteed_slots);
+        }
+    }
+
+    #[test]
+    fn tree_policy_on_gateway_tree() {
+        let topo = generators::binary_tree(2);
+        let mesh = MeshQos::new(topo, EmulationParams::default()).unwrap();
+        let flows: Vec<FlowSpec> = (3..7)
+            .map(|i| FlowSpec::voip(i, NodeId(i), NodeId(0), VoipCodec::G729))
+            .collect();
+        let out = mesh
+            .admit(&flows, OrderPolicy::TreeOrder { gateway: NodeId(0) })
+            .unwrap();
+        assert_eq!(out.admitted.len(), 4, "rejected: {:?}", out.rejected);
+        for f in &out.admitted {
+            assert!(f.worst_case_delay <= f.spec.deadline.unwrap());
+        }
+    }
+
+    #[test]
+    fn best_effort_flow_gets_bandwidth_but_no_deadline() {
+        let mesh = mesh(3);
+        let flows = vec![
+            FlowSpec::voip(0, NodeId(2), NodeId(0), VoipCodec::G711),
+            FlowSpec::best_effort(1, NodeId(0), NodeId(2), 500_000.0),
+        ];
+        let out = mesh.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        assert_eq!(out.admitted.len(), 2);
+    }
+
+    #[test]
+    fn invalid_rate_is_an_error() {
+        let mesh = mesh(3);
+        let flows = vec![FlowSpec::best_effort(0, NodeId(0), NodeId(2), 0.0)];
+        assert!(matches!(
+            mesh.admit(&flows, OrderPolicy::HopOrder),
+            Err(QosError::InvalidRate { flow: 0 })
+        ));
+    }
+
+    #[test]
+    fn empty_input_empty_outcome() {
+        let mesh = mesh(3);
+        let out = mesh.admit(&[], OrderPolicy::HopOrder).unwrap();
+        assert!(out.admitted.is_empty());
+        assert!(out.rejected.is_empty());
+        assert_eq!(out.guaranteed_slots, 0);
+        assert_eq!(
+            out.best_effort_slots(),
+            mesh.model().frame().slots()
+        );
+    }
+}

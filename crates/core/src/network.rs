@@ -1,0 +1,452 @@
+//! The high-level façade: a mesh with an emulated WiMAX MAC.
+
+use std::time::Duration;
+
+use rand::Rng;
+use wimesh_conflict::InterferenceModel;
+use wimesh_emu::tdma::{TdmaFlow, TdmaSimulation};
+use wimesh_emu::{EmulationModel, EmulationParams};
+use wimesh_milp::SolverConfig;
+use wimesh_phy80211::dcf::{DcfConfig, DcfFlow, DcfSimulation};
+use wimesh_phy80211::RateTable;
+use wimesh_sim::traffic::TrafficSource;
+use wimesh_sim::FlowStats;
+use wimesh_topology::routing::{shortest_path, Path};
+use wimesh_topology::{MeshTopology, NodeId};
+
+use crate::admission::{self, AdmissionOutcome, OrderPolicy};
+use crate::{FlowSpec, QosError};
+
+/// How per-link PHY rates (and thus per-minislot capacities) are chosen.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RatePolicy {
+    /// Every link runs the emulation model's single configured rate.
+    Uniform,
+    /// Each link runs the highest rate its length supports per the table;
+    /// minislot capacity then differs per link.
+    DistanceAdaptive(RateTable),
+}
+
+/// A mesh network running the emulated 802.16 TDMA MAC over WiFi
+/// hardware.
+///
+/// Owns the topology and the emulation capacity model; provides admission
+/// control ([`MeshQos::admit`]) and packet-level validation of its
+/// guarantees against both the emulated MAC ([`MeshQos::simulate_tdma`])
+/// and native 802.11 DCF ([`MeshQos::simulate_dcf`]).
+///
+/// See the [crate documentation](crate) for a complete example.
+#[derive(Debug, Clone)]
+pub struct MeshQos {
+    topo: MeshTopology,
+    model: EmulationModel,
+    interference: InterferenceModel,
+    solver: SolverConfig,
+    /// Per-link minislot payload in bytes, indexed by `LinkId`.
+    link_payloads: Vec<u32>,
+    /// Expected per-transmission channel loss the reservations are
+    /// over-provisioned for (demands scale by `1/(1-p)`).
+    loss_provisioning: f64,
+}
+
+impl MeshQos {
+    /// Builds the mesh with the default 1-hop protocol interference
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// [`QosError::Emulation`] when the emulation parameters cannot
+    /// produce a usable minislot (guard too large, slot too short).
+    pub fn new(topo: MeshTopology, params: EmulationParams) -> Result<Self, QosError> {
+        Self::with_interference(topo, params, InterferenceModel::protocol_default())
+    }
+
+    /// Builds the mesh with an explicit interference model.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MeshQos::new`].
+    pub fn with_interference(
+        topo: MeshTopology,
+        params: EmulationParams,
+        interference: InterferenceModel,
+    ) -> Result<Self, QosError> {
+        Self::with_rate_policy(topo, params, interference, RatePolicy::Uniform)
+    }
+
+    /// Builds the mesh with an explicit interference model and per-link
+    /// rate policy.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`MeshQos::new`]'s conditions,
+    /// [`QosError::LinkBeyondRange`] when
+    /// [`RatePolicy::DistanceAdaptive`] finds a link longer than the base
+    /// rate's reach, and [`QosError::Emulation`] when a link's adapted
+    /// rate leaves no room in the minislot.
+    pub fn with_rate_policy(
+        topo: MeshTopology,
+        params: EmulationParams,
+        interference: InterferenceModel,
+        rates: RatePolicy,
+    ) -> Result<Self, QosError> {
+        let model = EmulationModel::new(params)?;
+        let mut link_payloads = vec![model.slot_payload_bytes(); topo.link_count()];
+        if let RatePolicy::DistanceAdaptive(table) = &rates {
+            for link in topo.links() {
+                let a = topo.node(link.tx).expect("links reference valid nodes");
+                let b = topo.node(link.rx).expect("links reference valid nodes");
+                let d = a.distance_to(b);
+                let rate = table
+                    .rate_for_distance(d)
+                    .ok_or(QosError::LinkBeyondRange { link: link.id })?;
+                link_payloads[link.id.index()] = model.payload_for_rate(rate)?;
+            }
+        }
+        Ok(Self {
+            topo,
+            model,
+            interference,
+            solver: SolverConfig::default(),
+            link_payloads,
+            loss_provisioning: 0.0,
+        })
+    }
+
+    /// Over-provisions every reservation for an expected per-transmission
+    /// channel loss `p`: demands scale by `1/(1-p)`, giving retries
+    /// in-frame headroom so the delay tail under loss stays near the
+    /// clean-channel bound (see experiment E13).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is within `[0, 0.9]`.
+    pub fn set_loss_provisioning(&mut self, p: f64) {
+        assert!((0.0..=0.9).contains(&p), "loss provisioning must be in [0, 0.9]");
+        self.loss_provisioning = p;
+    }
+
+    /// Payload bytes one minislot carries on `link` under the rate
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is not in the topology.
+    pub fn link_payload(&self, link: wimesh_topology::LinkId) -> u32 {
+        self.link_payloads[link.index()]
+    }
+
+    /// Overrides the MILP solver configuration (node limits etc.).
+    pub fn set_solver_config(&mut self, solver: SolverConfig) {
+        self.solver = solver;
+    }
+
+    /// The mesh topology.
+    pub fn topology(&self) -> &MeshTopology {
+        &self.topo
+    }
+
+    /// The derived emulation capacity model.
+    pub fn model(&self) -> &EmulationModel {
+        &self.model
+    }
+
+    /// The interference model used for conflict graphs.
+    pub fn interference(&self) -> InterferenceModel {
+        self.interference
+    }
+
+    /// Runs admission control over `flows` (in order) under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`QosError::InvalidRate`] for non-positive rates; scheduling and
+    /// solver failures other than plain infeasibility (which is reported
+    /// per flow in the outcome, not as an error).
+    pub fn admit(
+        &self,
+        flows: &[FlowSpec],
+        policy: OrderPolicy,
+    ) -> Result<AdmissionOutcome, QosError> {
+        admission::admit(
+            &self.topo,
+            &self.model,
+            self.interference,
+            &self.link_payloads,
+            self.loss_provisioning,
+            flows,
+            policy,
+            &self.solver,
+        )
+    }
+
+    /// Admission over caller-supplied routes (`None` = reject as
+    /// unroutable). The entry point for multipath admission — see
+    /// [`crate::multipath::split_over_disjoint_paths`] — and any custom
+    /// routing policy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MeshQos::admit`].
+    pub fn admit_routed(
+        &self,
+        flows: &[(FlowSpec, Option<Path>)],
+        policy: OrderPolicy,
+    ) -> Result<AdmissionOutcome, QosError> {
+        admission::admit_routed(
+            &self.topo,
+            &self.model,
+            self.interference,
+            &self.link_payloads,
+            self.loss_provisioning,
+            flows,
+            policy,
+            &self.solver,
+        )
+    }
+
+    /// Simulates the admitted flows over the emulated TDMA MAC for
+    /// `duration`, with `make_source` supplying each flow's traffic
+    /// process.
+    ///
+    /// Returns per-flow statistics in `outcome.admitted` order.
+    ///
+    /// # Errors
+    ///
+    /// [`QosError::Emulation`] if the outcome's schedule does not cover a
+    /// flow path (cannot happen for outcomes produced by
+    /// [`MeshQos::admit`]).
+    pub fn simulate_tdma<R: Rng>(
+        &self,
+        outcome: &AdmissionOutcome,
+        mut make_source: impl FnMut(&FlowSpec) -> Box<dyn TrafficSource>,
+        duration: Duration,
+        queue_capacity: usize,
+        rng: &mut R,
+    ) -> Result<Vec<FlowStats>, QosError> {
+        let flows: Vec<TdmaFlow> = outcome
+            .admitted
+            .iter()
+            .map(|a| TdmaFlow {
+                id: a.spec.id,
+                path: a.path.clone(),
+                source: make_source(&a.spec),
+            })
+            .collect();
+        let payloads: std::collections::HashMap<_, _> = outcome
+            .schedule
+            .links()
+            .map(|l| (l, self.link_payloads[l.index()]))
+            .collect();
+        let mut sim = TdmaSimulation::new(self.model, &outcome.schedule, flows, queue_capacity)?
+            .with_link_payloads(&payloads);
+        sim.run(duration, rng);
+        Ok(sim.all_stats().to_vec())
+    }
+
+    /// Simulates the same flow set over native 802.11 DCF (the baseline
+    /// the paper compares against), using the same routes admission would
+    /// use.
+    ///
+    /// Returns per-flow statistics in `flows` order; unroutable flows are
+    /// skipped (their stats are absent), mirroring admission's `NoRoute`.
+    pub fn simulate_dcf<R: Rng>(
+        &self,
+        flows: &[FlowSpec],
+        mut make_source: impl FnMut(&FlowSpec) -> Box<dyn TrafficSource>,
+        config: DcfConfig,
+        duration: Duration,
+        rng: &mut R,
+    ) -> Vec<(FlowSpec, FlowStats)> {
+        let mut dcf_flows = Vec::new();
+        let mut kept = Vec::new();
+        for spec in flows {
+            let Ok(path) = shortest_path(&self.topo, spec.src, spec.dst) else {
+                continue;
+            };
+            let route: Vec<NodeId> = path.nodes().to_vec();
+            dcf_flows.push(DcfFlow {
+                id: spec.id,
+                route,
+                source: make_source(spec),
+            });
+            kept.push(spec.clone());
+        }
+        let mut sim = DcfSimulation::new(&self.topo, config, dcf_flows);
+        sim.run(duration, rng);
+        kept.into_iter()
+            .zip(sim.all_stats().iter().cloned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wimesh_sim::traffic::{VoipCodec, VoipSource};
+    use wimesh_topology::generators;
+
+    fn voip_source(spec: &FlowSpec) -> Box<dyn TrafficSource> {
+        let codec = if spec.rate_bps > 50_000.0 {
+            VoipCodec::G711
+        } else {
+            VoipCodec::G729
+        };
+        Box::new(VoipSource::new(codec))
+    }
+
+    #[test]
+    fn end_to_end_guarantee_holds_in_simulation() {
+        let topo = generators::chain(5);
+        let mesh = MeshQos::new(topo, EmulationParams::default()).unwrap();
+        let flows = vec![
+            FlowSpec::voip(0, NodeId(4), NodeId(0), VoipCodec::G711),
+            FlowSpec::voip(1, NodeId(2), NodeId(0), VoipCodec::G729),
+        ];
+        let outcome = mesh.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        assert_eq!(outcome.admitted.len(), 2);
+        let stats = mesh
+            .simulate_tdma(
+                &outcome,
+                voip_source,
+                Duration::from_secs(30),
+                200,
+                &mut StdRng::seed_from_u64(42),
+            )
+            .unwrap();
+        for (a, s) in outcome.admitted.iter().zip(&stats) {
+            assert_eq!(s.dropped(), 0, "guaranteed flow dropped packets");
+            assert!(
+                s.max_delay() <= a.worst_case_delay,
+                "flow {}: observed {:?} > bound {:?}",
+                a.spec.id,
+                s.max_delay(),
+                a.worst_case_delay
+            );
+        }
+    }
+
+    #[test]
+    fn dcf_baseline_runs_same_flows() {
+        let topo = generators::chain(4);
+        let mesh = MeshQos::new(topo, EmulationParams::default()).unwrap();
+        let flows = vec![FlowSpec::voip(0, NodeId(3), NodeId(0), VoipCodec::G711)];
+        // CBR keeps this smoke test independent of on/off luck.
+        let results = mesh.simulate_dcf(
+            &flows,
+            |_| Box::new(wimesh_sim::traffic::CbrSource::new(Duration::from_millis(20), 200)),
+            DcfConfig::default(),
+            Duration::from_secs(5),
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.delivered() > 200);
+    }
+
+    #[test]
+    fn distance_adaptive_rates_shape_capacity() {
+        use wimesh_phy80211::RateTable;
+        // Chain with 250 m spacing: links run a mid rate, not 54 Mbit/s.
+        let topo = generators::chain(4);
+        // Base rate reaching 350 m puts the 250 m chain links at
+        // 12 Mbit/s — slower than the uniform model's 24.
+        let table = RateTable::new(wimesh_phy80211::PhyStandard::Dot11a, 350.0, 3.0);
+        let mesh = MeshQos::with_rate_policy(
+            topo,
+            EmulationParams::default(),
+            InterferenceModel::protocol_default(),
+            RatePolicy::DistanceAdaptive(table),
+        )
+        .unwrap();
+        let uniform = MeshQos::new(generators::chain(4), EmulationParams::default()).unwrap();
+        let l = mesh
+            .topology()
+            .link_between(NodeId(0), NodeId(1))
+            .unwrap();
+        // 250 m at the default table is slower than 24 Mbit/s: capacity
+        // per minislot drops below the uniform model's.
+        assert!(mesh.link_payload(l) < uniform.link_payload(l));
+
+        // Admission still works end to end, with bigger reservations.
+        let flows = vec![crate::FlowSpec::voip(
+            0,
+            NodeId(3),
+            NodeId(0),
+            wimesh_sim::traffic::VoipCodec::G711,
+        )];
+        let slow = mesh.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        let fast = uniform.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        assert_eq!(slow.admitted.len(), 1);
+        assert!(slow.guaranteed_slots >= fast.guaranteed_slots);
+        // And the guarantee still holds in simulation.
+        let mut rng = StdRng::seed_from_u64(3);
+        let stats = mesh
+            .simulate_tdma(&slow, voip_source, Duration::from_secs(20), 100, &mut rng)
+            .unwrap();
+        assert_eq!(stats[0].dropped(), 0);
+        assert!(stats[0].max_delay() <= slow.admitted[0].worst_case_delay);
+    }
+
+    #[test]
+    fn overlong_link_rejected_by_rate_policy() {
+        use wimesh_phy80211::RateTable;
+        let mut topo = wimesh_topology::MeshTopology::new();
+        let a = topo.add_node_at(0.0, 0.0);
+        let b = topo.add_node_at(2_000.0, 0.0); // beyond 400 m base range
+        topo.add_bidirectional(a, b).unwrap();
+        let table = RateTable::mesh_default(wimesh_phy80211::PhyStandard::Dot11a);
+        assert!(matches!(
+            MeshQos::with_rate_policy(
+                topo,
+                EmulationParams::default(),
+                InterferenceModel::protocol_default(),
+                RatePolicy::DistanceAdaptive(table),
+            ),
+            Err(QosError::LinkBeyondRange { .. })
+        ));
+    }
+
+    #[test]
+    fn loss_provisioning_buys_headroom() {
+        let topo = generators::chain(4);
+        let mut provisioned = MeshQos::new(topo.clone(), EmulationParams::default()).unwrap();
+        provisioned.set_loss_provisioning(0.2);
+        let plain = MeshQos::new(topo, EmulationParams::default()).unwrap();
+        // 1.2 Mbit/s over 3 hops: 6 slots/link plain, 8 provisioned —
+        // both fit the 32-slot frame.
+        let flows = vec![crate::FlowSpec::guaranteed(
+            0,
+            NodeId(3),
+            NodeId(0),
+            1_200_000.0,
+            Duration::from_millis(200),
+        )];
+        let a = provisioned.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        let b = plain.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        assert_eq!(a.admitted.len(), 1);
+        assert!(a.guaranteed_slots > b.guaranteed_slots, "headroom costs slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss provisioning")]
+    fn loss_provisioning_bounds_checked() {
+        let mut mesh =
+            MeshQos::new(generators::chain(3), EmulationParams::default()).unwrap();
+        mesh.set_loss_provisioning(0.95);
+    }
+
+    #[test]
+    fn accessors() {
+        let topo = generators::chain(3);
+        let mesh = MeshQos::new(topo, EmulationParams::default()).unwrap();
+        assert_eq!(mesh.topology().node_count(), 3);
+        assert!(mesh.model().slot_payload_bytes() > 0);
+        assert_eq!(
+            mesh.interference(),
+            InterferenceModel::protocol_default()
+        );
+    }
+}

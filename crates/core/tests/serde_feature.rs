@@ -1,0 +1,27 @@
+//! Compile-time checks that the optional `serde` feature covers the data
+//! types users persist (schedules, flow specs, demands, identifiers).
+//!
+//! Run with `cargo test -p wimesh --features serde`.
+
+#![cfg(feature = "serde")]
+
+use wimesh::tdma::{Demands, FrameConfig, Schedule, SlotRange};
+use wimesh::FlowSpec;
+use wimesh_sim::{FlowId, SimTime};
+use wimesh_topology::{Link, LinkId, Node, NodeId};
+
+#[test]
+fn persistable_types_implement_serde() {
+    fn check<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+    check::<NodeId>();
+    check::<LinkId>();
+    check::<Node>();
+    check::<Link>();
+    check::<FrameConfig>();
+    check::<SlotRange>();
+    check::<Demands>();
+    check::<Schedule>();
+    check::<FlowId>();
+    check::<SimTime>();
+    check::<FlowSpec>();
+}

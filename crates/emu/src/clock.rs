@@ -1,0 +1,113 @@
+//! Drifting local clocks.
+
+use std::time::Duration;
+
+use wimesh_sim::SimTime;
+
+/// A node's local oscillator: a linear clock model with a fixed offset and
+/// a constant frequency error in parts per million.
+///
+/// `local = reference + offset + drift_ppm * 1e-6 * (reference - origin)`,
+/// where `origin` is the instant the offset was last corrected. Crystal
+/// oscillators in commodity WiFi hardware drift 5–50 ppm, so two nodes can
+/// slide ~100 µs apart per second — more than a whole OFDM slot — which is
+/// why software TDMA needs periodic resynchronisation and guard time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftClock {
+    drift_ppm: f64,
+    offset_ns: f64,
+    origin: SimTime,
+}
+
+impl DriftClock {
+    /// A clock with the given frequency error, perfectly aligned at time
+    /// zero.
+    pub fn new(drift_ppm: f64) -> Self {
+        Self {
+            drift_ppm,
+            offset_ns: 0.0,
+            origin: SimTime::ZERO,
+        }
+    }
+
+    /// The frequency error in ppm.
+    pub fn drift_ppm(&self) -> f64 {
+        self.drift_ppm
+    }
+
+    /// Local reading at reference time `now`, in nanoseconds (signed
+    /// relative to the reference timeline).
+    pub fn local_nanos(&self, now: SimTime) -> f64 {
+        let elapsed = now.saturating_since(self.origin).as_nanos() as f64;
+        now.as_nanos() as f64 + self.offset_ns + self.drift_ppm * 1e-6 * elapsed
+    }
+
+    /// Signed error vs the reference clock at `now`.
+    pub fn error_at(&self, now: SimTime) -> f64 {
+        self.local_nanos(now) - now.as_nanos() as f64
+    }
+
+    /// Applies a synchronisation at reference time `now`: the node's
+    /// offset is corrected to `residual_ns` (the estimation error of the
+    /// sync protocol; zero for a perfect sync). Drift is not corrected —
+    /// cheap hardware cannot discipline its oscillator.
+    pub fn sync_at(&mut self, now: SimTime, residual_ns: f64) {
+        self.offset_ns = residual_ns;
+        self.origin = now;
+    }
+
+    /// Absolute error bound after `interval` without resync, for a clock
+    /// whose residual sync error was `residual` and which drifts at most
+    /// `drift_ppm`.
+    pub fn error_bound(residual: Duration, drift_ppm: f64, interval: Duration) -> Duration {
+        let drift_ns = drift_ppm.abs() * 1e-6 * interval.as_nanos() as f64;
+        residual + Duration::from_nanos(drift_ns.ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clock_stays_aligned() {
+        let c = DriftClock::new(0.0);
+        assert_eq!(c.error_at(SimTime::from_secs(100)), 0.0);
+    }
+
+    #[test]
+    fn drift_accumulates_linearly() {
+        let c = DriftClock::new(20.0); // 20 ppm fast
+        let err = c.error_at(SimTime::from_secs(1));
+        assert!((err - 20_000.0).abs() < 1.0, "1 s at 20 ppm = 20 us, got {err}");
+        let err10 = c.error_at(SimTime::from_secs(10));
+        assert!((err10 - 200_000.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn negative_drift() {
+        let c = DriftClock::new(-10.0);
+        assert!(c.error_at(SimTime::from_secs(2)) < 0.0);
+    }
+
+    #[test]
+    fn sync_resets_error() {
+        let mut c = DriftClock::new(30.0);
+        let t = SimTime::from_secs(5);
+        assert!(c.error_at(t).abs() > 100_000.0);
+        c.sync_at(t, 500.0);
+        assert!((c.error_at(t) - 500.0).abs() < 1.0);
+        // Drift resumes from the sync point.
+        let later = SimTime::from_secs(6);
+        let err = c.error_at(later);
+        assert!((err - (500.0 + 30_000.0)).abs() < 5.0, "err {err}");
+    }
+
+    #[test]
+    fn error_bound_formula() {
+        let b = DriftClock::error_bound(Duration::from_micros(5), 20.0, Duration::from_secs(1));
+        assert_eq!(b, Duration::from_micros(25));
+        let b = DriftClock::error_bound(Duration::ZERO, -20.0, Duration::from_secs(2));
+        assert_eq!(b, Duration::from_micros(40));
+    }
+}

@@ -1,0 +1,332 @@
+//! The emulation capacity model: what one WiMAX minislot costs on WiFi
+//! hardware.
+
+use std::time::Duration;
+
+use wimesh_mac80216::MeshFrameConfig;
+use wimesh_phy80211::{airtime, PhyStandard};
+use wimesh_tdma::FrameConfig;
+
+use crate::{sync, EmuError};
+
+/// Clock/synchronisation parameters of the deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockParams {
+    /// Worst-case oscillator drift, parts per million.
+    pub drift_ppm: f64,
+    /// Interval between synchronisation beacons.
+    pub resync_interval: Duration,
+    /// Per-hop beacon timestamping error (propagation, interrupt jitter).
+    pub timestamp_error: Duration,
+}
+
+impl Default for ClockParams {
+    fn default() -> Self {
+        Self {
+            drift_ppm: 20.0,
+            resync_interval: Duration::from_millis(500),
+            timestamp_error: Duration::from_micros(2),
+        }
+    }
+}
+
+/// Everything needed to derive the emulated-TDMA capacity model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmulationParams {
+    /// The WiFi hardware generation.
+    pub phy: PhyStandard,
+    /// Data rate used inside minislots, Mbit/s.
+    pub rate_mbps: f64,
+    /// The emulated 802.16 mesh frame.
+    pub mesh_frame: MeshFrameConfig,
+    /// Clock quality and sync cadence.
+    pub clock: ClockParams,
+    /// Radio rx/tx turnaround absorbed into each guard.
+    pub turnaround: Duration,
+    /// Maximum tree depth of the deployment (sync error accumulates per
+    /// hop).
+    pub max_sync_depth: u32,
+}
+
+impl Default for EmulationParams {
+    fn default() -> Self {
+        Self {
+            phy: PhyStandard::Dot11a,
+            rate_mbps: 24.0,
+            mesh_frame: MeshFrameConfig::with_data(FrameConfig::new(32, 500)),
+            clock: ClockParams::default(),
+            turnaround: Duration::from_micros(5),
+            max_sync_depth: 4,
+        }
+    }
+}
+
+/// The derived capacity model of the emulation.
+///
+/// See the [crate documentation](crate) for an example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmulationModel {
+    params: EmulationParams,
+    guard: Duration,
+    slot_payload_bytes: u32,
+}
+
+impl EmulationModel {
+    /// Derives guard time and per-minislot capacity from `params`.
+    ///
+    /// # Errors
+    ///
+    /// * [`EmuError::InvalidRate`] for a rate the PHY does not support.
+    /// * [`EmuError::GuardExceedsSlot`] when the guard alone fills the
+    ///   minislot.
+    /// * [`EmuError::SlotTooShort`] when no payload fits after guard and
+    ///   802.11 framing.
+    pub fn new(params: EmulationParams) -> Result<Self, EmuError> {
+        if !params.phy.supports_rate(params.rate_mbps) {
+            return Err(EmuError::InvalidRate {
+                rate_mbps: params.rate_mbps,
+            });
+        }
+        let guard = sync::mutual_error_bound(&params.clock, params.max_sync_depth)
+            + params.turnaround;
+        let slot = Duration::from_micros(params.mesh_frame.data.slot_duration_us());
+        if guard >= slot {
+            return Err(EmuError::GuardExceedsSlot { guard, slot });
+        }
+        let usable = slot - guard;
+        let slot_payload_bytes = airtime::max_payload_in(params.phy, usable, params.rate_mbps);
+        if slot_payload_bytes == 0 {
+            return Err(EmuError::SlotTooShort { usable });
+        }
+        Ok(Self {
+            params,
+            guard,
+            slot_payload_bytes,
+        })
+    }
+
+    /// The input parameters.
+    pub fn params(&self) -> &EmulationParams {
+        &self.params
+    }
+
+    /// The guard time carved out of every minislot.
+    pub fn guard_time(&self) -> Duration {
+        self.guard
+    }
+
+    /// Payload bytes one minislot can carry (after guard, preamble, MAC
+    /// header, SIFS and ACK).
+    pub fn slot_payload_bytes(&self) -> u32 {
+        self.slot_payload_bytes
+    }
+
+    /// Payload capacity of one minislot expressed as a bit rate over the
+    /// slot duration.
+    pub fn slot_capacity_bps(&self) -> f64 {
+        let slot = Duration::from_micros(self.params.mesh_frame.data.slot_duration_us());
+        self.slot_payload_bytes as f64 * 8.0 / slot.as_secs_f64()
+    }
+
+    /// End-to-end efficiency: payload bits a fully-loaded frame moves,
+    /// divided by what the raw PHY rate would move in the same time —
+    /// folding in guard time, 802.11 framing, and the control subframe.
+    pub fn efficiency(&self) -> f64 {
+        let data_slots = self.params.mesh_frame.data.slots() as f64;
+        let payload_bits = data_slots * self.slot_payload_bytes as f64 * 8.0;
+        let frame_secs = self.params.mesh_frame.frame_duration().as_secs_f64();
+        payload_bits / (self.params.rate_mbps * 1e6 * frame_secs)
+    }
+
+    /// Minislots per frame a flow of `rate_bps` needs on every link of its
+    /// path (the demand mapping of the admission controller).
+    ///
+    /// Returns at least 1 for any positive rate.
+    pub fn slots_for_rate(&self, rate_bps: f64) -> u32 {
+        self.slots_for_load(rate_bps, 0)
+    }
+
+    /// Minislots per frame for an aggregate load of `rate_bps` *plus* a
+    /// worst-case instantaneous burst of `burst_bytes`.
+    ///
+    /// Sizing the reservation for `sigma + rho * T` per frame means every
+    /// frame's minislot range can absorb the whole backlog even when all
+    /// sources phase-align, so queues drain each frame and the one-frame
+    /// source-wait delay bound is honest. Returns at least 1 for any
+    /// positive load.
+    pub fn slots_for_load(&self, rate_bps: f64, burst_bytes: u64) -> u32 {
+        if rate_bps <= 0.0 && burst_bytes == 0 {
+            return 0;
+        }
+        let frame_secs = self.params.mesh_frame.frame_duration().as_secs_f64();
+        let bytes_per_frame = rate_bps.max(0.0) * frame_secs / 8.0 + burst_bytes as f64;
+        (bytes_per_frame / self.slot_payload_bytes as f64)
+            .ceil()
+            .max(1.0) as u32
+    }
+
+    /// Payload bytes one minislot carries at `rate_mbps` instead of the
+    /// model's default rate — the per-link capacity under rate adaptation.
+    ///
+    /// # Errors
+    ///
+    /// * [`EmuError::InvalidRate`] for a rate the PHY does not support.
+    /// * [`EmuError::SlotTooShort`] when nothing fits at that rate.
+    pub fn payload_for_rate(&self, rate_mbps: f64) -> Result<u32, EmuError> {
+        if !self.params.phy.supports_rate(rate_mbps) {
+            return Err(EmuError::InvalidRate { rate_mbps });
+        }
+        let slot = Duration::from_micros(self.params.mesh_frame.data.slot_duration_us());
+        let usable = slot - self.guard;
+        let payload = airtime::max_payload_in(self.params.phy, usable, rate_mbps);
+        if payload == 0 {
+            return Err(EmuError::SlotTooShort { usable });
+        }
+        Ok(payload)
+    }
+
+    /// Minislots per frame for a load of `rate_bps` + `burst_bytes` on a
+    /// link whose minislot carries `payload_bytes` (per-link capacity
+    /// under rate adaptation). Returns at least 1 for a positive load.
+    pub fn slots_for_load_at(&self, rate_bps: f64, burst_bytes: u64, payload_bytes: u32) -> u32 {
+        if rate_bps <= 0.0 && burst_bytes == 0 {
+            return 0;
+        }
+        let frame_secs = self.params.mesh_frame.frame_duration().as_secs_f64();
+        let bytes_per_frame = rate_bps.max(0.0) * frame_secs / 8.0 + burst_bytes as f64;
+        (bytes_per_frame / payload_bytes.max(1) as f64)
+            .ceil()
+            .max(1.0) as u32
+    }
+
+    /// The data subframe this model is sized for.
+    pub fn frame(&self) -> FrameConfig {
+        self.params.mesh_frame.data
+    }
+
+    /// The full mesh frame (control + data).
+    pub fn mesh_frame(&self) -> MeshFrameConfig {
+        self.params.mesh_frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_sane() {
+        let m = EmulationModel::new(EmulationParams::default()).unwrap();
+        assert!(m.guard_time() >= Duration::from_micros(5));
+        assert!(m.slot_payload_bytes() > 200, "payload {}", m.slot_payload_bytes());
+        assert!(m.efficiency() > 0.2 && m.efficiency() < 1.0);
+    }
+
+    #[test]
+    fn invalid_rate_rejected() {
+        let params = EmulationParams {
+            rate_mbps: 11.0, // not an 802.11a rate
+            ..EmulationParams::default()
+        };
+        assert_eq!(
+            EmulationModel::new(params).unwrap_err(),
+            EmuError::InvalidRate { rate_mbps: 11.0 }
+        );
+    }
+
+    #[test]
+    fn huge_drift_kills_the_slot() {
+        let params = EmulationParams {
+            clock: ClockParams {
+                drift_ppm: 200.0,
+                resync_interval: Duration::from_secs(10),
+                ..ClockParams::default()
+            },
+            ..EmulationParams::default()
+        };
+        // Guard = 2*(2us*4 + 200ppm*10s) + 5us >> 500us slot.
+        assert!(matches!(
+            EmulationModel::new(params),
+            Err(EmuError::GuardExceedsSlot { .. })
+        ));
+    }
+
+    #[test]
+    fn tight_slot_fits_guard_but_no_payload() {
+        let params = EmulationParams {
+            mesh_frame: MeshFrameConfig::with_data(FrameConfig::new(32, 120)),
+            clock: ClockParams {
+                drift_ppm: 20.0,
+                resync_interval: Duration::from_millis(500),
+                timestamp_error: Duration::from_micros(2),
+            },
+            ..EmulationParams::default()
+        };
+        // Guard ~61 us leaves ~59 us: less than preamble+SIFS+ACK.
+        assert!(matches!(
+            EmulationModel::new(params),
+            Err(EmuError::SlotTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn faster_resync_gives_more_capacity() {
+        let mk = |resync_ms: u64| {
+            EmulationModel::new(EmulationParams {
+                clock: ClockParams {
+                    resync_interval: Duration::from_millis(resync_ms),
+                    ..ClockParams::default()
+                },
+                ..EmulationParams::default()
+            })
+            .unwrap()
+        };
+        let fast = mk(100);
+        let slow = mk(2000);
+        assert!(fast.guard_time() < slow.guard_time());
+        assert!(fast.slot_payload_bytes() > slow.slot_payload_bytes());
+        assert!(fast.efficiency() > slow.efficiency());
+    }
+
+    #[test]
+    fn slots_for_rate_covers_demand() {
+        let m = EmulationModel::new(EmulationParams::default()).unwrap();
+        assert_eq!(m.slots_for_rate(0.0), 0);
+        assert_eq!(m.slots_for_rate(-5.0), 0);
+        let s = m.slots_for_rate(80_000.0); // one G.711 call
+        assert!(s >= 1);
+        // The granted slots actually carry the rate.
+        let frame_secs = m.mesh_frame().frame_duration().as_secs_f64();
+        let capacity_bps = s as f64 * m.slot_payload_bytes() as f64 * 8.0 / frame_secs;
+        assert!(capacity_bps >= 80_000.0);
+    }
+
+    #[test]
+    fn payload_scales_with_rate() {
+        let m = EmulationModel::new(EmulationParams::default()).unwrap();
+        let p6 = m.payload_for_rate(6.0).unwrap();
+        let p24 = m.payload_for_rate(24.0).unwrap();
+        let p54 = m.payload_for_rate(54.0).unwrap();
+        assert!(p6 < p24 && p24 < p54);
+        assert_eq!(p24, m.slot_payload_bytes(), "default rate matches");
+        assert!(matches!(
+            m.payload_for_rate(11.0),
+            Err(EmuError::InvalidRate { .. })
+        ));
+        // Per-payload demand mapping covers the load.
+        let s = m.slots_for_load_at(80_000.0, 200, p6);
+        assert!(s >= m.slots_for_load(80_000.0, 200));
+    }
+
+    #[test]
+    fn deeper_trees_need_bigger_guards() {
+        let mk = |depth: u32| {
+            EmulationModel::new(EmulationParams {
+                max_sync_depth: depth,
+                ..EmulationParams::default()
+            })
+            .unwrap()
+        };
+        assert!(mk(8).guard_time() > mk(1).guard_time());
+    }
+}

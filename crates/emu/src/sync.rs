@@ -1,0 +1,204 @@
+//! Beacon-based network time synchronisation over the mesh tree.
+//!
+//! The emulation synchronises all nodes to a root (the gateway): every
+//! resync interval the root broadcasts a timestamped beacon; children
+//! correct their offsets and rebroadcast down the tree. Each hop adds a
+//! bounded timestamping error, and between beacons every node drifts at
+//! its own rate — so the residual error of a node grows with both its
+//! tree depth and the resync interval. Experiment E7 sweeps both.
+
+use std::time::Duration;
+
+use rand::Rng;
+use wimesh_sim::SimTime;
+use wimesh_topology::routing::GatewayRouting;
+use wimesh_topology::MeshTopology;
+
+use crate::clock::DriftClock;
+use crate::model::ClockParams;
+
+/// Analytic worst-case error of a node at tree depth `depth`, just before
+/// the next resync: per-hop timestamp error accumulated down the tree plus
+/// drift over a full interval.
+pub fn node_error_bound(params: &ClockParams, depth: u32) -> Duration {
+    let stamping = params.timestamp_error * depth.max(1);
+    DriftClock::error_bound(stamping, params.drift_ppm, params.resync_interval)
+}
+
+/// Analytic worst-case *mutual* error between any two nodes in a tree of
+/// maximum depth `max_depth` — the quantity guard times must cover: both
+/// nodes may err in opposite directions.
+pub fn mutual_error_bound(params: &ClockParams, max_depth: u32) -> Duration {
+    2 * node_error_bound(params, max_depth)
+}
+
+/// Result of an empirical synchronisation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncReport {
+    /// Largest mutual clock error observed between any two nodes at any
+    /// sample instant.
+    pub max_mutual_error: Duration,
+    /// Largest single-node error vs the reference.
+    pub max_node_error: Duration,
+    /// Beacons broadcast in total.
+    pub beacons_sent: u64,
+}
+
+/// Simulates beacon synchronisation over `topo`'s gateway tree for
+/// `duration`, with per-node drift drawn uniformly from
+/// `[-drift_ppm, +drift_ppm]` and per-hop timestamp error drawn uniformly
+/// from `[-timestamp_error, +timestamp_error]`.
+///
+/// Errors are sampled just before each resync (the worst instant), so the
+/// report is directly comparable to [`mutual_error_bound`].
+///
+/// # Panics
+///
+/// Panics if the gateway routing cannot be built (unknown gateway).
+pub fn simulate<R: Rng>(
+    topo: &MeshTopology,
+    routing: &GatewayRouting,
+    params: &ClockParams,
+    duration: Duration,
+    rng: &mut R,
+) -> SyncReport {
+    let n = topo.node_count();
+    let mut clocks: Vec<DriftClock> = (0..n)
+        .map(|_| DriftClock::new(rng.gen_range(-params.drift_ppm..=params.drift_ppm)))
+        .collect();
+    let depths: Vec<u32> = topo
+        .node_ids()
+        .map(|node| routing.depth(node).unwrap_or(0) as u32)
+        .collect();
+
+    let mut max_mutual = Duration::ZERO;
+    let mut max_node = Duration::ZERO;
+    let mut beacons = 0u64;
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + duration;
+    let ts_err_ns = params.timestamp_error.as_nanos() as f64;
+
+    while t < end {
+        // Advance to just before the next resync and sample errors.
+        let sample_at = t + params.resync_interval;
+        let errors: Vec<f64> = clocks.iter().map(|c| c.error_at(sample_at)).collect();
+        for (i, &a) in errors.iter().enumerate() {
+            max_node = max_node.max(Duration::from_nanos(a.abs() as u64));
+            for &b in &errors[i + 1..] {
+                max_mutual = max_mutual.max(Duration::from_nanos((a - b).abs() as u64));
+            }
+        }
+        // Resync: each node's residual is the sum of per-hop stamping
+        // errors down its tree path (depth hops; the root is exact).
+        for i in 0..n {
+            let depth = depths[i];
+            if depth == 0 && i != routing.gateway().index() {
+                // Unreachable node: never syncs, keeps drifting.
+                continue;
+            }
+            let residual: f64 = (0..depth)
+                .map(|_| rng.gen_range(-ts_err_ns..=ts_err_ns))
+                .sum();
+            clocks[i].sync_at(sample_at, residual);
+            beacons += 1;
+        }
+        t = sample_at;
+    }
+    SyncReport {
+        max_mutual_error: max_mutual,
+        max_node_error: max_node,
+        beacons_sent: beacons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wimesh_topology::{generators, NodeId};
+
+    fn params(ppm: f64, resync_ms: u64) -> ClockParams {
+        ClockParams {
+            drift_ppm: ppm,
+            resync_interval: Duration::from_millis(resync_ms),
+            timestamp_error: Duration::from_micros(2),
+        }
+    }
+
+    #[test]
+    fn bounds_scale_with_interval_and_drift() {
+        let p1 = params(20.0, 100);
+        let p2 = params(20.0, 1000);
+        let p3 = params(40.0, 100);
+        assert!(mutual_error_bound(&p2, 3) > mutual_error_bound(&p1, 3));
+        assert!(mutual_error_bound(&p3, 3) > mutual_error_bound(&p1, 3));
+        assert!(node_error_bound(&p1, 5) > node_error_bound(&p1, 1));
+    }
+
+    #[test]
+    fn simulated_error_within_analytic_bound() {
+        let topo = generators::chain(6);
+        let routing = GatewayRouting::new(&topo, NodeId(0)).unwrap();
+        let p = params(20.0, 200);
+        let report = simulate(
+            &topo,
+            &routing,
+            &p,
+            Duration::from_secs(20),
+            &mut StdRng::seed_from_u64(1),
+        );
+        let bound = mutual_error_bound(&p, 5);
+        assert!(
+            report.max_mutual_error <= bound,
+            "observed {:?} exceeds bound {:?}",
+            report.max_mutual_error,
+            bound
+        );
+        // And the bound is not absurdly loose: the sim should get within
+        // an order of magnitude.
+        assert!(report.max_mutual_error * 20 > bound);
+        assert!(report.beacons_sent > 0);
+    }
+
+    #[test]
+    fn longer_resync_means_larger_observed_error() {
+        let topo = generators::chain(5);
+        let routing = GatewayRouting::new(&topo, NodeId(0)).unwrap();
+        let short = simulate(
+            &topo,
+            &routing,
+            &params(30.0, 100),
+            Duration::from_secs(10),
+            &mut StdRng::seed_from_u64(2),
+        );
+        let long = simulate(
+            &topo,
+            &routing,
+            &params(30.0, 2000),
+            Duration::from_secs(40),
+            &mut StdRng::seed_from_u64(2),
+        );
+        assert!(long.max_mutual_error > short.max_mutual_error);
+    }
+
+    #[test]
+    fn perfect_clocks_zero_error() {
+        let topo = generators::chain(4);
+        let routing = GatewayRouting::new(&topo, NodeId(0)).unwrap();
+        let p = ClockParams {
+            drift_ppm: 0.0,
+            resync_interval: Duration::from_millis(500),
+            timestamp_error: Duration::ZERO,
+        };
+        let report = simulate(
+            &topo,
+            &routing,
+            &p,
+            Duration::from_secs(5),
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(report.max_mutual_error, Duration::ZERO);
+        assert_eq!(report.max_node_error, Duration::ZERO);
+    }
+}

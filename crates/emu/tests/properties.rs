@@ -1,0 +1,102 @@
+//! Property tests for the emulation capacity model and clock machinery.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use wimesh_emu::{ClockParams, DriftClock, EmulationModel, EmulationParams};
+use wimesh_mac80216::MeshFrameConfig;
+use wimesh_phy80211::PhyStandard;
+use wimesh_sim::SimTime;
+use wimesh_tdma::FrameConfig;
+
+fn arb_params() -> impl Strategy<Value = EmulationParams> {
+    (
+        prop_oneof![
+            Just(PhyStandard::Dot11a),
+            Just(PhyStandard::Dot11g),
+            Just(PhyStandard::Dot11b),
+        ],
+        0usize..4,
+        250u64..4000,
+        1f64..60.0,
+        50u64..5000,
+        8u32..128,
+    )
+        .prop_map(|(phy, rate_idx, slot_us, ppm, resync_ms, slots)| {
+            let rates = phy.rates_mbps();
+            EmulationParams {
+                phy,
+                rate_mbps: rates[rate_idx % rates.len()],
+                mesh_frame: MeshFrameConfig::with_data(FrameConfig::new(slots, slot_us)),
+                clock: ClockParams {
+                    drift_ppm: ppm,
+                    resync_interval: Duration::from_millis(resync_ms),
+                    timestamp_error: Duration::from_micros(2),
+                },
+                turnaround: Duration::from_micros(5),
+                max_sync_depth: 4,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn model_invariants(params in arb_params()) {
+        let Ok(m) = EmulationModel::new(params) else {
+            // Rejected configurations are fine; the invariants below only
+            // apply to accepted ones.
+            return Ok(());
+        };
+        let slot = Duration::from_micros(params.mesh_frame.data.slot_duration_us());
+        prop_assert!(m.guard_time() < slot, "guard must fit the slot");
+        prop_assert!(m.slot_payload_bytes() > 0);
+        prop_assert!(m.efficiency() > 0.0 && m.efficiency() < 1.0);
+        // Capacity never exceeds the nominal PHY rate.
+        prop_assert!(m.slot_capacity_bps() < params.rate_mbps * 1e6);
+    }
+
+    #[test]
+    fn slots_for_load_is_monotone_and_covering(
+        (params, r1, r2, b) in (arb_params(), 0f64..5e6, 0f64..5e6, 0u64..5000)
+    ) {
+        let Ok(m) = EmulationModel::new(params) else { return Ok(()); };
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(m.slots_for_load(lo, b) <= m.slots_for_load(hi, b));
+        prop_assert!(m.slots_for_load(hi, 0) <= m.slots_for_load(hi, b));
+        // Coverage: the granted slots really carry rate + burst per frame.
+        let s = m.slots_for_load(hi, b);
+        if hi > 0.0 {
+            let frame_secs = m.mesh_frame().frame_duration().as_secs_f64();
+            let capacity = s as f64 * m.slot_payload_bytes() as f64;
+            let need = hi * frame_secs / 8.0 + b as f64;
+            prop_assert!(capacity + 1e-9 >= need, "capacity {capacity} < need {need}");
+        }
+    }
+
+    #[test]
+    fn clock_error_bounded_by_formula(
+        (ppm, secs) in (-100f64..100.0, 0u64..120)
+    ) {
+        let c = DriftClock::new(ppm);
+        let t = SimTime::from_secs(secs);
+        let err = c.error_at(t).abs();
+        let bound = DriftClock::error_bound(
+            Duration::ZERO,
+            ppm,
+            Duration::from_secs(secs),
+        );
+        prop_assert!(err <= bound.as_nanos() as f64 + 1.0);
+    }
+
+    #[test]
+    fn sync_always_reduces_error_to_residual(
+        (ppm, at_secs, residual_ns) in (1f64..100.0, 1u64..100, 0f64..10_000.0)
+    ) {
+        let mut c = DriftClock::new(ppm);
+        let t = SimTime::from_secs(at_secs);
+        c.sync_at(t, residual_ns);
+        prop_assert!((c.error_at(t) - residual_ns).abs() < 1.0);
+    }
+}

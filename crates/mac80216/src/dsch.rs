@@ -1,0 +1,110 @@
+//! MSH-DSCH message contents.
+
+use wimesh_tdma::SlotRange;
+use wimesh_topology::{LinkId, NodeId};
+
+/// One reservation in a node's local schedule: a link it transmits on and
+/// the minislot range it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// The directed link the reservation serves.
+    pub link: LinkId,
+    /// The reserved minislots.
+    pub range: SlotRange,
+}
+
+/// A bandwidth request, carrying the requester's availability.
+///
+/// The availability information element is what lets the granter pick a
+/// range free at *both* ends of the link — without it, a granter whose
+/// grant was rejected as stale could re-issue the very same busy range
+/// forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The directed link demand is requested for.
+    pub link: LinkId,
+    /// Demanded minislots.
+    pub demand: u32,
+    /// Minislot ranges already busy from the requester's point of view.
+    pub busy: Vec<SlotRange>,
+}
+
+/// A grant, grant-confirmation, or cancellation for a reservation on
+/// `link`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantFix {
+    /// The directed link concerned.
+    pub link: LinkId,
+    /// Transmitter of the link (the requester).
+    pub tx: NodeId,
+    /// Receiver of the link (the granter).
+    pub rx: NodeId,
+    /// The minislots concerned.
+    pub range: SlotRange,
+}
+
+/// The scheduling information elements carried by one MSH-DSCH broadcast.
+///
+/// A real MSH-DSCH bundles all IE kinds; the simulation does the same so
+/// one won opportunity can progress several handshakes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DschMessage {
+    /// Bandwidth requests with availability.
+    pub requests: Vec<Request>,
+    /// Grants answering neighbours' requests.
+    pub grants: Vec<GrantFix>,
+    /// Grant confirmations (echoed grants) activating reservations.
+    pub confirms: Vec<GrantFix>,
+    /// Cancellations: a granter revoking a reservation it discovered to
+    /// collide with a higher-priority one.
+    pub cancels: Vec<GrantFix>,
+}
+
+impl DschMessage {
+    /// True when the message carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+            && self.grants.is_empty()
+            && self.confirms.is_empty()
+            && self.cancels.is_empty()
+    }
+
+    /// Number of information elements carried.
+    pub fn ie_count(&self) -> usize {
+        self.requests.len() + self.grants.len() + self.confirms.len() + self.cancels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_message() {
+        let m = DschMessage::default();
+        assert!(m.is_empty());
+        assert_eq!(m.ie_count(), 0);
+    }
+
+    #[test]
+    fn ie_counting() {
+        let g = GrantFix {
+            link: LinkId(0),
+            tx: NodeId(0),
+            rx: NodeId(1),
+            range: SlotRange::new(0, 2),
+        };
+        let m = DschMessage {
+            requests: vec![Request {
+                link: LinkId(0),
+                demand: 2,
+                busy: vec![SlotRange::new(4, 2)],
+            }],
+            grants: vec![g],
+            confirms: vec![g],
+            cancels: vec![],
+        };
+        assert!(!m.is_empty());
+        assert_eq!(m.ie_count(), 3);
+    }
+}

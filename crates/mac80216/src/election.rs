@@ -1,0 +1,167 @@
+//! The 802.16 mesh election algorithm.
+//!
+//! Control-subframe transmission opportunities are not reserved: every
+//! node *competes* for each opportunity against its extended (2-hop)
+//! neighbourhood by evaluating a shared pseudo-random function of
+//! `(node id, opportunity number)`. Because every competitor evaluates the
+//! same function over the same competitor set, all nodes agree on the
+//! winner without exchanging any messages — and no two nodes within two
+//! hops of each other ever win the same opportunity.
+
+use wimesh_topology::{MeshTopology, NodeId};
+
+/// The standard's 32-bit mixing ("smearing") function, reproduced from the
+/// IEEE 802.16-2004 mesh election pseudocode.
+pub fn smear(mut val: u32) -> u32 {
+    val = val.wrapping_add(val << 12);
+    val ^= val >> 22;
+    val = val.wrapping_add(val << 4);
+    val ^= val >> 9;
+    val = val.wrapping_add(val << 10);
+    val ^= val >> 2;
+    val = val.wrapping_add(val << 7);
+    val ^= val >> 12;
+    val
+}
+
+/// The pseudo-random competition value of `node` for `opportunity`.
+///
+/// Mixing the opportunity number into the seed makes the per-opportunity
+/// ranking of nodes look random and fair over time.
+pub fn mix_value(node: NodeId, opportunity: u32) -> u32 {
+    smear(u32::from(node) ^ smear(opportunity))
+}
+
+/// Decides whether `node` wins `opportunity` against `competitors`.
+///
+/// Ties on the mixed value break toward the larger node id, so exactly one
+/// node of any competitor set wins. `node` itself may appear in
+/// `competitors`; it is ignored.
+pub fn wins(node: NodeId, opportunity: u32, competitors: &[NodeId]) -> bool {
+    let mine = (mix_value(node, opportunity), node);
+    competitors
+        .iter()
+        .filter(|&&c| c != node)
+        .all(|&c| (mix_value(c, opportunity), c) < mine)
+}
+
+/// Per-topology election helper that precomputes 2-hop competitor sets.
+#[derive(Debug, Clone)]
+pub struct MeshElection {
+    competitors: Vec<Vec<NodeId>>,
+}
+
+impl MeshElection {
+    /// Precomputes the extended-neighbourhood competitor sets of `topo`.
+    pub fn new(topo: &MeshTopology) -> Self {
+        let competitors = topo
+            .node_ids()
+            .map(|n| topo.k_hop_neighborhood(n, 2))
+            .collect();
+        Self { competitors }
+    }
+
+    /// The competitor set of `node` (its 2-hop neighbourhood, excluding
+    /// itself).
+    pub fn competitors(&self, node: NodeId) -> &[NodeId] {
+        &self.competitors[node.index()]
+    }
+
+    /// Whether `node` wins `opportunity` within its 2-hop neighbourhood.
+    pub fn wins(&self, node: NodeId, opportunity: u32) -> bool {
+        wins(node, opportunity, self.competitors(node))
+    }
+
+    /// All winners of `opportunity` across the topology. By construction
+    /// no two winners are within two hops of each other.
+    pub fn winners(&self, opportunity: u32) -> Vec<NodeId> {
+        (0..self.competitors.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.wins(n, opportunity))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimesh_topology::generators;
+
+    #[test]
+    fn smear_is_deterministic_and_mixing() {
+        assert_eq!(smear(0), smear(0));
+        // Consecutive inputs should scatter.
+        let a = smear(1);
+        let b = smear(2);
+        assert_ne!(a, b);
+        assert_ne!(a.wrapping_sub(b), 1);
+    }
+
+    #[test]
+    fn exactly_one_winner_per_competitor_set() {
+        let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
+        for opp in 0..100 {
+            let winners: Vec<_> = nodes
+                .iter()
+                .filter(|&&n| wins(n, opp, &nodes))
+                .collect();
+            assert_eq!(winners.len(), 1, "opportunity {opp}");
+        }
+    }
+
+    #[test]
+    fn election_is_fair_over_time() {
+        // Over many opportunities every node should win a decent share.
+        let nodes: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let mut wins_count = [0u32; 5];
+        let rounds = 5000;
+        for opp in 0..rounds {
+            for &n in &nodes {
+                if wins(n, opp, &nodes) {
+                    wins_count[n.index()] += 1;
+                }
+            }
+        }
+        for (i, &w) in wins_count.iter().enumerate() {
+            let share = w as f64 / rounds as f64;
+            assert!(
+                (share - 0.2).abs() < 0.05,
+                "node {i} win share {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_two_winners_within_two_hops() {
+        let topo = generators::grid(4, 4);
+        let election = MeshElection::new(&topo);
+        for opp in 0..200 {
+            let winners = election.winners(opp);
+            for (i, &a) in winners.iter().enumerate() {
+                for &b in &winners[i + 1..] {
+                    let d = topo.hop_distance(a, b).unwrap();
+                    assert!(d > 2, "winners {a} and {b} are {d} hops apart");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_reuse_happens() {
+        // On a long chain, distant nodes can win the same opportunity.
+        let topo = generators::chain(12);
+        let election = MeshElection::new(&topo);
+        let multi = (0..200).filter(|&o| election.winners(o).len() >= 2).count();
+        assert!(multi > 0, "no spatial reuse of control opportunities");
+    }
+
+    #[test]
+    fn isolated_node_always_wins() {
+        let mut topo = generators::chain(3);
+        let lonely = topo.add_node();
+        let election = MeshElection::new(&topo);
+        for opp in 0..20 {
+            assert!(election.wins(lonely, opp));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The 802.16 mesh frame: control subframe + data subframe.
+
+use std::time::Duration;
+
+use wimesh_tdma::FrameConfig;
+
+/// Shape of one 802.16 mesh frame.
+///
+/// A mesh frame is a control subframe of `ctrl_opportunities` transmission
+/// opportunities (carrying MSH-NCFG/MSH-DSCH messages) followed by a data
+/// subframe described by a [`FrameConfig`]. The control subframe is pure
+/// overhead from the data plane's point of view — experiment E6 quantifies
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshFrameConfig {
+    /// MSH-DSCH transmission opportunities per frame.
+    pub ctrl_opportunities: u32,
+    /// Duration of one control opportunity.
+    pub ctrl_opportunity_duration: Duration,
+    /// The data subframe (minislots).
+    pub data: FrameConfig,
+}
+
+impl MeshFrameConfig {
+    /// A typical profile: 4 control opportunities of 430 µs (one
+    /// MSH-DSCH at robust rate) and the given data subframe.
+    pub fn with_data(data: FrameConfig) -> Self {
+        Self {
+            ctrl_opportunities: 4,
+            ctrl_opportunity_duration: Duration::from_micros(430),
+            data,
+        }
+    }
+
+    /// Duration of the control subframe.
+    pub fn ctrl_duration(&self) -> Duration {
+        self.ctrl_opportunity_duration * self.ctrl_opportunities
+    }
+
+    /// Total frame duration (control + data).
+    pub fn frame_duration(&self) -> Duration {
+        self.ctrl_duration() + self.data.frame_duration()
+    }
+
+    /// Fraction of the frame consumed by the control subframe.
+    pub fn control_overhead(&self) -> f64 {
+        self.ctrl_duration().as_secs_f64() / self.frame_duration().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_add_up() {
+        let data = FrameConfig::new(100, 100); // 10 ms data
+        let f = MeshFrameConfig::with_data(data);
+        assert_eq!(f.ctrl_duration(), Duration::from_micros(4 * 430));
+        assert_eq!(
+            f.frame_duration(),
+            Duration::from_micros(4 * 430 + 10_000)
+        );
+        let oh = f.control_overhead();
+        assert!(oh > 0.1 && oh < 0.2, "overhead {oh}");
+    }
+
+    #[test]
+    fn more_opportunities_more_overhead() {
+        let data = FrameConfig::new(100, 100);
+        let small = MeshFrameConfig {
+            ctrl_opportunities: 2,
+            ..MeshFrameConfig::with_data(data)
+        };
+        let big = MeshFrameConfig {
+            ctrl_opportunities: 16,
+            ..MeshFrameConfig::with_data(data)
+        };
+        assert!(big.control_overhead() > small.control_overhead());
+    }
+}

@@ -1,0 +1,581 @@
+//! Distributed coordinated scheduling: the MSH-DSCH three-way handshake.
+//!
+//! Each directed link with demand is reserved by its transmitter:
+//!
+//! 1. **Request** — the transmitter broadcasts `(link, demand)` together
+//!    with its *availability* (the minislots it already knows to be busy)
+//!    when it wins a control opportunity.
+//! 2. **Grant** — the receiver answers with a minislot range free in its
+//!    own local view *and* in the requester's advertised availability;
+//!    all of the receiver's neighbours overhear the grant and block those
+//!    slots.
+//! 3. **Grant-confirm** — the transmitter, if the range is still free in
+//!    its view, echoes the grant; all of the transmitter's neighbours
+//!    block the slots too. A stale range triggers a fresh request.
+//!
+//! Grants issued concurrently within the same frame by granters more than
+//! two hops apart can still collide. Collisions are detected by whichever
+//! endpoint of a reservation hears the competing one, and resolved
+//! deterministically — the lower link id keeps the slots, the other side
+//! broadcasts a **cancel** and its transmitter re-requests. Experiment E8
+//! measures how often this happens and how fast the protocol converges.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use wimesh_tdma::{Demands, FrameConfig, Schedule, ScheduleError, SlotRange};
+use wimesh_topology::{Link, LinkId, MeshTopology, NodeId};
+
+use crate::dsch::{DschMessage, GrantFix, Request};
+use crate::election::MeshElection;
+
+/// Parameters of a distributed scheduling run.
+#[derive(Debug, Clone, Copy)]
+pub struct ReservationConfig {
+    /// The data subframe being reserved.
+    pub frame: FrameConfig,
+    /// MSH-DSCH opportunities per mesh frame.
+    pub opportunities_per_frame: u32,
+    /// Give up after this many frames without convergence.
+    pub max_frames: u32,
+}
+
+impl Default for ReservationConfig {
+    fn default() -> Self {
+        Self {
+            frame: FrameConfig::new(256, 40),
+            opportunities_per_frame: 4,
+            max_frames: 500,
+        }
+    }
+}
+
+/// Result of a distributed scheduling run.
+#[derive(Debug, Clone)]
+pub struct ReservationOutcome {
+    /// The converged (or partial, if not converged) schedule.
+    pub schedule: Schedule,
+    /// Whether every demanded link obtained a confirmed reservation.
+    pub converged: bool,
+    /// Mesh frames elapsed until convergence (or the budget, if not).
+    pub frames_elapsed: u32,
+    /// MSH-DSCH messages actually broadcast.
+    pub messages_sent: u64,
+    /// Handshakes that restarted (stale grants or slot collisions).
+    pub retries: u64,
+}
+
+#[derive(Debug, Default)]
+struct NodeState {
+    /// Demands this node must reserve (it is the links' transmitter).
+    my_demands: BTreeMap<LinkId, u32>,
+    /// Confirmed reservations of this node's own links.
+    confirmed: BTreeMap<LinkId, SlotRange>,
+    /// Every reservation (tentative or confirmed) this node knows about.
+    known: BTreeMap<LinkId, SlotRange>,
+    /// Outgoing information elements awaiting a won opportunity.
+    pending: DschMessage,
+    /// Requests this node could not grant yet for lack of free slots.
+    waiting_grants: VecDeque<Request>,
+}
+
+impl NodeState {
+    fn busy_ranges(&self) -> Vec<SlotRange> {
+        self.known.values().copied().collect()
+    }
+
+    fn is_range_free(&self, range: SlotRange, except: LinkId) -> bool {
+        self.known
+            .iter()
+            .all(|(&l, r)| l == except || !r.overlaps(&range))
+    }
+
+    /// First-fit free range of `len` slots within `slots`, avoiding both
+    /// this node's known reservations (except `link`'s own) and the
+    /// `extra` busy list from the requester's availability IE.
+    fn first_fit(
+        &self,
+        len: u32,
+        slots: u32,
+        link: LinkId,
+        extra: &[SlotRange],
+    ) -> Option<SlotRange> {
+        if len == 0 || len > slots {
+            return None;
+        }
+        let mut start = 0u32;
+        'outer: while start + len <= slots {
+            let candidate = SlotRange::new(start, len);
+            for (&l, r) in &self.known {
+                if l != link && r.overlaps(&candidate) {
+                    start = r.end();
+                    continue 'outer;
+                }
+            }
+            for r in extra {
+                if r.overlaps(&candidate) {
+                    start = r.end();
+                    continue 'outer;
+                }
+            }
+            return Some(candidate);
+        }
+        None
+    }
+
+    fn enqueue_request(&mut self, link: LinkId, demand: u32) {
+        // One outstanding request per link: a duplicate would provoke a
+        // second grant and pointless churn.
+        if self.pending.requests.iter().any(|r| r.link == link) {
+            return;
+        }
+        let busy = self.busy_ranges();
+        self.pending.requests.push(Request {
+            link,
+            demand,
+            busy,
+        });
+    }
+}
+
+/// Runs the distributed three-way-handshake protocol until every demanded
+/// link holds a confirmed reservation or the frame budget runs out.
+///
+/// # Example
+///
+/// ```
+/// use wimesh_mac80216::reservation::{run_distributed, ReservationConfig};
+/// use wimesh_tdma::Demands;
+/// use wimesh_topology::generators;
+///
+/// let topo = generators::chain(4);
+/// let mut demands = Demands::new();
+/// demands.set(topo.link_between(3.into(), 2.into()).unwrap(), 4);
+/// demands.set(topo.link_between(2.into(), 1.into()).unwrap(), 4);
+/// let out = run_distributed(&topo, &demands, ReservationConfig::default())?;
+/// assert!(out.converged);
+/// assert_eq!(out.schedule.len(), 2);
+/// # Ok::<(), wimesh_tdma::ScheduleError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`ScheduleError::FrameTooShort`] if any single demand exceeds the data
+/// subframe.
+///
+/// # Panics
+///
+/// Panics if a demanded link is not in `topo`.
+pub fn run_distributed(
+    topo: &MeshTopology,
+    demands: &Demands,
+    config: ReservationConfig,
+) -> Result<ReservationOutcome, ScheduleError> {
+    let slots = config.frame.slots();
+    for (link, d) in demands.iter() {
+        if d > slots {
+            return Err(ScheduleError::FrameTooShort {
+                needed: d,
+                available: slots,
+            });
+        }
+        assert!(topo.link(link).is_some(), "demand on unknown link {link}");
+    }
+
+    let election = MeshElection::new(topo);
+    let mut nodes: Vec<NodeState> = (0..topo.node_count()).map(|_| NodeState::default()).collect();
+    for (link, d) in demands.iter() {
+        let tx = topo.link(link).expect("checked").tx;
+        nodes[tx.index()].my_demands.insert(link, d);
+        nodes[tx.index()].enqueue_request(link, d);
+    }
+
+    let mut messages_sent = 0u64;
+    let mut retries = 0u64;
+    let mut opportunity = 0u32;
+    let budget = config.max_frames.saturating_mul(config.opportunities_per_frame);
+
+    let converged = loop {
+        if all_confirmed(&nodes) {
+            break true;
+        }
+        if opportunity >= budget {
+            break false;
+        }
+        let winners: Vec<NodeId> = election
+            .winners(opportunity)
+            .into_iter()
+            .filter(|n| {
+                let st = &nodes[n.index()];
+                !st.pending.is_empty() || !st.waiting_grants.is_empty()
+            })
+            .collect();
+        for &sender in &winners {
+            retry_waiting_grants(topo, &mut nodes[sender.index()], slots);
+            let msg = std::mem::take(&mut nodes[sender.index()].pending);
+            if msg.is_empty() {
+                continue;
+            }
+            messages_sent += 1;
+            #[cfg(test)]
+            if std::env::var("WIMESH_TRACE").is_ok() {
+                eprintln!("opp {opportunity}: {sender} sends {msg:?}");
+            }
+            let hearers: Vec<NodeId> = topo.neighbors(sender).collect();
+            for w in hearers {
+                process_message(topo, &mut nodes, w, &msg, slots, &mut retries);
+            }
+        }
+        opportunity += 1;
+    };
+
+    let mut ranges = BTreeMap::new();
+    for st in &nodes {
+        for (&link, &range) in &st.confirmed {
+            ranges.insert(link, range);
+        }
+    }
+    let schedule = Schedule::from_ranges(config.frame, ranges)?;
+    let frames_elapsed = opportunity.div_ceil(config.opportunities_per_frame.max(1));
+    Ok(ReservationOutcome {
+        schedule,
+        converged,
+        frames_elapsed,
+        messages_sent,
+        retries,
+    })
+}
+
+/// Converged means every demand is confirmed *and* no corrective or
+/// handshake messages are still waiting to be broadcast — a pending cancel
+/// can revoke an apparently complete schedule.
+fn all_confirmed(nodes: &[NodeState]) -> bool {
+    nodes.iter().all(|st| {
+        st.pending.is_empty()
+            && st
+                .my_demands
+                .keys()
+                .all(|l| st.confirmed.contains_key(l))
+    })
+}
+
+fn retry_waiting_grants(topo: &MeshTopology, st: &mut NodeState, slots: u32) {
+    let waiting = std::mem::take(&mut st.waiting_grants);
+    for req in waiting {
+        // A link that got reserved through a retried handshake no longer
+        // needs this deferred grant.
+        if st.known.contains_key(&req.link) {
+            continue;
+        }
+        match st.first_fit(req.demand, slots, req.link, &req.busy) {
+            Some(range) => {
+                st.known.insert(req.link, range);
+                let l = topo.link(req.link).expect("validated");
+                st.pending.grants.push(GrantFix {
+                    link: req.link,
+                    tx: l.tx,
+                    rx: l.rx,
+                    range,
+                });
+            }
+            None => st.waiting_grants.push_back(req),
+        }
+    }
+}
+
+fn process_message(
+    topo: &MeshTopology,
+    nodes: &mut [NodeState],
+    me: NodeId,
+    msg: &DschMessage,
+    slots: u32,
+    retries: &mut u64,
+) {
+    // Cancels first: a cancel and a fresh request for the same link may
+    // share a message, and the cancel refers to the older reservation.
+    for c in &msg.cancels {
+        let st = &mut nodes[me.index()];
+        if st.known.get(&c.link) == Some(&c.range) {
+            st.known.remove(&c.link);
+        }
+        // Drop any queued grant/confirm for the cancelled reservation.
+        st.pending
+            .grants
+            .retain(|g| !(g.link == c.link && g.range == c.range));
+        st.pending
+            .confirms
+            .retain(|x| !(x.link == c.link && x.range == c.range));
+        if c.tx == me {
+            if st.confirmed.get(&c.link) == Some(&c.range) {
+                st.confirmed.remove(&c.link);
+            }
+            // Whether the cancel killed a confirmed reservation or a
+            // handshake that never completed (its grant was purged before
+            // broadcast), the transmitter must start over.
+            if !st.confirmed.contains_key(&c.link) {
+                if let Some(&d) = st.my_demands.get(&c.link) {
+                    *retries += 1;
+                    st.enqueue_request(c.link, d);
+                }
+            }
+        }
+    }
+    // Requests: grant if I am the link's receiver.
+    for req in &msg.requests {
+        let l = *topo.link(req.link).expect("validated");
+        if l.rx != me {
+            continue;
+        }
+        let st = &mut nodes[me.index()];
+        match st.first_fit(req.demand, slots, req.link, &req.busy) {
+            Some(range) => {
+                st.known.insert(req.link, range);
+                st.pending.grants.push(GrantFix {
+                    link: req.link,
+                    tx: l.tx,
+                    rx: l.rx,
+                    range,
+                });
+            }
+            None => st.waiting_grants.push_back(req.clone()),
+        }
+    }
+    // Grants: accept if I am the requester, otherwise record.
+    for g in &msg.grants {
+        if g.tx == me {
+            let st = &mut nodes[me.index()];
+            if st.is_range_free(g.range, g.link) {
+                st.known.insert(g.link, g.range);
+                st.confirmed.insert(g.link, g.range);
+                st.pending.confirms.push(*g);
+            } else {
+                // Stale grant: restart with fresh availability.
+                *retries += 1;
+                if let Some(&d) = st.my_demands.get(&g.link) {
+                    st.enqueue_request(g.link, d);
+                }
+            }
+        } else {
+            hear_reservation(topo, nodes, me, g.link, g.range, retries);
+        }
+    }
+    // Confirms from others: record.
+    for c in &msg.confirms {
+        if c.tx != me {
+            hear_reservation(topo, nodes, me, c.link, c.range, retries);
+        }
+    }
+}
+
+/// Whether two links cannot share minislots under the 1-hop protocol
+/// interference model.
+fn links_conflict(topo: &MeshTopology, a: &Link, b: &Link) -> bool {
+    a.shares_endpoint(b)
+        || within_one_hop(topo, a.tx, b.rx)
+        || within_one_hop(topo, b.tx, a.rx)
+}
+
+/// Records a reservation heard from a neighbour and resolves collisions
+/// with reservations this node is an endpoint of (lower link id wins).
+fn hear_reservation(
+    topo: &MeshTopology,
+    nodes: &mut [NodeState],
+    me: NodeId,
+    link: LinkId,
+    range: SlotRange,
+    retries: &mut u64,
+) {
+    let st = &mut nodes[me.index()];
+    st.known.insert(link, range);
+    let incoming = *topo.link(link).expect("validated");
+    let colliding: Vec<(LinkId, SlotRange)> = st
+        .known
+        .iter()
+        .map(|(&l, &r)| (l, r))
+        .filter(|&(l, r)| l != link && r.overlaps(&range))
+        .collect();
+    for (l, r) in colliding {
+        let mine = *topo.link(l).expect("validated");
+        if !links_conflict(topo, &mine, &incoming) {
+            continue;
+        }
+        // Only an endpoint of `l` has the authority (and the knowledge)
+        // to revoke it; bystanders merely record both.
+        let i_am_endpoint = mine.tx == me || mine.rx == me;
+        if !i_am_endpoint {
+            continue;
+        }
+        if u32::from(l) > u32::from(link) {
+            // Our reservation yields. Purge any not-yet-broadcast grant or
+            // confirm for it — a stale grant leaving this queue *after*
+            // the cancel would resurrect the collision.
+            st.known.remove(&l);
+            st.pending.grants.retain(|g| g.link != l);
+            st.pending.confirms.retain(|c| c.link != l);
+            st.pending.cancels.push(GrantFix {
+                link: l,
+                tx: mine.tx,
+                rx: mine.rx,
+                range: r,
+            });
+            if mine.tx == me && st.confirmed.remove(&l).is_some() {
+                *retries += 1;
+                if let Some(&d) = st.my_demands.get(&l) {
+                    st.enqueue_request(l, d);
+                }
+            }
+        }
+    }
+}
+
+fn within_one_hop(topo: &MeshTopology, a: NodeId, b: NodeId) -> bool {
+    a == b || topo.link_between(a, b).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimesh_conflict::{ConflictGraph, InterferenceModel};
+    use wimesh_topology::generators;
+    use wimesh_topology::routing::GatewayRouting;
+
+    fn uplink_demands(topo: &MeshTopology, gateway: NodeId, per_link: u32) -> Demands {
+        let routing = GatewayRouting::new(topo, gateway).unwrap();
+        let mut demands = Demands::new();
+        for link in routing.uplink_links(topo) {
+            demands.set(link, per_link);
+        }
+        demands
+    }
+
+    fn check_converges(topo: &MeshTopology, demands: &Demands, config: ReservationConfig) {
+        let out = run_distributed(topo, demands, config).unwrap();
+        assert!(
+            out.converged,
+            "did not converge in {} frames",
+            out.frames_elapsed
+        );
+        for (link, d) in demands.iter() {
+            let r = out.schedule.slot_range(link).expect("missing reservation");
+            assert_eq!(r.len, d, "wrong grant size on {link}");
+        }
+        let cg = ConflictGraph::build_for_links(
+            topo,
+            demands.links().collect(),
+            InterferenceModel::protocol_default(),
+        );
+        if let Err((a, b)) = out.schedule.validate(&cg) {
+            panic!("conflicting reservations on {a} and {b}");
+        }
+    }
+
+    #[test]
+    fn single_link() {
+        let topo = generators::chain(2);
+        let mut demands = Demands::new();
+        demands.set(topo.link_between(NodeId(0), NodeId(1)).unwrap(), 4);
+        let out = run_distributed(&topo, &demands, ReservationConfig::default()).unwrap();
+        assert!(out.converged);
+        assert!(out.frames_elapsed <= 5);
+        assert_eq!(out.schedule.busy_slots(), 4);
+    }
+
+    #[test]
+    fn chain_uplink_converges_conflict_free() {
+        let topo = generators::chain(6);
+        let demands = uplink_demands(&topo, NodeId(0), 8);
+        check_converges(&topo, &demands, ReservationConfig::default());
+    }
+
+    #[test]
+    fn grid_uplink_converges_conflict_free() {
+        let topo = generators::grid(3, 3);
+        let demands = uplink_demands(&topo, NodeId(0), 4);
+        check_converges(&topo, &demands, ReservationConfig::default());
+    }
+
+    #[test]
+    fn larger_grid_converges_conflict_free() {
+        let topo = generators::grid(4, 4);
+        let demands = uplink_demands(&topo, NodeId(5), 3);
+        check_converges(&topo, &demands, ReservationConfig::default());
+    }
+
+    #[test]
+    fn star_converges() {
+        let topo = generators::star(6);
+        let demands = uplink_demands(&topo, NodeId(0), 10);
+        check_converges(&topo, &demands, ReservationConfig::default());
+    }
+
+    #[test]
+    fn binary_tree_converges() {
+        let topo = generators::binary_tree(3);
+        let demands = uplink_demands(&topo, NodeId(0), 4);
+        check_converges(&topo, &demands, ReservationConfig::default());
+    }
+
+    #[test]
+    fn both_directions_converge() {
+        // Uplink and downlink demand on every tree edge.
+        let topo = generators::chain(5);
+        let routing = GatewayRouting::new(&topo, NodeId(0)).unwrap();
+        let mut demands = Demands::new();
+        for link in routing.uplink_links(&topo) {
+            demands.set(link, 4);
+            let l = *topo.link(link).unwrap();
+            let rev = topo.link_between(l.rx, l.tx).unwrap();
+            demands.set(rev, 4);
+        }
+        check_converges(&topo, &demands, ReservationConfig::default());
+    }
+
+    #[test]
+    fn oversized_demand_rejected() {
+        let topo = generators::chain(2);
+        let mut demands = Demands::new();
+        demands.set(topo.link_between(NodeId(0), NodeId(1)).unwrap(), 300);
+        let err = run_distributed(&topo, &demands, ReservationConfig::default()).unwrap_err();
+        assert!(matches!(err, ScheduleError::FrameTooShort { .. }));
+    }
+
+    #[test]
+    fn insufficient_capacity_does_not_converge() {
+        // A star center must serialize all leaf links: 6 x 100 slots in a
+        // 256-slot frame cannot fit.
+        let topo = generators::star(6);
+        let demands = uplink_demands(&topo, NodeId(0), 100);
+        let config = ReservationConfig {
+            max_frames: 50,
+            ..ReservationConfig::default()
+        };
+        let out = run_distributed(&topo, &demands, config).unwrap();
+        assert!(!out.converged);
+        let cg = ConflictGraph::build_for_links(
+            &topo,
+            demands.links().collect(),
+            InterferenceModel::protocol_default(),
+        );
+        assert!(out.schedule.validate(&cg).is_ok());
+    }
+
+    #[test]
+    fn empty_demands_converge_immediately() {
+        let topo = generators::chain(4);
+        let out = run_distributed(&topo, &Demands::new(), ReservationConfig::default()).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.frames_elapsed, 0);
+        assert_eq!(out.messages_sent, 0);
+    }
+
+    #[test]
+    fn messages_scale_with_links() {
+        let topo = generators::chain(5);
+        let demands = uplink_demands(&topo, NodeId(0), 2);
+        let out = run_distributed(&topo, &demands, ReservationConfig::default()).unwrap();
+        // 4 links, each needing request + grant + confirm, possibly
+        // bundled into fewer broadcasts.
+        assert!(out.messages_sent >= 6, "messages {}", out.messages_sent);
+        assert!(out.converged);
+    }
+}
+

@@ -1,0 +1,91 @@
+//! Property tests for the 802.16 mesh MAC: election uniqueness and the
+//! distributed protocol's safety (conflict-freeness) and liveness
+//! (convergence when capacity suffices) over random instances.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wimesh_conflict::{ConflictGraph, InterferenceModel};
+use wimesh_mac80216::election::{wins, MeshElection};
+use wimesh_mac80216::reservation::{run_distributed, ReservationConfig};
+use wimesh_tdma::{Demands, FrameConfig};
+use wimesh_topology::routing::GatewayRouting;
+use wimesh_topology::{generators, MeshTopology, NodeId};
+
+fn arb_mesh() -> impl Strategy<Value = MeshTopology> {
+    (3usize..12, any::<u64>(), 0usize..6).prop_map(|(n, seed, extra)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut topo = generators::random_tree(n, &mut rng);
+        use rand::Rng;
+        for _ in 0..extra {
+            let a = NodeId(rng.gen_range(0..n as u32));
+            let b = NodeId(rng.gen_range(0..n as u32));
+            if a != b && topo.link_between(a, b).is_none() {
+                topo.add_bidirectional(a, b).expect("checked");
+            }
+        }
+        topo
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exactly_one_winner_in_any_competitor_set(
+        (ids, opp) in (proptest::collection::btree_set(0u32..64, 1..12), 0u32..10_000)
+    ) {
+        let nodes: Vec<NodeId> = ids.into_iter().map(NodeId).collect();
+        let winners = nodes
+            .iter()
+            .filter(|&&n| wins(n, opp, &nodes))
+            .count();
+        prop_assert_eq!(winners, 1);
+    }
+
+    #[test]
+    fn topology_winners_are_two_hop_separated((topo, opp) in (arb_mesh(), 0u32..2000)) {
+        let election = MeshElection::new(&topo);
+        let winners = election.winners(opp);
+        prop_assert!(!winners.is_empty(), "someone always wins");
+        for (i, &a) in winners.iter().enumerate() {
+            for &b in &winners[i + 1..] {
+                let d = topo.hop_distance(a, b).expect("connected");
+                prop_assert!(d > 2, "winners {a} and {b} only {d} hops apart");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_protocol_is_safe_and_live(
+        (topo, per_link) in (arb_mesh(), 1u32..6)
+    ) {
+        let routing = GatewayRouting::new(&topo, NodeId(0)).expect("node 0 exists");
+        let mut demands = Demands::new();
+        for link in routing.uplink_links(&topo) {
+            demands.set(link, per_link);
+        }
+        let out = run_distributed(
+            &topo,
+            &demands,
+            ReservationConfig {
+                frame: FrameConfig::new(256, 40),
+                opportunities_per_frame: 4,
+                max_frames: 2000,
+            },
+        )
+        .expect("demand within frame");
+        // Safety: whatever got reserved never conflicts.
+        let graph = ConflictGraph::build_for_links(
+            &topo,
+            demands.links().collect(),
+            InterferenceModel::protocol_default(),
+        );
+        prop_assert!(out.schedule.validate(&graph).is_ok(), "conflicting reservations");
+        // Liveness: tree uplinks at this size always fit 256 slots.
+        prop_assert!(out.converged, "did not converge in 2000 frames");
+        for (link, d) in demands.iter() {
+            prop_assert_eq!(out.schedule.slot_range(link).expect("reserved").len, d);
+        }
+    }
+}

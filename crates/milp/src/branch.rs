@@ -1,0 +1,380 @@
+//! Best-first branch & bound over the LP relaxation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::model::{Model, Solution, SolveError, VarKind};
+
+/// Tuning knobs for [`Model::solve_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Maximum branch & bound nodes to explore before giving up.
+    pub max_nodes: usize,
+    /// A solution within `abs_gap` of the best bound is accepted as
+    /// optimal.
+    pub abs_gap: f64,
+    /// Values within `int_tol` of an integer count as integral.
+    pub int_tol: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            max_nodes: 200_000,
+            abs_gap: 1e-6,
+            int_tol: 1e-6,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A configuration with a custom node budget.
+    pub fn with_max_nodes(max_nodes: usize) -> Self {
+        Self {
+            max_nodes,
+            ..Self::default()
+        }
+    }
+}
+
+/// A pending subproblem. Ordered so the heap pops the *best bound* first
+/// (max-heap on the score, where score = bound made sense-independent).
+struct Node {
+    /// LP bound of this node, normalized so larger is always better.
+    score: f64,
+    /// Per-variable bounds for this subproblem.
+    bounds: Vec<(f64, f64)>,
+    depth: usize,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+            // Prefer deeper nodes on ties: dives to incumbents faster.
+            .then(self.depth.cmp(&other.depth))
+    }
+}
+
+pub(crate) fn branch_and_bound(
+    model: &Model,
+    config: &SolverConfig,
+) -> Result<Solution, SolveError> {
+    let maximize = matches!(model.sense(), crate::Sense::Maximize);
+    // Normalize: score = objective if maximizing else -objective, so
+    // higher score is always "better" and the heap is a max-heap on it.
+    let to_score = |obj: f64| if maximize { obj } else { -obj };
+
+    let root_bounds: Vec<(f64, f64)> = model
+        .vars()
+        .iter()
+        .map(|v| {
+            // Integer bounds can be tightened to the integral range.
+            if v.kind == VarKind::Continuous {
+                (v.lb, v.ub)
+            } else {
+                (v.lb.ceil(), v.ub.floor())
+            }
+        })
+        .collect();
+
+    let mut heap = BinaryHeap::new();
+    let mut nodes_explored = 0usize;
+    let mut incumbent: Option<(Vec<f64>, f64)> = None;
+
+    match model.solve_relaxation(Some(&root_bounds)) {
+        Ok((_, obj)) => {
+            heap.push(Node {
+                score: to_score(obj),
+                bounds: root_bounds,
+                depth: 0,
+            });
+        }
+        Err(SolveError::Infeasible) => return Err(SolveError::Infeasible),
+        Err(e) => return Err(e),
+    }
+
+    while let Some(node) = heap.pop() {
+        // Bound-based pruning: the heap is best-first, so once the best
+        // remaining bound cannot beat the incumbent we are done.
+        if let Some((_, inc_obj)) = &incumbent {
+            if node.score <= to_score(*inc_obj) + config.abs_gap {
+                break;
+            }
+        }
+        if nodes_explored >= config.max_nodes {
+            break;
+        }
+        nodes_explored += 1;
+
+        let (values, obj) = match model.solve_relaxation(Some(&node.bounds)) {
+            Ok(r) => r,
+            Err(SolveError::Infeasible) => continue,
+            Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
+            Err(e) => return Err(e),
+        };
+        if let Some((_, inc_obj)) = &incumbent {
+            if to_score(obj) <= to_score(*inc_obj) + config.abs_gap {
+                continue;
+            }
+        }
+
+        // Most-fractional branching.
+        let mut branch_var: Option<(usize, f64)> = None;
+        let mut best_frac = config.int_tol;
+        for (i, v) in model.vars().iter().enumerate() {
+            if v.kind == VarKind::Continuous {
+                continue;
+            }
+            let x = values[i];
+            let frac = (x - x.round()).abs();
+            let dist_to_half = (frac - 0.5).abs();
+            if frac > config.int_tol {
+                let score = 0.5 - dist_to_half; // closer to .5 = more fractional
+                if branch_var.is_none() || score > best_frac {
+                    best_frac = score;
+                    branch_var = Some((i, x));
+                }
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integral: candidate incumbent. Round integer values
+                // exactly before storing.
+                let mut snapped = values.clone();
+                for (i, v) in model.vars().iter().enumerate() {
+                    if v.kind != VarKind::Continuous {
+                        snapped[i] = snapped[i].round();
+                    }
+                }
+                let snapped_obj = model.evaluate_objective(&snapped);
+                let better = match &incumbent {
+                    None => true,
+                    Some((_, inc)) => to_score(snapped_obj) > to_score(*inc),
+                };
+                if better {
+                    incumbent = Some((snapped, snapped_obj));
+                }
+            }
+            Some((var, x)) => {
+                let floor = x.floor();
+                // Down child: ub = floor; Up child: lb = floor + 1.
+                let mut down = node.bounds.clone();
+                down[var].1 = down[var].1.min(floor);
+                let mut up = node.bounds.clone();
+                up[var].0 = up[var].0.max(floor + 1.0);
+                for child in [down, up] {
+                    if child[var].0 > child[var].1 + 1e-12 {
+                        continue;
+                    }
+                    if let Ok((_, child_obj)) = model.solve_relaxation(Some(&child)) {
+                        let score = to_score(child_obj);
+                        let keep = match &incumbent {
+                            None => true,
+                            Some((_, inc)) => score > to_score(*inc) + config.abs_gap,
+                        };
+                        if keep {
+                            heap.push(Node {
+                                score,
+                                bounds: child,
+                                depth: node.depth + 1,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some((values, objective)) => Ok(Solution::from_parts(
+            values,
+            objective,
+            nodes_explored,
+            nodes_explored >= config.max_nodes && !heap.is_empty(),
+        )),
+        None => {
+            if nodes_explored >= config.max_nodes {
+                Err(SolveError::NodeLimit)
+            } else {
+                Err(SolveError::Infeasible)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinExpr, Model, Sense};
+
+    /// Brute-force optimum of a pure-binary model by enumeration.
+    fn brute_force_binary(model: &Model, n: usize) -> Option<f64> {
+        let maximize = matches!(model.sense(), Sense::Maximize);
+        let mut best: Option<f64> = None;
+        for mask in 0..(1u32 << n) {
+            let values: Vec<f64> = (0..n)
+                .map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 })
+                .collect();
+            if model.is_feasible(&values, 1e-9) {
+                let obj = model.evaluate_objective(&values);
+                best = Some(match best {
+                    None => obj,
+                    Some(b) => {
+                        if maximize {
+                            b.max(obj)
+                        } else {
+                            b.min(obj)
+                        }
+                    }
+                });
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn knapsack_matches_brute_force() {
+        // 0/1 knapsack: weights/values chosen to make LP rounding wrong.
+        let weights = [6.0, 5.0, 5.0, 1.0];
+        let values = [10.0, 8.0, 8.0, 1.0];
+        let cap = 10.0;
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..4).map(|i| m.add_binary_var(&format!("x{i}"))).collect();
+        let mut w = LinExpr::new();
+        let mut v = LinExpr::new();
+        for i in 0..4 {
+            w.add_term(vars[i], weights[i]);
+            v.add_term(vars[i], values[i]);
+        }
+        m.add_le(w, cap);
+        m.set_objective(Sense::Maximize, v);
+        let sol = m.solve().unwrap();
+        let brute = brute_force_binary(&m, 4).unwrap();
+        assert!((sol.objective() - brute).abs() < 1e-6);
+        assert!((sol.objective() - 16.0).abs() < 1e-6); // items 2,3 (weight 10)
+    }
+
+    #[test]
+    fn set_cover_minimize() {
+        // Cover {1,2,3} with sets A={1,2} B={2,3} C={1,3} D={1,2,3};
+        // costs 1,1,1,2.1 -> best is two singles (cost 2).
+        let mut m = Model::new();
+        let a = m.add_binary_var("a");
+        let b = m.add_binary_var("b");
+        let c = m.add_binary_var("c");
+        let d = m.add_binary_var("d");
+        m.add_ge(a + c + d, 1.0); // element 1
+        m.add_ge(a + b + d, 1.0); // element 2
+        m.add_ge(b + c + d, 1.0); // element 3
+        m.set_objective(Sense::Minimize, a + b + c + 2.1 * d);
+        let sol = m.solve().unwrap();
+        let brute = brute_force_binary(&m, 4).unwrap();
+        assert!((sol.objective() - brute).abs() < 1e-6);
+        assert!((sol.objective() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 2x + y, x integer, y continuous; x + y <= 3.5; x <= 2.2.
+        let mut m = Model::new();
+        let x = m.add_integer_var(0.0, 10.0, "x");
+        let y = m.add_var(0.0, 10.0, "y");
+        m.add_le(x + y, 3.5);
+        m.add_le(LinExpr::from(x), 2.2);
+        m.set_objective(Sense::Maximize, 2.0 * x + y);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-6);
+        assert!((sol.value(y) - 1.5).abs() < 1e-6);
+        assert!((sol.objective() - 5.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        // A model guaranteed to need branching with a 0-node budget.
+        let mut m = Model::new();
+        let x = m.add_integer_var(0.0, 10.0, "x");
+        m.add_le(2.0 * x, 5.0);
+        m.set_objective(Sense::Maximize, LinExpr::from(x));
+        let cfg = SolverConfig::with_max_nodes(0);
+        assert_eq!(m.solve_with(&cfg).unwrap_err(), SolveError::NodeLimit);
+    }
+
+    #[test]
+    fn equality_constrained_integers() {
+        // x + y = 7, x - y = 1 over integers -> (4, 3).
+        let mut m = Model::new();
+        let x = m.add_integer_var(0.0, 100.0, "x");
+        let y = m.add_integer_var(0.0, 100.0, "y");
+        m.add_eq(x + y, 7.0);
+        m.add_eq(x - y, 1.0);
+        m.set_objective(Sense::Minimize, x + y);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 4.0).abs() < 1e-6);
+        assert!((sol.value(y) - 3.0).abs() < 1e-6);
+        assert_eq!(sol.nodes_explored(), 1);
+    }
+
+    #[test]
+    fn random_binary_models_match_brute_force() {
+        // Deterministic pseudo-random family of small binary programs.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        for trial in 0..25 {
+            let n = 3 + (trial % 5);
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..n).map(|i| m.add_binary_var(&format!("v{i}"))).collect();
+            // 2 random <= constraints, 1 random >= constraint.
+            for _ in 0..2 {
+                let mut e = LinExpr::new();
+                for &v in &vars {
+                    e.add_term(v, (next() * 10.0).round());
+                }
+                m.add_le(e, (next() * 10.0 * n as f64 / 2.0).round());
+            }
+            let mut e = LinExpr::new();
+            for &v in &vars {
+                e.add_term(v, (next() * 4.0).round());
+            }
+            m.add_ge(e, (next() * 3.0).round());
+            let mut obj = LinExpr::new();
+            for &v in &vars {
+                obj.add_term(v, (next() * 20.0).round() - 5.0);
+            }
+            m.set_objective(Sense::Maximize, obj);
+
+            let brute = brute_force_binary(&m, n);
+            match m.solve() {
+                Ok(sol) => {
+                    let brute = brute.expect("solver found a solution, brute force must too");
+                    assert!(
+                        (sol.objective() - brute).abs() < 1e-6,
+                        "trial {trial}: solver {} vs brute {brute}",
+                        sol.objective()
+                    );
+                    assert!(m.is_feasible(sol.values(), 1e-6));
+                }
+                Err(SolveError::Infeasible) => {
+                    assert!(brute.is_none(), "trial {trial}: solver said infeasible");
+                }
+                Err(e) => panic!("trial {trial}: unexpected error {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Linear expressions and variable handles.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Handle to a decision variable in a [`Model`](crate::Model).
+///
+/// Variable ids are dense per model; using a `VarId` from one model in
+/// another is a logic error that [`Model`](crate::Model) methods catch by
+/// bounds-checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Dense index of the variable within its model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression `sum(coef_i * var_i) + constant`.
+///
+/// Built with ordinary arithmetic: `2.0 * x + y - 3.0` works for
+/// `x, y: VarId`. Terms on the same variable are merged.
+///
+/// # Example
+///
+/// ```
+/// use wimesh_milp::{LinExpr, Model};
+///
+/// let mut m = Model::new();
+/// let x = m.add_var(0.0, 10.0, "x");
+/// let y = m.add_var(0.0, 10.0, "y");
+/// let e: LinExpr = 2.0 * x + y - 3.0;
+/// assert_eq!(e.coef(x), 2.0);
+/// assert_eq!(e.coef(y), 1.0);
+/// assert_eq!(e.constant(), -3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinExpr {
+    /// coefficient per variable, sorted by variable id.
+    terms: BTreeMap<VarId, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A constant expression.
+    pub fn constant_expr(c: f64) -> Self {
+        Self {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// A single term `coef * var`.
+    pub fn term(var: VarId, coef: f64) -> Self {
+        let mut terms = BTreeMap::new();
+        if coef != 0.0 {
+            terms.insert(var, coef);
+        }
+        Self {
+            terms,
+            constant: 0.0,
+        }
+    }
+
+    /// Adds `coef * var` in place.
+    pub fn add_term(&mut self, var: VarId, coef: f64) {
+        let entry = self.terms.entry(var).or_insert(0.0);
+        *entry += coef;
+        if *entry == 0.0 {
+            self.terms.remove(&var);
+        }
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, c: f64) {
+        self.constant += c;
+    }
+
+    /// Coefficient of `var` (0 if absent).
+    pub fn coef(&self, var: VarId) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// The constant part.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterator over `(var, coef)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Number of variables with nonzero coefficient.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Evaluates the expression at a dense assignment (indexed by
+    /// `VarId::index`). Missing entries count as zero.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(v, c)| c * values.get(v.0).copied().unwrap_or(0.0))
+                .sum::<f64>()
+    }
+
+    /// Largest variable index referenced, if any.
+    pub fn max_var_index(&self) -> Option<usize> {
+        self.terms.keys().next_back().map(|v| v.0)
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant_expr(c)
+    }
+}
+
+// --- operator impls -------------------------------------------------------
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: f64) -> LinExpr {
+        if k == 0.0 {
+            return LinExpr::new();
+        }
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.constant *= k;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, e: LinExpr) -> LinExpr {
+        e * self
+    }
+}
+
+impl Add<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, v: VarId) -> LinExpr {
+        self + LinExpr::from(v)
+    }
+}
+
+impl Sub<VarId> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, v: VarId) -> LinExpr {
+        self - LinExpr::from(v)
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, c: f64) -> LinExpr {
+        self.constant += c;
+        self
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, c: f64) -> LinExpr {
+        self.constant -= c;
+        self
+    }
+}
+
+impl Add<VarId> for VarId {
+    type Output = LinExpr;
+    fn add(self, v: VarId) -> LinExpr {
+        LinExpr::from(self) + v
+    }
+}
+
+impl Sub<VarId> for VarId {
+    type Output = LinExpr;
+    fn sub(self, v: VarId) -> LinExpr {
+        LinExpr::from(self) - LinExpr::from(v)
+    }
+}
+
+impl Add<f64> for VarId {
+    type Output = LinExpr;
+    fn add(self, c: f64) -> LinExpr {
+        LinExpr::from(self) + c
+    }
+}
+
+impl Sub<f64> for VarId {
+    type Output = LinExpr;
+    fn sub(self, c: f64) -> LinExpr {
+        LinExpr::from(self) - c
+    }
+}
+
+impl Mul<VarId> for f64 {
+    type Output = LinExpr;
+    fn mul(self, v: VarId) -> LinExpr {
+        LinExpr::term(v, self)
+    }
+}
+
+impl Add<VarId> for f64 {
+    type Output = LinExpr;
+    fn add(self, v: VarId) -> LinExpr {
+        LinExpr::from(v) + self
+    }
+}
+
+impl Sub<VarId> for f64 {
+    type Output = LinExpr;
+    fn sub(self, v: VarId) -> LinExpr {
+        LinExpr::term(v, -1.0) + self
+    }
+}
+
+impl Add<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn add(self, e: LinExpr) -> LinExpr {
+        e + self
+    }
+}
+
+impl Sub<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn sub(self, e: LinExpr) -> LinExpr {
+        -e + self
+    }
+}
+
+impl Add<LinExpr> for VarId {
+    type Output = LinExpr;
+    fn add(self, e: LinExpr) -> LinExpr {
+        LinExpr::from(self) + e
+    }
+}
+
+impl Sub<LinExpr> for VarId {
+    type Output = LinExpr;
+    fn sub(self, e: LinExpr) -> LinExpr {
+        LinExpr::from(self) - e
+    }
+}
+
+impl Neg for VarId {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        LinExpr::term(self, -1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn build_and_merge_terms() {
+        let e = 2.0 * v(0) + v(1) + 3.0 * v(0) - 1.5;
+        assert_eq!(e.coef(v(0)), 5.0);
+        assert_eq!(e.coef(v(1)), 1.0);
+        assert_eq!(e.coef(v(2)), 0.0);
+        assert_eq!(e.constant(), -1.5);
+        assert_eq!(e.term_count(), 2);
+    }
+
+    #[test]
+    fn cancelling_terms_are_removed() {
+        let e = 2.0 * v(0) - 2.0 * v(0) + v(1);
+        assert_eq!(e.term_count(), 1);
+        assert_eq!(e.coef(v(0)), 0.0);
+    }
+
+    #[test]
+    fn negation_and_scaling() {
+        let e = -(2.0 * v(0) + 1.0);
+        assert_eq!(e.coef(v(0)), -2.0);
+        assert_eq!(e.constant(), -1.0);
+        let e2 = e * -0.5;
+        assert_eq!(e2.coef(v(0)), 1.0);
+        assert_eq!(e2.constant(), 0.5);
+        let zero = e2 * 0.0;
+        assert_eq!(zero.term_count(), 0);
+        assert_eq!(zero.constant(), 0.0);
+    }
+
+    #[test]
+    fn var_minus_var() {
+        let e = v(3) - v(1);
+        assert_eq!(e.coef(v(3)), 1.0);
+        assert_eq!(e.coef(v(1)), -1.0);
+    }
+
+    #[test]
+    fn eval_assignment() {
+        let e = 2.0 * v(0) + 3.0 * v(2) + 1.0;
+        assert_eq!(e.eval(&[1.0, 99.0, 2.0]), 9.0);
+        // Missing values count as 0.
+        assert_eq!(e.eval(&[1.0]), 3.0);
+    }
+
+    #[test]
+    fn max_var_index() {
+        let e = v(2) + v(7);
+        assert_eq!(e.max_var_index(), Some(7));
+        assert_eq!(LinExpr::constant_expr(1.0).max_var_index(), None);
+    }
+
+    #[test]
+    fn iter_is_sorted_by_var() {
+        let e = v(5) + v(1) + v(3);
+        let ids: Vec<usize> = e.iter().map(|(v, _)| v.index()).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+}

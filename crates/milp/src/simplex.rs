@@ -1,0 +1,409 @@
+//! Dense two-phase primal simplex.
+//!
+//! Operates on the standard form `min c'x  s.t.  Ax = b, x >= 0, b >= 0`.
+//! The [`crate::model`] module lowers general models (bounds, <=, >=, =)
+//! into this form and maps solutions back.
+//!
+//! Implementation notes:
+//!
+//! * Full-tableau method: the tableau holds `B^-1 A | B^-1 b`; the reduced
+//!   cost row is rebuilt per phase and updated per pivot.
+//! * Dantzig (most negative reduced cost) pricing with an automatic switch
+//!   to Bland's rule after a stall, which guarantees termination on
+//!   degenerate problems.
+//! * Artificial variables only on rows whose slack cannot seed the basis.
+
+/// Numeric tolerance for feasibility/optimality decisions.
+pub(crate) const EPS: f64 = 1e-9;
+
+/// A linear program in standard form (`min c'x, Ax = b, x >= 0`).
+#[derive(Debug, Clone)]
+pub(crate) struct StandardLp {
+    /// Row-major constraint matrix, `rows x cols`.
+    pub a: Vec<Vec<f64>>,
+    /// Right-hand sides (must be >= 0).
+    pub b: Vec<f64>,
+    /// Objective coefficients (length `cols`).
+    pub c: Vec<f64>,
+    /// For each row, the column index of a slack variable with a `+1`
+    /// coefficient usable as the initial basic variable, if any.
+    pub basis_seed: Vec<Option<usize>>,
+}
+
+/// Result of a simplex run.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum SimplexOutcome {
+    /// Optimal solution found: values for all standard-form columns plus
+    /// the optimal objective.
+    Optimal { x: Vec<f64>, objective: f64 },
+    /// The constraints admit no solution.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The iteration limit was hit (numerical trouble).
+    IterationLimit,
+}
+
+struct Tableau {
+    /// `rows x (cols + 1)`; the last column is the rhs.
+    t: Vec<Vec<f64>>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, row: usize) -> f64 {
+        self.t[row][self.cols]
+    }
+
+    /// Pivot on `(row, col)`: make column `col` basic in `row`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.t[row][col];
+        debug_assert!(p.abs() > EPS, "pivot on ~zero element");
+        let inv = 1.0 / p;
+        for v in self.t[row].iter_mut() {
+            *v *= inv;
+        }
+        // Snapshot the pivot row to avoid aliasing while updating others.
+        let pivot_row = self.t[row].clone();
+        for r in 0..self.rows {
+            if r == row {
+                continue;
+            }
+            let factor = self.t[r][col];
+            if factor != 0.0 {
+                for (v, pv) in self.t[r].iter_mut().zip(&pivot_row) {
+                    *v -= factor * pv;
+                }
+                self.t[r][col] = 0.0; // kill residual rounding error
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Reduced costs `r_j = c_j - c_B' (B^-1 A_j)` and the current
+    /// objective value `c_B' x_B` for cost vector `c`.
+    fn reduced_costs_with_obj(&self, c: &[f64]) -> (Vec<f64>, f64) {
+        let mut r = c.to_vec();
+        let mut obj = 0.0;
+        for (row, &bcol) in self.basis.iter().enumerate() {
+            let cb = c[bcol];
+            if cb != 0.0 {
+                obj += cb * self.rhs(row);
+                for (rj, tj) in r.iter_mut().zip(&self.t[row]) {
+                    *rj -= cb * tj;
+                }
+            }
+        }
+        (r, obj)
+    }
+}
+
+/// One phase of simplex iterations with incremental reduced costs.
+///
+/// `banned` columns are never chosen to enter (used in phase 2 to keep
+/// artificials out). Returns `Ok(objective)` at optimality.
+fn run_phase(
+    tab: &mut Tableau,
+    c: &[f64],
+    banned_from: usize,
+    max_iters: usize,
+) -> Result<f64, SimplexOutcome> {
+    let (mut r, mut obj) = tab.reduced_costs_with_obj(c);
+    let stall_threshold = 4 * (tab.rows + tab.cols) + 64;
+    let mut stall = 0usize;
+    let mut last_obj = obj;
+    for _ in 0..max_iters {
+        let use_bland = stall > stall_threshold;
+        // Entering column.
+        let mut enter: Option<usize> = None;
+        let scan = banned_from.min(tab.cols);
+        if use_bland {
+            enter = r[..scan].iter().position(|&rj| rj < -EPS);
+        } else {
+            let mut best = -EPS;
+            for (j, &rj) in r[..scan].iter().enumerate() {
+                if rj < best {
+                    best = rj;
+                    enter = Some(j);
+                }
+            }
+        }
+        let Some(j) = enter else {
+            return Ok(obj);
+        };
+        // Ratio test: min b_i / t_ij over t_ij > 0; ties -> smallest basis
+        // column (lexicographic-ish anti-cycling aid).
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..tab.rows {
+            let a = tab.t[i][j];
+            if a > EPS {
+                let ratio = tab.rhs(i) / a;
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leave.is_some_and(|l| tab.basis[i] < tab.basis[l]));
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(i) = leave else {
+            return Err(SimplexOutcome::Unbounded);
+        };
+        tab.pivot(i, j);
+        // Update reduced costs incrementally: r -= r_j * pivot_row.
+        let pivot_row = &tab.t[i];
+        let delta = r[j];
+        if delta != 0.0 {
+            for (rk, pv) in r.iter_mut().zip(pivot_row.iter()) {
+                *rk -= delta * pv;
+            }
+            // Entering variable moves from 0 to the new rhs value, changing
+            // the objective by r_j * theta.
+            obj += delta * pivot_row[tab.cols];
+        }
+        r[j] = 0.0;
+        // Stall detection for Bland switch.
+        if (obj - last_obj).abs() <= EPS {
+            stall += 1;
+        } else {
+            stall = 0;
+            last_obj = obj;
+        }
+    }
+    Err(SimplexOutcome::IterationLimit)
+}
+
+/// Solves a standard-form LP with the two-phase method.
+pub(crate) fn solve(lp: &StandardLp) -> SimplexOutcome {
+    let rows = lp.a.len();
+    let cols = lp.c.len();
+    debug_assert!(lp.b.iter().all(|&b| b >= -EPS), "standard form needs b >= 0");
+    if rows == 0 {
+        // No constraints: optimum is 0 with x = 0 unless some c_j < 0 with
+        // no upper bound (the model layer always adds bound rows, so a
+        // negative cost here means unbounded).
+        if lp.c.iter().any(|&cj| cj < -EPS) {
+            return SimplexOutcome::Unbounded;
+        }
+        return SimplexOutcome::Optimal {
+            x: vec![0.0; cols],
+            objective: 0.0,
+        };
+    }
+
+    // Build the tableau with artificial columns where needed.
+    let mut need_artificial: Vec<usize> = Vec::new();
+    for (i, seed) in lp.basis_seed.iter().enumerate() {
+        if seed.is_none() {
+            need_artificial.push(i);
+        }
+    }
+    let total_cols = cols + need_artificial.len();
+    let mut t = vec![vec![0.0; total_cols + 1]; rows];
+    for (ti, (ai, bi)) in t.iter_mut().zip(lp.a.iter().zip(&lp.b)) {
+        ti[..cols].copy_from_slice(ai);
+        ti[total_cols] = bi.max(0.0);
+    }
+    let mut basis = vec![usize::MAX; rows];
+    for (i, seed) in lp.basis_seed.iter().enumerate() {
+        if let Some(s) = seed {
+            basis[i] = *s;
+        }
+    }
+    for (k, &i) in need_artificial.iter().enumerate() {
+        t[i][cols + k] = 1.0;
+        basis[i] = cols + k;
+    }
+    let mut tab = Tableau {
+        t,
+        basis,
+        rows,
+        cols: total_cols,
+    };
+
+    let max_iters = 200 * (rows + total_cols) + 2000;
+
+    // Phase 1: minimize the sum of artificials (skip if none).
+    if !need_artificial.is_empty() {
+        let mut c1 = vec![0.0; total_cols];
+        for k in 0..need_artificial.len() {
+            c1[cols + k] = 1.0;
+        }
+        match run_phase(&mut tab, &c1, total_cols, max_iters) {
+            Ok(obj) => {
+                if obj > 1e-6 {
+                    return SimplexOutcome::Infeasible;
+                }
+            }
+            Err(SimplexOutcome::Unbounded) => {
+                // Phase 1 objective is bounded below by 0; an "unbounded"
+                // report means numerical trouble.
+                return SimplexOutcome::IterationLimit;
+            }
+            Err(other) => return other,
+        }
+        // Drive remaining artificials out of the basis.
+        for row in 0..tab.rows {
+            if tab.basis[row] >= cols {
+                // Degenerate artificial at value ~0; pivot in any real
+                // column with a nonzero entry.
+                let col = (0..cols).find(|&j| tab.t[row][j].abs() > 1e-7);
+                match col {
+                    Some(j) => tab.pivot(row, j),
+                    None => {
+                        // Redundant row: harmless; pin the artificial at 0
+                        // by leaving it basic (its rhs is 0).
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2: original costs; artificial columns are banned from entering.
+    let mut c2 = vec![0.0; total_cols];
+    c2[..cols].copy_from_slice(&lp.c);
+    match run_phase(&mut tab, &c2, cols, max_iters) {
+        Ok(obj) => {
+            let mut x = vec![0.0; cols];
+            for (row, &bcol) in tab.basis.iter().enumerate() {
+                if bcol < cols {
+                    x[bcol] = tab.rhs(row);
+                }
+            }
+            SimplexOutcome::Optimal { x, objective: obj }
+        }
+        Err(out) => out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// min -x1 - x2  s.t. x1 + x2 + s = 4 (slack at col 2).
+    #[test]
+    fn simple_max_as_min() {
+        let lp = StandardLp {
+            a: vec![vec![1.0, 1.0, 1.0]],
+            b: vec![4.0],
+            c: vec![-1.0, -1.0, 0.0],
+            basis_seed: vec![Some(2)],
+        };
+        match solve(&lp) {
+            SimplexOutcome::Optimal { x, objective } => {
+                assert!((objective + 4.0).abs() < 1e-7);
+                assert!((x[0] + x[1] - 4.0).abs() < 1e-7);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    /// Klee-Minty-ish degenerate case still terminates.
+    #[test]
+    fn degenerate_terminates() {
+        // min -x1 s.t. x1 + s1 = 0, x1 + x2 + s2 = 1
+        let lp = StandardLp {
+            a: vec![vec![1.0, 0.0, 1.0, 0.0], vec![1.0, 1.0, 0.0, 1.0]],
+            b: vec![0.0, 1.0],
+            c: vec![-1.0, 0.0, 0.0, 0.0],
+            basis_seed: vec![Some(2), Some(3)],
+        };
+        match solve(&lp) {
+            SimplexOutcome::Optimal { x, objective } => {
+                assert!((objective - 0.0).abs() < 1e-7);
+                assert!(x[0].abs() < 1e-7);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x1 = 2 and x1 = 5 simultaneously (equality rows, no seeds).
+        let lp = StandardLp {
+            a: vec![vec![1.0], vec![1.0]],
+            b: vec![2.0, 5.0],
+            c: vec![0.0],
+            basis_seed: vec![None, None],
+        };
+        assert_eq!(solve(&lp), SimplexOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x1 s.t. x1 - x2 + s = 1 : x1 can grow with x2.
+        let lp = StandardLp {
+            a: vec![vec![1.0, -1.0, 1.0]],
+            b: vec![1.0],
+            c: vec![-1.0, 0.0, 0.0],
+            basis_seed: vec![Some(2)],
+        };
+        assert_eq!(solve(&lp), SimplexOutcome::Unbounded);
+    }
+
+    #[test]
+    fn equality_rows_via_artificials() {
+        // min x1 + x2 s.t. x1 + 2x2 = 3, 3x1 + x2 = 4 -> x=(1,1), obj 2.
+        let lp = StandardLp {
+            a: vec![vec![1.0, 2.0], vec![3.0, 1.0]],
+            b: vec![3.0, 4.0],
+            c: vec![1.0, 1.0],
+            basis_seed: vec![None, None],
+        };
+        match solve(&lp) {
+            SimplexOutcome::Optimal { x, objective } => {
+                assert!((x[0] - 1.0).abs() < 1e-6, "x = {x:?}");
+                assert!((x[1] - 1.0).abs() < 1e-6);
+                assert!((objective - 2.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_row_tolerated() {
+        // x1 + x2 = 2 stated twice.
+        let lp = StandardLp {
+            a: vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+            b: vec![2.0, 2.0],
+            c: vec![1.0, 0.0],
+            basis_seed: vec![None, None],
+        };
+        match solve(&lp) {
+            SimplexOutcome::Optimal { x, objective } => {
+                assert!(objective.abs() < 1e-6);
+                assert!((x[1] - 2.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_constraints() {
+        let lp = StandardLp {
+            a: vec![],
+            b: vec![],
+            c: vec![1.0, 2.0],
+            basis_seed: vec![],
+        };
+        match solve(&lp) {
+            SimplexOutcome::Optimal { x, objective } => {
+                assert_eq!(x, vec![0.0, 0.0]);
+                assert_eq!(objective, 0.0);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+        let lp2 = StandardLp {
+            a: vec![],
+            b: vec![],
+            c: vec![-1.0],
+            basis_seed: vec![],
+        };
+        assert_eq!(solve(&lp2), SimplexOutcome::Unbounded);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests for the MILP solver: solutions are always feasible;
+//! binary programs match brute-force enumeration; LP optima dominate
+//! every feasible integer point.
+
+use proptest::prelude::*;
+use wimesh_milp::{LinExpr, Model, Sense, SolveError};
+
+/// A random small binary program: up to 6 binaries, a handful of
+/// integer-coefficient constraints, and a mixed-sign objective.
+#[derive(Debug, Clone)]
+struct BinaryProgram {
+    n: usize,
+    /// (coefs, rhs, is_le)
+    constraints: Vec<(Vec<i32>, i32, bool)>,
+    objective: Vec<i32>,
+    maximize: bool,
+}
+
+fn arb_binary_program() -> impl Strategy<Value = BinaryProgram> {
+    (2usize..=6).prop_flat_map(|n| {
+        let cons = proptest::collection::vec(
+            (
+                proptest::collection::vec(-5i32..=8, n),
+                -3i32..=20,
+                any::<bool>(),
+            ),
+            1..=4,
+        );
+        let obj = proptest::collection::vec(-9i32..=9, n);
+        (Just(n), cons, obj, any::<bool>()).prop_map(|(n, constraints, objective, maximize)| {
+            BinaryProgram {
+                n,
+                constraints,
+                objective,
+                maximize,
+            }
+        })
+    })
+}
+
+fn build(p: &BinaryProgram) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..p.n).map(|i| m.add_binary_var(&format!("x{i}"))).collect();
+    for (coefs, rhs, is_le) in &p.constraints {
+        let mut e = LinExpr::new();
+        for (&c, &v) in coefs.iter().zip(&vars) {
+            e.add_term(v, c as f64);
+        }
+        if *is_le {
+            m.add_le(e, *rhs as f64);
+        } else {
+            m.add_ge(e, *rhs as f64);
+        }
+    }
+    let mut obj = LinExpr::new();
+    for (&c, &v) in p.objective.iter().zip(&vars) {
+        obj.add_term(v, c as f64);
+    }
+    m.set_objective(
+        if p.maximize {
+            Sense::Maximize
+        } else {
+            Sense::Minimize
+        },
+        obj,
+    );
+    m
+}
+
+fn brute_force(p: &BinaryProgram, m: &Model) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << p.n) {
+        let values: Vec<f64> = (0..p.n)
+            .map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 })
+            .collect();
+        if m.is_feasible(&values, 1e-9) {
+            let obj: f64 = p
+                .objective
+                .iter()
+                .zip(&values)
+                .map(|(&c, &v)| c as f64 * v)
+                .sum();
+            best = Some(match best {
+                None => obj,
+                Some(b) if p.maximize => b.max(obj),
+                Some(b) => b.min(obj),
+            });
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn binary_programs_match_brute_force(p in arb_binary_program()) {
+        let m = build(&p);
+        let brute = brute_force(&p, &m);
+        match m.solve() {
+            Ok(sol) => {
+                let brute = brute.expect("solver found a point brute force missed entirely");
+                prop_assert!(m.is_feasible(sol.values(), 1e-6), "infeasible 'solution'");
+                prop_assert!(
+                    (sol.objective() - brute).abs() < 1e-6,
+                    "solver {} vs brute {}",
+                    sol.objective(), brute
+                );
+            }
+            Err(SolveError::Infeasible) => {
+                prop_assert!(brute.is_none(), "solver missed feasible point {brute:?}");
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_integer_optimum(p in arb_binary_program()) {
+        // Continuous relaxation of the same program.
+        let mut relaxed = Model::new();
+        let vars: Vec<_> = (0..p.n).map(|i| relaxed.add_var(0.0, 1.0, &format!("x{i}"))).collect();
+        for (coefs, rhs, is_le) in &p.constraints {
+            let mut e = LinExpr::new();
+            for (&c, &v) in coefs.iter().zip(&vars) {
+                e.add_term(v, c as f64);
+            }
+            if *is_le {
+                relaxed.add_le(e, *rhs as f64);
+            } else {
+                relaxed.add_ge(e, *rhs as f64);
+            }
+        }
+        let mut obj = LinExpr::new();
+        for (&c, &v) in p.objective.iter().zip(&vars) {
+            obj.add_term(v, c as f64);
+        }
+        relaxed.set_objective(
+            if p.maximize { Sense::Maximize } else { Sense::Minimize },
+            obj,
+        );
+        let integer = build(&p).solve();
+        let lp = relaxed.solve();
+        if let (Ok(int_sol), Ok(lp_sol)) = (integer, lp) {
+            // The relaxation can only be better or equal.
+            if p.maximize {
+                prop_assert!(lp_sol.objective() >= int_sol.objective() - 1e-6);
+            } else {
+                prop_assert!(lp_sol.objective() <= int_sol.objective() + 1e-6);
+            }
+            prop_assert!(relaxed.is_feasible(lp_sol.values(), 1e-6));
+        }
+    }
+
+    #[test]
+    fn continuous_lp_solutions_are_feasible(
+        n in 2usize..8,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-4i32..=8, 8), 1i32..=30),
+            1..=6,
+        ),
+        obj in proptest::collection::vec(-5i32..=5, 8),
+    ) {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..n).map(|i| m.add_var(0.0, 20.0, &format!("x{i}"))).collect();
+        for (coefs, rhs) in &rows {
+            let mut e = LinExpr::new();
+            for (&c, &v) in coefs.iter().take(n).zip(&vars) {
+                e.add_term(v, c as f64);
+            }
+            m.add_le(e, *rhs as f64);
+        }
+        let mut o = LinExpr::new();
+        for (&c, &v) in obj.iter().take(n).zip(&vars) {
+            o.add_term(v, c as f64);
+        }
+        m.set_objective(Sense::Maximize, o);
+        // Bounded box + <= rows: always feasible (x = 0 works when rhs >= 0;
+        // some rhs may be positive-only per the strategy) and bounded.
+        match m.solve() {
+            Ok(sol) => {
+                prop_assert!(m.is_feasible(sol.values(), 1e-6));
+                // Optimality sanity: no coordinate nudge inside bounds improves.
+                let obj_at = |values: &[f64]| -> f64 {
+                    obj.iter().take(n).zip(values).map(|(&c, &v)| c as f64 * v).sum()
+                };
+                let base = obj_at(sol.values());
+                for i in 0..n {
+                    for delta in [0.5, -0.5] {
+                        let mut probe = sol.values().to_vec();
+                        probe[i] = (probe[i] + delta).clamp(0.0, 20.0);
+                        if m.is_feasible(&probe, 1e-9) {
+                            prop_assert!(
+                                obj_at(&probe) <= base + 1e-6,
+                                "local improvement found at var {i}"
+                            );
+                        }
+                    }
+                }
+            }
+            Err(SolveError::Infeasible) => {
+                // Possible when a row has negative rhs reachable only with
+                // negative coefficients; accept.
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+}

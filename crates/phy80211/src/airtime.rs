@@ -1,0 +1,152 @@
+//! Frame airtime computation.
+//!
+//! Used both by the DCF baseline (frame occupation times) and by the
+//! emulation layer (how long one data exchange needs inside a TDMA
+//! minislot).
+
+use std::time::Duration;
+
+use crate::PhyStandard;
+
+/// 802.11 MAC data header + FCS, bytes (3-address data frame).
+pub const MAC_HEADER_BYTES: u32 = 28;
+/// 802.11 ACK frame body, bytes.
+pub const ACK_BYTES: u32 = 14;
+/// 802.11 RTS frame body, bytes.
+pub const RTS_BYTES: u32 = 20;
+/// 802.11 CTS frame body, bytes.
+pub const CTS_BYTES: u32 = 14;
+
+/// Airtime of `bits` at `rate_mbps` (no preamble).
+fn payload_time(bits: u64, rate_mbps: f64) -> Duration {
+    Duration::from_secs_f64(bits as f64 / (rate_mbps * 1e6))
+}
+
+/// Airtime of a unicast data frame carrying `payload_bytes`: PLCP preamble
+/// plus MAC header + payload at `rate_mbps`.
+///
+/// # Panics
+///
+/// Panics if `rate_mbps` is not a rate of `phy`.
+pub fn data_frame(phy: PhyStandard, payload_bytes: u32, rate_mbps: f64) -> Duration {
+    assert!(
+        phy.supports_rate(rate_mbps),
+        "{rate_mbps} Mbit/s is not a {phy:?} rate"
+    );
+    let bits = (MAC_HEADER_BYTES + payload_bytes) as u64 * 8;
+    phy.timing().preamble + payload_time(bits, rate_mbps)
+}
+
+/// Airtime of an ACK at the base rate.
+pub fn ack_frame(phy: PhyStandard) -> Duration {
+    phy.timing().preamble + payload_time(ACK_BYTES as u64 * 8, phy.base_rate_mbps())
+}
+
+/// Duration of a complete acknowledged unicast exchange (DATA + SIFS +
+/// ACK), excluding DIFS/backoff.
+///
+/// This is the time a successful DCF transmission occupies the channel,
+/// and the minimum time one packet exchange needs inside a TDMA minislot.
+pub fn data_exchange(phy: PhyStandard, payload_bytes: u32, rate_mbps: f64) -> Duration {
+    data_frame(phy, payload_bytes, rate_mbps) + phy.timing().sifs + ack_frame(phy)
+}
+
+/// Extra airtime an RTS/CTS prologue adds to a unicast exchange:
+/// RTS + SIFS + CTS + SIFS, with both control frames at the base rate.
+pub fn rts_cts_overhead(phy: PhyStandard) -> Duration {
+    let base = phy.base_rate_mbps();
+    let t = phy.timing();
+    t.preamble
+        + payload_time(RTS_BYTES as u64 * 8, base)
+        + t.sifs
+        + t.preamble
+        + payload_time(CTS_BYTES as u64 * 8, base)
+        + t.sifs
+}
+
+/// Maximum payload bytes whose [`data_exchange`] fits within `budget`.
+///
+/// Returns 0 when even an empty frame does not fit. Used by the emulation
+/// layer to size minislot capacity.
+pub fn max_payload_in(phy: PhyStandard, budget: Duration, rate_mbps: f64) -> u32 {
+    let fixed = data_exchange(phy, 0, rate_mbps);
+    if budget <= fixed {
+        return 0;
+    }
+    let spare = (budget - fixed).as_secs_f64();
+    (spare * rate_mbps * 1e6 / 8.0).floor() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_frame_time_11a_54() {
+        // 1500 B + 28 B header = 12224 bits at 54 Mbit/s = ~226.4 us + 20 us.
+        let t = data_frame(PhyStandard::Dot11a, 1500, 54.0);
+        let us = t.as_secs_f64() * 1e6;
+        assert!((us - 246.37).abs() < 1.0, "got {us} us");
+    }
+
+    #[test]
+    fn ack_time_11b() {
+        // 14 B at 1 Mbit/s = 112 us + 192 us preamble.
+        let t = ack_frame(PhyStandard::Dot11b);
+        assert_eq!(t.as_micros(), 304);
+    }
+
+    #[test]
+    fn exchange_is_sum_of_parts() {
+        let phy = PhyStandard::Dot11g;
+        let ex = data_exchange(phy, 200, 24.0);
+        let manual = data_frame(phy, 200, 24.0) + phy.timing().sifs + ack_frame(phy);
+        assert_eq!(ex, manual);
+    }
+
+    #[test]
+    fn preamble_overhead_grows_with_rate() {
+        // At higher rates the fixed preamble is a larger fraction of the
+        // exchange: efficiency (payload / total time) saturates.
+        let phy = PhyStandard::Dot11a;
+        let eff = |rate: f64| {
+            let t = data_exchange(phy, 1500, rate).as_secs_f64();
+            1500.0 * 8.0 / (rate * 1e6) / t
+        };
+        assert!(eff(6.0) > eff(54.0));
+    }
+
+    #[test]
+    fn max_payload_roundtrip() {
+        let phy = PhyStandard::Dot11a;
+        let budget = Duration::from_micros(500);
+        let p = max_payload_in(phy, budget, 24.0);
+        assert!(p > 0);
+        assert!(data_exchange(phy, p, 24.0) <= budget);
+        assert!(data_exchange(phy, p + 10, 24.0) > budget);
+    }
+
+    #[test]
+    fn max_payload_zero_when_budget_tiny() {
+        assert_eq!(
+            max_payload_in(PhyStandard::Dot11b, Duration::from_micros(100), 11.0),
+            0
+        );
+    }
+
+    #[test]
+    fn rts_cts_overhead_is_positive_and_base_rate_bound() {
+        let a = rts_cts_overhead(PhyStandard::Dot11a);
+        let b = rts_cts_overhead(PhyStandard::Dot11b);
+        assert!(a > Duration::from_micros(50));
+        // 802.11b control frames at 1 Mbit/s with long preambles cost far
+        // more.
+        assert!(b > 2 * a);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a")]
+    fn invalid_rate_panics() {
+        let _ = data_frame(PhyStandard::Dot11b, 100, 54.0);
+    }
+}

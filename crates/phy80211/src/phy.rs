@@ -1,0 +1,116 @@
+//! PHY standards and their MAC-relevant timing constants.
+
+use std::time::Duration;
+
+/// An 802.11 PHY generation with its timing profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PhyStandard {
+    /// 802.11b DSSS (1/2/5.5/11 Mbit/s, long preamble).
+    Dot11b,
+    /// 802.11a OFDM in 5 GHz (6–54 Mbit/s).
+    Dot11a,
+    /// 802.11g OFDM in 2.4 GHz (6–54 Mbit/s, short slot, 802.11b SIFS).
+    Dot11g,
+}
+
+/// MAC-relevant timing constants of a PHY.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhyTiming {
+    /// Backoff slot time.
+    pub slot: Duration,
+    /// Short interframe space.
+    pub sifs: Duration,
+    /// PLCP preamble + header duration (sent at the base rate).
+    pub preamble: Duration,
+    /// Minimum contention window (slots), `CW_min`.
+    pub cw_min: u32,
+    /// Maximum contention window (slots), `CW_max`.
+    pub cw_max: u32,
+}
+
+impl PhyTiming {
+    /// DIFS = SIFS + 2 slots.
+    pub fn difs(&self) -> Duration {
+        self.sifs + 2 * self.slot
+    }
+}
+
+impl PhyStandard {
+    /// Timing constants per IEEE 802.11-1999 / 802.11a-1999 /
+    /// 802.11g-2003.
+    pub fn timing(&self) -> PhyTiming {
+        match self {
+            PhyStandard::Dot11b => PhyTiming {
+                slot: Duration::from_micros(20),
+                sifs: Duration::from_micros(10),
+                preamble: Duration::from_micros(192),
+                cw_min: 31,
+                cw_max: 1023,
+            },
+            PhyStandard::Dot11a => PhyTiming {
+                slot: Duration::from_micros(9),
+                sifs: Duration::from_micros(16),
+                preamble: Duration::from_micros(20),
+                cw_min: 15,
+                cw_max: 1023,
+            },
+            PhyStandard::Dot11g => PhyTiming {
+                slot: Duration::from_micros(9),
+                sifs: Duration::from_micros(10),
+                preamble: Duration::from_micros(20),
+                cw_min: 15,
+                cw_max: 1023,
+            },
+        }
+    }
+
+    /// Supported data rates in Mbit/s, ascending.
+    pub fn rates_mbps(&self) -> &'static [f64] {
+        match self {
+            PhyStandard::Dot11b => &[1.0, 2.0, 5.5, 11.0],
+            PhyStandard::Dot11a | PhyStandard::Dot11g => {
+                &[6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0]
+            }
+        }
+    }
+
+    /// The base (most robust) rate used for control frames, Mbit/s.
+    pub fn base_rate_mbps(&self) -> f64 {
+        self.rates_mbps()[0]
+    }
+
+    /// Whether `rate_mbps` is a valid rate for this standard.
+    pub fn supports_rate(&self, rate_mbps: f64) -> bool {
+        self.rates_mbps().iter().any(|&r| (r - rate_mbps).abs() < 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difs_derived_from_sifs_and_slot() {
+        let t = PhyStandard::Dot11a.timing();
+        assert_eq!(t.difs(), Duration::from_micros(16 + 18));
+        let t = PhyStandard::Dot11b.timing();
+        assert_eq!(t.difs(), Duration::from_micros(10 + 40));
+    }
+
+    #[test]
+    fn rate_sets() {
+        assert!(PhyStandard::Dot11b.supports_rate(11.0));
+        assert!(!PhyStandard::Dot11b.supports_rate(54.0));
+        assert!(PhyStandard::Dot11a.supports_rate(54.0));
+        assert_eq!(PhyStandard::Dot11g.base_rate_mbps(), 6.0);
+        assert_eq!(PhyStandard::Dot11b.base_rate_mbps(), 1.0);
+    }
+
+    #[test]
+    fn preamble_dominates_on_b() {
+        let b = PhyStandard::Dot11b.timing();
+        let a = PhyStandard::Dot11a.timing();
+        assert!(b.preamble > a.preamble);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the PHY airtime model and packet conservation in
+//! the DCF simulation.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wimesh_phy80211::dcf::{DcfConfig, DcfFlow, DcfSimulation};
+use wimesh_phy80211::{airtime, PhyStandard};
+use wimesh_sim::traffic::CbrSource;
+use wimesh_sim::FlowId;
+use wimesh_topology::{generators, NodeId};
+
+fn arb_phy() -> impl Strategy<Value = PhyStandard> {
+    prop_oneof![
+        Just(PhyStandard::Dot11a),
+        Just(PhyStandard::Dot11b),
+        Just(PhyStandard::Dot11g),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn airtime_monotone_in_payload((phy, rate_idx, a, b) in (arb_phy(), 0usize..8, 0u32..2000, 0u32..2000)) {
+        let rates = phy.rates_mbps();
+        let rate = rates[rate_idx % rates.len()];
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(airtime::data_frame(phy, lo, rate) <= airtime::data_frame(phy, hi, rate));
+        // Exchanges strictly include the data frame plus control traffic.
+        prop_assert!(airtime::data_exchange(phy, hi, rate) > airtime::data_frame(phy, hi, rate));
+    }
+
+    #[test]
+    fn airtime_decreases_with_rate((phy, payload) in (arb_phy(), 1u32..1500)) {
+        let rates = phy.rates_mbps();
+        for w in rates.windows(2) {
+            prop_assert!(
+                airtime::data_frame(phy, payload, w[0]) >= airtime::data_frame(phy, payload, w[1])
+            );
+        }
+    }
+
+    #[test]
+    fn max_payload_is_tight((phy, rate_idx, budget_us) in (arb_phy(), 0usize..8, 100u64..5000)) {
+        let rates = phy.rates_mbps();
+        let rate = rates[rate_idx % rates.len()];
+        let budget = Duration::from_micros(budget_us);
+        let p = airtime::max_payload_in(phy, budget, rate);
+        if p > 0 {
+            prop_assert!(airtime::data_exchange(phy, p, rate) <= budget);
+            // Nanosecond rounding can land p+1 exactly on the budget, so
+            // the complement is >=, not >.
+            prop_assert!(airtime::data_exchange(phy, p + 1, rate) >= budget);
+        }
+    }
+
+}
+
+proptest! {
+    // Packet simulations are the cost driver: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dcf_conserves_packets(
+        (n, interval_ms, bytes, seed) in (2usize..6, 5u64..50, 50u32..1500, any::<u64>())
+    ) {
+        let topo = generators::chain(n);
+        let route: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let flows = vec![DcfFlow {
+            id: FlowId(0),
+            route,
+            source: Box::new(CbrSource::new(Duration::from_millis(interval_ms), bytes)),
+        }];
+        let mut sim = DcfSimulation::new(&topo, DcfConfig::default(), flows);
+        sim.run(Duration::from_secs(2), &mut StdRng::seed_from_u64(seed));
+        let s = sim.flow_stats(0);
+        // Conservation: every sent packet is delivered, dropped, or still
+        // in flight — never duplicated.
+        prop_assert!(s.delivered() + s.dropped() <= s.sent());
+        // In-flight backlog is bounded by the queue capacities.
+        let cap = DcfConfig::default().queue_capacity as u64 * n as u64 + n as u64;
+        prop_assert!(s.sent() - s.delivered() - s.dropped() <= cap);
+        prop_assert!((0.0..=1.0).contains(&s.loss_rate()));
+    }
+
+    #[test]
+    fn dcf_single_link_lossless_when_underloaded(
+        (interval_ms, seed) in (10u64..50, any::<u64>())
+    ) {
+        let topo = generators::chain(2);
+        let flows = vec![DcfFlow {
+            id: FlowId(0),
+            route: vec![NodeId(0), NodeId(1)],
+            source: Box::new(CbrSource::new(Duration::from_millis(interval_ms), 200)),
+        }];
+        let mut sim = DcfSimulation::new(&topo, DcfConfig::default(), flows);
+        sim.run(Duration::from_secs(3), &mut StdRng::seed_from_u64(seed));
+        // A single uncontended link at light load never drops.
+        prop_assert_eq!(sim.flow_stats(0).dropped(), 0);
+        prop_assert!(sim.flow_stats(0).delivered() > 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Traffic source models.
+//!
+//! All sources implement [`TrafficSource`]: a stateful generator that,
+//! asked for the packet after time `now`, returns its arrival time and
+//! payload size. Sources are deterministic given the RNG, so experiments
+//! replay exactly from a seed.
+//!
+//! * [`CbrSource`] — constant bit rate (fixed interval, fixed size).
+//! * [`PoissonSource`] — exponential inter-arrivals.
+//! * [`VoipSource`] — the ITU-T P.59-style on/off conversational model
+//!   used by the companion papers' VoIP simulations: exponential
+//!   talkspurts (mean 1.004 s) alternating with exponential silences
+//!   (mean 1.587 s); packets are emitted at the codec interval only
+//!   during talkspurts.
+
+use std::time::Duration;
+
+use rand::{Rng, RngCore};
+
+use crate::SimTime;
+
+/// A stateful packet-arrival generator.
+///
+/// Object-safe (takes `&mut dyn RngCore`) so simulations can mix source
+/// kinds behind `Box<dyn TrafficSource>`.
+pub trait TrafficSource {
+    /// Returns the next packet arrival strictly after `now`, as
+    /// `(arrival_time, payload_bytes)`.
+    fn next_packet(&mut self, now: SimTime, rng: &mut dyn RngCore) -> (SimTime, u32);
+
+    /// Long-run average offered load in bits per second.
+    fn mean_rate_bps(&self) -> f64;
+}
+
+/// Samples an exponential duration with the given mean.
+///
+/// # Panics
+///
+/// Panics if `mean` is zero.
+pub fn exponential<R: Rng + ?Sized>(mean: Duration, rng: &mut R) -> Duration {
+    assert!(!mean.is_zero(), "exponential mean must be positive");
+    // Inverse CDF; guard the log against u = 0.
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    Duration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+}
+
+/// Constant-bit-rate source: one `payload_bytes` packet every `interval`.
+#[derive(Debug, Clone)]
+pub struct CbrSource {
+    interval: Duration,
+    payload_bytes: u32,
+}
+
+impl CbrSource {
+    /// Creates a CBR source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero or `payload_bytes == 0`.
+    pub fn new(interval: Duration, payload_bytes: u32) -> Self {
+        assert!(!interval.is_zero(), "CBR interval must be positive");
+        assert!(payload_bytes > 0, "CBR payload must be positive");
+        Self {
+            interval,
+            payload_bytes,
+        }
+    }
+
+    /// The fixed packet interval.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+}
+
+impl TrafficSource for CbrSource {
+    fn next_packet(&mut self, now: SimTime, _rng: &mut dyn RngCore) -> (SimTime, u32) {
+        (now + self.interval, self.payload_bytes)
+    }
+
+    fn mean_rate_bps(&self) -> f64 {
+        self.payload_bytes as f64 * 8.0 / self.interval.as_secs_f64()
+    }
+}
+
+/// Poisson source: exponential inter-arrival times.
+#[derive(Debug, Clone)]
+pub struct PoissonSource {
+    mean_interval: Duration,
+    payload_bytes: u32,
+}
+
+impl PoissonSource {
+    /// Creates a Poisson source with `packets_per_sec` mean rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packets_per_sec <= 0` or `payload_bytes == 0`.
+    pub fn new(packets_per_sec: f64, payload_bytes: u32) -> Self {
+        assert!(packets_per_sec > 0.0, "rate must be positive");
+        assert!(payload_bytes > 0, "payload must be positive");
+        Self {
+            mean_interval: Duration::from_secs_f64(1.0 / packets_per_sec),
+            payload_bytes,
+        }
+    }
+}
+
+impl TrafficSource for PoissonSource {
+    fn next_packet(&mut self, now: SimTime, rng: &mut dyn RngCore) -> (SimTime, u32) {
+        (now + exponential(self.mean_interval, rng), self.payload_bytes)
+    }
+
+    fn mean_rate_bps(&self) -> f64 {
+        self.payload_bytes as f64 * 8.0 / self.mean_interval.as_secs_f64()
+    }
+}
+
+/// Voice codec profiles for [`VoipSource`].
+///
+/// Payload sizes include RTP/UDP/IP headers (40 bytes), as the papers'
+/// simulations do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VoipCodec {
+    /// G.711, 64 kbit/s voice: 160 B voice + 40 B headers every 20 ms.
+    G711,
+    /// G.729, 8 kbit/s voice: 20 B voice + 40 B headers every 20 ms.
+    G729,
+}
+
+impl VoipCodec {
+    /// Packetization interval.
+    pub fn interval(&self) -> Duration {
+        Duration::from_millis(20)
+    }
+
+    /// Packet size on the wire (payload + RTP/UDP/IP headers), bytes.
+    pub fn packet_bytes(&self) -> u32 {
+        match self {
+            VoipCodec::G711 => 200,
+            VoipCodec::G729 => 60,
+        }
+    }
+
+    /// Bit rate while talking.
+    pub fn active_rate_bps(&self) -> f64 {
+        self.packet_bytes() as f64 * 8.0 / self.interval().as_secs_f64()
+    }
+}
+
+/// ITU-T P.59 mean talkspurt duration.
+pub const TALKSPURT_MEAN: Duration = Duration::from_millis(1004);
+/// ITU-T P.59 mean silence duration.
+pub const SILENCE_MEAN: Duration = Duration::from_millis(1587);
+
+/// On/off VoIP source: exponential talkspurt/silence alternation with CBR
+/// codec packets during talkspurts.
+#[derive(Debug, Clone)]
+pub struct VoipSource {
+    codec: VoipCodec,
+    talkspurt_mean: Duration,
+    silence_mean: Duration,
+    /// End of the current talkspurt, if we are inside one.
+    talking_until: Option<SimTime>,
+}
+
+impl VoipSource {
+    /// Creates a source with the standard P.59 on/off means.
+    pub fn new(codec: VoipCodec) -> Self {
+        Self::with_activity(codec, TALKSPURT_MEAN, SILENCE_MEAN)
+    }
+
+    /// Creates a source with custom talkspurt/silence means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mean is zero.
+    pub fn with_activity(codec: VoipCodec, talkspurt_mean: Duration, silence_mean: Duration) -> Self {
+        assert!(!talkspurt_mean.is_zero() && !silence_mean.is_zero());
+        Self {
+            codec,
+            talkspurt_mean,
+            silence_mean,
+            talking_until: None,
+        }
+    }
+
+    /// The codec in use.
+    pub fn codec(&self) -> VoipCodec {
+        self.codec
+    }
+
+    /// Long-run fraction of time spent talking.
+    pub fn activity_factor(&self) -> f64 {
+        let t = self.talkspurt_mean.as_secs_f64();
+        let s = self.silence_mean.as_secs_f64();
+        t / (t + s)
+    }
+}
+
+impl TrafficSource for VoipSource {
+    fn next_packet(&mut self, now: SimTime, rng: &mut dyn RngCore) -> (SimTime, u32) {
+        let mut t = now;
+        loop {
+            match self.talking_until {
+                Some(end) => {
+                    let candidate = t + self.codec.interval();
+                    if candidate <= end {
+                        return (candidate, self.codec.packet_bytes());
+                    }
+                    // Talkspurt over: enter silence starting at its end.
+                    self.talking_until = None;
+                    t = end;
+                }
+                None => {
+                    let silence = exponential(self.silence_mean, rng);
+                    let start = t + silence;
+                    let talkspurt = exponential(self.talkspurt_mean, rng);
+                    self.talking_until = Some(start + talkspurt);
+                    t = start;
+                    // First packet of the talkspurt goes out immediately at
+                    // its start (loop emits start + interval; compensate by
+                    // backing up one interval when possible).
+                    if let Some(back) = start
+                        .as_nanos()
+                        .checked_sub(self.codec.interval().as_nanos() as u64)
+                    {
+                        t = SimTime::from_nanos(back);
+                    }
+                }
+            }
+        }
+    }
+
+    fn mean_rate_bps(&self) -> f64 {
+        self.codec.active_rate_bps() * self.activity_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_is_periodic() {
+        let mut src = CbrSource::new(Duration::from_millis(20), 200);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut t = SimTime::ZERO;
+        for i in 1..=5u64 {
+            let (at, size) = src.next_packet(t, &mut rng);
+            assert_eq!(at, SimTime::from_millis(20 * i));
+            assert_eq!(size, 200);
+            t = at;
+        }
+        assert!((src.mean_rate_bps() - 80_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poisson_mean_interval_converges() {
+        let mut src = PoissonSource::new(100.0, 100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = SimTime::ZERO;
+        let n = 20_000;
+        for _ in 0..n {
+            let (at, _) = src.next_packet(t, &mut rng);
+            t = at;
+        }
+        let mean_interval = t.as_secs_f64() / n as f64;
+        assert!(
+            (mean_interval - 0.01).abs() < 0.001,
+            "mean interval {mean_interval}"
+        );
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean = Duration::from_millis(100);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| exponential(mean, &mut rng).as_secs_f64())
+            .sum();
+        assert!((total / n as f64 - 0.1).abs() < 0.005);
+    }
+
+    #[test]
+    fn voip_activity_factor() {
+        let src = VoipSource::new(VoipCodec::G729);
+        assert!((src.activity_factor() - 0.3875).abs() < 0.01);
+        assert!(src.mean_rate_bps() < VoipCodec::G729.active_rate_bps());
+    }
+
+    #[test]
+    fn voip_long_run_rate_converges() {
+        let mut src = VoipSource::new(VoipCodec::G711);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut t = SimTime::ZERO;
+        let mut bytes = 0u64;
+        let horizon = SimTime::from_secs(2_000);
+        loop {
+            let (at, size) = src.next_packet(t, &mut rng);
+            if at > horizon {
+                break;
+            }
+            bytes += size as u64;
+            t = at;
+        }
+        let rate = bytes as f64 * 8.0 / horizon.as_secs_f64();
+        let expected = src.mean_rate_bps();
+        assert!(
+            (rate - expected).abs() / expected < 0.05,
+            "rate {rate} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn voip_packets_spaced_at_least_codec_interval_within_talkspurt() {
+        let mut src = VoipSource::new(VoipCodec::G729);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = SimTime::ZERO;
+        let mut prev = SimTime::ZERO;
+        for _ in 0..5_000 {
+            let (at, _) = src.next_packet(t, &mut rng);
+            assert!(at > prev, "arrivals strictly increase");
+            prev = at;
+            t = at;
+        }
+    }
+
+    #[test]
+    fn codec_parameters() {
+        assert_eq!(VoipCodec::G711.packet_bytes(), 200);
+        assert_eq!(VoipCodec::G729.packet_bytes(), 60);
+        assert!((VoipCodec::G711.active_rate_bps() - 80_000.0).abs() < 1e-9);
+        assert!((VoipCodec::G729.active_rate_bps() - 24_000.0).abs() < 1e-9);
+    }
+}

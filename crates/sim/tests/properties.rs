@@ -1,0 +1,144 @@
+//! Property tests for the simulation engine: event ordering, histogram
+//! consistency, traffic source invariants.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wimesh_sim::traffic::{CbrSource, PoissonSource, TrafficSource, VoipCodec, VoipSource};
+use wimesh_sim::{EventQueue, FlowStats, Histogram, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn events_pop_sorted_with_stable_ties(times in proptest::collection::vec(0u64..1000, 1..60)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(item) = q.pop() {
+            popped.push(item);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    #[test]
+    fn clock_is_monotone_under_interleaving(
+        ops in proptest::collection::vec((0u64..500, any::<bool>()), 1..80)
+    ) {
+        // Interleave schedules (relative) and pops; now() never goes back.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut last = SimTime::ZERO;
+        for (delay, do_pop) in ops {
+            if do_pop {
+                if let Some((t, _)) = q.pop() {
+                    prop_assert!(t >= last);
+                    last = t;
+                }
+            } else {
+                q.schedule_in(Duration::from_micros(delay), 0);
+            }
+            prop_assert!(q.now() >= last);
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        samples in proptest::collection::vec(0u64..500_000, 1..200)
+    ) {
+        let mut h = Histogram::new(Duration::from_millis(1), 512);
+        for &s in &samples {
+            h.record(Duration::from_micros(s));
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut prev = Duration::ZERO;
+        for &q in &qs {
+            let v = h.quantile(q).expect("non-empty");
+            prop_assert!(v >= prev, "quantile not monotone at {q}");
+            prev = v;
+        }
+        // The max sample is within one bin of the 1.0-quantile.
+        let max = Duration::from_micros(*samples.iter().max().expect("non-empty"));
+        prop_assert!(h.quantile(1.0).expect("non-empty") + Duration::from_millis(1) >= max);
+    }
+
+    #[test]
+    fn histogram_cdf_is_monotone(samples in proptest::collection::vec(0u64..100_000, 1..100)) {
+        let mut h = Histogram::new(Duration::from_micros(500), 256);
+        for &s in &samples {
+            h.record(Duration::from_micros(s));
+        }
+        let mut prev = -1.0;
+        for ms in 0..130 {
+            let c = h.cdf_at(Duration::from_millis(ms));
+            prop_assert!(c >= prev);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        prop_assert!((h.cdf_at(Duration::from_secs(10)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sources_produce_strictly_increasing_arrivals(
+        (kind, seed) in (0u8..3, any::<u64>())
+    ) {
+        let mut src: Box<dyn TrafficSource> = match kind {
+            0 => Box::new(CbrSource::new(Duration::from_millis(10), 100)),
+            1 => Box::new(PoissonSource::new(200.0, 100)),
+            _ => Box::new(VoipSource::new(VoipCodec::G729)),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = SimTime::ZERO;
+        for _ in 0..500 {
+            let (at, size) = src.next_packet(t, &mut rng);
+            prop_assert!(at > t, "arrival did not advance");
+            prop_assert!(size > 0);
+            t = at;
+        }
+    }
+
+    #[test]
+    fn flow_stats_counters_are_consistent(
+        events in proptest::collection::vec((0u8..3, 1u64..50_000), 1..200)
+    ) {
+        let mut s = FlowStats::for_voip();
+        let (mut sent, mut delivered, mut dropped) = (0u64, 0u64, 0u64);
+        let mut now = SimTime::ZERO;
+        for (kind, delay_us) in events {
+            match kind {
+                0 => {
+                    s.record_sent();
+                    sent += 1;
+                }
+                1 => {
+                    now += Duration::from_micros(1000);
+                    s.record_delivered(now, Duration::from_micros(delay_us), 100);
+                    delivered += 1;
+                }
+                _ => {
+                    s.record_dropped();
+                    dropped += 1;
+                }
+            }
+        }
+        prop_assert_eq!(s.sent(), sent);
+        prop_assert_eq!(s.delivered(), delivered);
+        prop_assert_eq!(s.dropped(), dropped);
+        let lr = s.loss_rate();
+        prop_assert!((0.0..=1.0).contains(&lr));
+        if delivered > 0 {
+            let mean = s.mean_delay().expect("delivered > 0");
+            prop_assert!(mean <= s.max_delay());
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! End-to-end scheduling delay of multi-hop paths under a TDMA schedule.
+//!
+//! A packet relayed along a path is forwarded hop by hop: it is
+//! transmitted on link `e_i` inside `e_i`'s slot range, becomes available
+//! at the relay when that range ends, and departs on `e_{i+1}` at the next
+//! occurrence of `e_{i+1}`'s range — in the same frame when the schedule
+//! placed it later, otherwise in the next frame. Scheduling delay is thus
+//! governed by the *transmission order*: each "backward" consecutive pair
+//! costs one full frame.
+
+use std::time::Duration;
+
+use wimesh_topology::routing::Path;
+
+use crate::Schedule;
+
+/// End-to-end delay of `path` in minislots: from the start of the first
+/// link's range to the end of the last link's transmission (including the
+/// frame wraps forced by the schedule).
+///
+/// Returns `None` if some path link is not scheduled.
+///
+/// This measures the *pipeline* delay for a packet that is ready exactly
+/// when the first link's range begins. A worst-case arrival adds up to one
+/// more frame of waiting at the source; see [`worst_case_delay_slots`].
+pub fn path_delay_slots(schedule: &Schedule, path: &Path) -> Option<u64> {
+    let slots_per_frame = schedule.frame().slots() as u64;
+    let mut links = path.links().iter();
+    let first = schedule.slot_range(*links.next()?)?;
+    let start = first.start as u64;
+    // `done` is an absolute slot count (frame 0 starts at slot 0).
+    let mut done = start + first.len as u64;
+    for &l in links {
+        let range = schedule.slot_range(l)?;
+        let pos = range.start as u64;
+        // Earliest absolute slot >= done congruent to pos (mod frame).
+        let depart = if pos >= done % slots_per_frame {
+            done - done % slots_per_frame + pos
+        } else {
+            done - done % slots_per_frame + slots_per_frame + pos
+        };
+        done = depart + range.len as u64;
+    }
+    Some(done - start)
+}
+
+/// Worst-case end-to-end delay in minislots for a packet arriving at an
+/// arbitrary instant: one full frame of source waiting plus the pipeline
+/// delay.
+///
+/// This is the bound the admission controller compares against flow
+/// deadlines. Returns `None` if some path link is not scheduled.
+pub fn worst_case_delay_slots(schedule: &Schedule, path: &Path) -> Option<u64> {
+    Some(path_delay_slots(schedule, path)? + schedule.frame().slots() as u64)
+}
+
+/// [`path_delay_slots`] converted to wall-clock time.
+pub fn path_delay(schedule: &Schedule, path: &Path) -> Option<Duration> {
+    Some(
+        schedule
+            .frame()
+            .slots_to_duration(path_delay_slots(schedule, path)?),
+    )
+}
+
+/// [`worst_case_delay_slots`] converted to wall-clock time.
+pub fn worst_case_delay(schedule: &Schedule, path: &Path) -> Option<Duration> {
+    Some(
+        schedule
+            .frame()
+            .slots_to_duration(worst_case_delay_slots(schedule, path)?),
+    )
+}
+
+/// Maximum [`path_delay_slots`] over a set of paths.
+///
+/// Returns `None` if `paths` is empty or any path is not fully scheduled.
+pub fn max_delay_slots(schedule: &Schedule, paths: &[Path]) -> Option<u64> {
+    paths
+        .iter()
+        .map(|p| path_delay_slots(schedule, p))
+        .collect::<Option<Vec<_>>>()?
+        .into_iter()
+        .max()
+}
+
+/// Number of frame wraps ("order inversions" realised by the schedule)
+/// along `path`: the integer number of extra frames the packet spends
+/// because consecutive hops are scheduled backwards.
+///
+/// Returns `None` if some path link is not scheduled.
+pub fn frame_wraps(schedule: &Schedule, path: &Path) -> Option<u64> {
+    let slots_per_frame = schedule.frame().slots() as u64;
+    let mut links = path.links().iter();
+    let first = schedule.slot_range(*links.next()?)?;
+    let mut done = first.start as u64 + first.len as u64;
+    let mut wraps = 0;
+    for &l in links {
+        let range = schedule.slot_range(l)?;
+        let pos = range.start as u64;
+        if pos < done % slots_per_frame {
+            wraps += 1;
+            done = done - done % slots_per_frame + slots_per_frame + pos;
+        } else {
+            done = done - done % slots_per_frame + pos;
+        }
+        done += range.len as u64;
+    }
+    Some(wraps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::{hop_order, TransmissionOrder};
+    use crate::{schedule_from_order, Demands, FrameConfig};
+    use wimesh_conflict::{ConflictGraph, InterferenceModel};
+    use wimesh_topology::routing::shortest_path;
+    use wimesh_topology::{generators, NodeId};
+
+    fn chain_case(
+        n: usize,
+        per_link: u32,
+        frame_slots: u32,
+        reverse_order: bool,
+    ) -> (Schedule, Path) {
+        let topo = generators::chain(n);
+        let path = shortest_path(&topo, NodeId(0), NodeId((n - 1) as u32)).unwrap();
+        let mut demands = Demands::new();
+        for &l in path.links() {
+            demands.set(l, per_link);
+        }
+        let cg = ConflictGraph::build_for_links(
+            &topo,
+            demands.links().collect(),
+            InterferenceModel::protocol_default(),
+        );
+        let order = if reverse_order {
+            // Last hop first: worst case, every relay pair wraps.
+            let mut perm: Vec<_> = path.links().to_vec();
+            perm.reverse();
+            TransmissionOrder::from_permutation(&cg, &perm)
+        } else {
+            hop_order(&cg, std::slice::from_ref(&path))
+        };
+        let frame = FrameConfig::new(frame_slots, 100);
+        let sched = schedule_from_order(&cg, &demands, &order, frame).unwrap();
+        (sched, path)
+    }
+
+    use wimesh_topology::routing::Path;
+
+    #[test]
+    fn forward_order_no_wraps() {
+        let (sched, path) = chain_case(5, 2, 32, false);
+        assert_eq!(path_delay_slots(&sched, &path), Some(8));
+        assert_eq!(frame_wraps(&sched, &path), Some(0));
+        assert_eq!(worst_case_delay_slots(&sched, &path), Some(8 + 32));
+    }
+
+    #[test]
+    fn reverse_order_wraps_every_hop() {
+        let (sched, path) = chain_case(5, 2, 32, true);
+        // 4 hops scheduled in reverse: every one of the 3 relay pairs
+        // waits for the next frame.
+        let wraps = frame_wraps(&sched, &path).unwrap();
+        assert_eq!(wraps, 3);
+        let delay = path_delay_slots(&sched, &path).unwrap();
+        assert!(delay > 3 * 32 - 32, "delay {delay} too small");
+        assert!(delay >= 8);
+    }
+
+    #[test]
+    fn delay_scales_with_frame_length_for_bad_orders() {
+        let (s32, p32) = chain_case(5, 2, 32, true);
+        let (s64, p64) = chain_case(5, 2, 64, true);
+        let d32 = path_delay_slots(&s32, &p32).unwrap();
+        let d64 = path_delay_slots(&s64, &p64).unwrap();
+        assert!(d64 > d32, "wrapped delay must grow with the frame");
+        // Forward order delay is frame-independent.
+        let (f32_, fp32) = chain_case(5, 2, 32, false);
+        let (f64_, fp64) = chain_case(5, 2, 64, false);
+        assert_eq!(
+            path_delay_slots(&f32_, &fp32),
+            path_delay_slots(&f64_, &fp64)
+        );
+    }
+
+    #[test]
+    fn unscheduled_link_gives_none() {
+        let (sched, _) = chain_case(4, 1, 16, false);
+        let topo = generators::chain(4);
+        // A path using the reverse direction, which carries no demand.
+        let back = shortest_path(&topo, NodeId(3), NodeId(0)).unwrap();
+        assert_eq!(path_delay_slots(&sched, &back), None);
+        assert_eq!(frame_wraps(&sched, &back), None);
+    }
+
+    #[test]
+    fn duration_conversion() {
+        let (sched, path) = chain_case(5, 2, 32, false);
+        // 8 slots x 100 us.
+        assert_eq!(path_delay(&sched, &path), Some(Duration::from_micros(800)));
+        assert_eq!(
+            worst_case_delay(&sched, &path),
+            Some(Duration::from_micros(4000))
+        );
+    }
+
+    #[test]
+    fn max_delay_over_paths() {
+        let (sched, path) = chain_case(5, 2, 32, false);
+        let paths = vec![path];
+        assert_eq!(max_delay_slots(&sched, &paths), Some(8));
+        assert_eq!(max_delay_slots(&sched, &[]), None);
+    }
+
+    #[test]
+    fn single_hop_delay_is_service_time() {
+        let topo = generators::chain(2);
+        let path = shortest_path(&topo, NodeId(0), NodeId(1)).unwrap();
+        let mut demands = Demands::new();
+        demands.set(path.links()[0], 3);
+        let cg = ConflictGraph::build_for_links(
+            &topo,
+            demands.links().collect(),
+            InterferenceModel::protocol_default(),
+        );
+        let sched = schedule_from_order(
+            &cg,
+            &demands,
+            &TransmissionOrder::new(),
+            FrameConfig::new(8, 100),
+        )
+        .unwrap();
+        assert_eq!(path_delay_slots(&sched, &path), Some(3));
+    }
+}

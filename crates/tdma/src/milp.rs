@@ -1,0 +1,448 @@
+//! Exact transmission-order optimization via mixed-integer programming.
+//!
+//! The min-max delay order problem is NP-complete (reduction from
+//! feedback arc set in the original paper), so the exact method is a MILP:
+//!
+//! * one continuous start time `sigma_e in [0, S - d_e]` per scheduled
+//!   link,
+//! * one binary order variable per conflict edge, linearising the
+//!   "transmit disjointly" disjunction with big-M = S (tight, because
+//!   start-time differences are bounded by the frame),
+//! * per path, integer frame-wrap counters linking consecutive hops, and
+//! * either `minimize Z >= delay(p)` (optimization mode) or
+//!   `delay(p) <= deadline(p)` (feasibility mode, used by the linear slot
+//!   search of the admission controller).
+//!
+//! With the binaries fixed, the remaining system is a network of
+//! difference constraints (totally unimodular), so LP vertices are
+//! integral and the extracted start times can be rounded safely.
+
+use std::collections::BTreeMap;
+
+use wimesh_conflict::ConflictGraph;
+use wimesh_milp::{LinExpr, Model, Sense, SolveError, SolverConfig, VarId};
+use wimesh_topology::routing::Path;
+use wimesh_topology::LinkId;
+
+use crate::{Demands, FrameConfig, Schedule, ScheduleError, SlotRange, TransmissionOrder};
+
+/// A path together with its delay requirement in minislots
+/// (`None` = best effort, no deadline).
+#[derive(Debug, Clone)]
+pub struct PathRequirement {
+    /// The route whose delay is constrained.
+    pub path: Path,
+    /// Maximum allowed [`crate::delay::path_delay_slots`] value.
+    pub deadline_slots: Option<u64>,
+}
+
+/// Result of an exact order optimization.
+#[derive(Debug, Clone)]
+pub struct OrderSolution {
+    /// The optimized transmission order.
+    pub order: TransmissionOrder,
+    /// The schedule realising it (start times from the MILP).
+    pub schedule: Schedule,
+    /// Maximum path pipeline delay in minislots, as optimised/constrained.
+    pub max_delay_slots: u64,
+    /// Branch & bound nodes the solver explored.
+    pub nodes_explored: usize,
+}
+
+/// Finds the transmission order minimising the maximum pipeline delay over
+/// `paths`, exactly.
+///
+/// # Errors
+///
+/// * [`ScheduleError::Infeasible`] — no conflict-free schedule fits the
+///   frame at all.
+/// * [`ScheduleError::MissingDemand`] — a path link has no demand.
+/// * [`ScheduleError::LinkNotInGraph`] — a demanded link has no conflict
+///   vertex.
+/// * [`ScheduleError::SolverFailed`] — solver node/iteration limits.
+pub fn min_max_delay_order(
+    graph: &ConflictGraph,
+    demands: &Demands,
+    paths: &[Path],
+    frame: FrameConfig,
+    config: &SolverConfig,
+) -> Result<OrderSolution, ScheduleError> {
+    let reqs: Vec<PathRequirement> = paths
+        .iter()
+        .map(|p| PathRequirement {
+            path: p.clone(),
+            deadline_slots: None,
+        })
+        .collect();
+    solve(graph, demands, &reqs, frame, frame.slots(), config, true)
+}
+
+/// Decides whether a schedule exists meeting every path's deadline, and
+/// returns one if so.
+///
+/// This is the feasibility oracle of the linear minislot search: the
+/// admission controller calls it with increasing frame sizes until it
+/// succeeds.
+///
+/// # Errors
+///
+/// Same conditions as [`min_max_delay_order`];
+/// [`ScheduleError::Infeasible`] is the expected "no" answer.
+pub fn feasible_order(
+    graph: &ConflictGraph,
+    demands: &Demands,
+    requirements: &[PathRequirement],
+    frame: FrameConfig,
+    config: &SolverConfig,
+) -> Result<OrderSolution, ScheduleError> {
+    solve(graph, demands, requirements, frame, frame.slots(), config, false)
+}
+
+/// Like [`feasible_order`], but confines all guaranteed transmissions to
+/// the first `used_slots` minislots of the frame.
+///
+/// This is the oracle of the linear minislot search: the frame (and hence
+/// the wrap cost of a backwards-ordered hop) stays at its full length,
+/// while the admission controller shrinks `used_slots` to find the
+/// smallest guaranteed-traffic region, leaving the rest of the frame to
+/// best effort.
+///
+/// # Errors
+///
+/// Same conditions as [`feasible_order`].
+///
+/// # Panics
+///
+/// Panics if `used_slots` is zero or exceeds the frame.
+pub fn feasible_order_within(
+    graph: &ConflictGraph,
+    demands: &Demands,
+    requirements: &[PathRequirement],
+    frame: FrameConfig,
+    used_slots: u32,
+    config: &SolverConfig,
+) -> Result<OrderSolution, ScheduleError> {
+    assert!(
+        used_slots >= 1 && used_slots <= frame.slots(),
+        "used_slots must be within the frame"
+    );
+    solve(graph, demands, requirements, frame, used_slots, config, false)
+}
+
+fn solve(
+    graph: &ConflictGraph,
+    demands: &Demands,
+    requirements: &[PathRequirement],
+    frame: FrameConfig,
+    used_slots: u32,
+    config: &SolverConfig,
+    optimize: bool,
+) -> Result<OrderSolution, ScheduleError> {
+    // Transmissions are confined to the first `used_slots` minislots, but
+    // a frame wrap still costs the *whole* frame.
+    let horizon = used_slots as f64;
+    let wrap = frame.slots() as f64;
+
+    // Scheduled vertices: conflict-graph indices with positive demand.
+    for link in demands.links() {
+        if graph.index_of(link).is_none() {
+            return Err(ScheduleError::LinkNotInGraph(link));
+        }
+    }
+    for req in requirements {
+        for &l in req.path.links() {
+            if demands.get(l) == 0 {
+                return Err(ScheduleError::MissingDemand(l));
+            }
+        }
+    }
+
+    let mut model = Model::new();
+    // sigma per demanded link.
+    let mut sigma: BTreeMap<LinkId, VarId> = BTreeMap::new();
+    for (link, d) in demands.iter() {
+        let ub = horizon - d as f64;
+        if ub < 0.0 {
+            return Err(ScheduleError::Infeasible);
+        }
+        sigma.insert(link, model.add_var(0.0, ub, &format!("sigma_{link}")));
+    }
+
+    // Order binaries per conflict edge among demanded links.
+    let mut order_vars: Vec<((usize, usize), VarId)> = Vec::new();
+    for (i, j) in graph.edges() {
+        let (li, lj) = (graph.link_at(i), graph.link_at(j));
+        let (di, dj) = (demands.get(li), demands.get(lj));
+        if di == 0 || dj == 0 {
+            continue;
+        }
+        let o = model.add_binary_var(&format!("o_{li}_{lj}"));
+        order_vars.push(((i, j), o));
+        let (si, sj) = (sigma[&li], sigma[&lj]);
+        // o = 1 -> i before j: sigma_j - sigma_i >= d_i  (else relaxed)
+        model.add_ge(sj - si + horizon * (1.0 - o), di as f64);
+        // o = 0 -> j before i: sigma_i - sigma_j >= d_j  (else relaxed)
+        model.add_ge(si - sj + horizon * o, dj as f64);
+    }
+
+    // Per-path wrap counters and delay expressions.
+    let mut delay_exprs: Vec<LinExpr> = Vec::new();
+    for (pidx, req) in requirements.iter().enumerate() {
+        let links = req.path.links();
+        let hops = links.len();
+        let first = sigma[&links[0]];
+        let last = sigma[&links[hops - 1]];
+        // W_m: total wraps accumulated entering hop m (W_0 = 0 implicit).
+        let mut prev_w: Option<VarId> = None;
+        for m in 1..hops {
+            let w = model.add_integer_var(0.0, hops as f64, &format!("w_{pidx}_{m}"));
+            let (sp, sc) = (sigma[&links[m - 1]], sigma[&links[m]]);
+            let d_prev = demands.get(links[m - 1]) as f64;
+            // sigma_m + S W_m >= sigma_{m-1} + S W_{m-1} + d_{m-1},
+            // with S the full frame length (wrap cost).
+            let mut lhs = LinExpr::from(sc) + wrap * w - sp;
+            if let Some(pw) = prev_w {
+                lhs = lhs - wrap * pw;
+            }
+            model.add_ge(lhs, d_prev);
+            // Wraps never decrease along the path.
+            if let Some(pw) = prev_w {
+                model.add_ge(w - pw, 0.0);
+            }
+            prev_w = Some(w);
+        }
+        let d_last = demands.get(links[hops - 1]) as f64;
+        // delay = sigma_last + S W_last + d_last - sigma_first
+        let mut delay = LinExpr::from(last) + d_last - first;
+        if let Some(w) = prev_w {
+            delay = delay + wrap * w;
+        }
+        if let Some(deadline) = req.deadline_slots {
+            model.add_le(delay.clone(), deadline as f64);
+        }
+        delay_exprs.push(delay);
+    }
+
+    if optimize {
+        let z = model.add_var(0.0, f64::INFINITY, "z");
+        for d in &delay_exprs {
+            model.add_ge(LinExpr::from(z) - d.clone(), 0.0);
+        }
+        model.set_objective(Sense::Minimize, LinExpr::from(z));
+    } else {
+        // Feasibility: minimize total start time to get a compact layout.
+        let mut obj = LinExpr::new();
+        for &s in sigma.values() {
+            obj.add_term(s, 1.0);
+        }
+        model.set_objective(Sense::Minimize, obj);
+    }
+
+    let solution = match model.solve_with(config) {
+        Ok(s) => s,
+        Err(SolveError::Infeasible) => return Err(ScheduleError::Infeasible),
+        Err(e) => return Err(ScheduleError::SolverFailed(e.to_string())),
+    };
+
+    // Extract the order and the (integral, by total unimodularity) starts.
+    let mut order = TransmissionOrder::new();
+    for ((i, j), var) in &order_vars {
+        order.set(*i, *j, solution.value(*var) > 0.5);
+    }
+    let mut ranges = BTreeMap::new();
+    for (link, d) in demands.iter() {
+        let s = solution.value(sigma[&link]).round();
+        debug_assert!(
+            (solution.value(sigma[&link]) - s).abs() < 1e-4,
+            "start times should be integral"
+        );
+        ranges.insert(link, SlotRange::new(s as u32, d));
+    }
+    let schedule = Schedule::from_ranges(frame, ranges)?;
+    if let Err((a, b)) = schedule.validate(graph) {
+        return Err(ScheduleError::SolverFailed(format!(
+            "MILP produced overlapping conflicting links {a} and {b}"
+        )));
+    }
+    let max_delay_slots = requirements
+        .iter()
+        .filter_map(|r| crate::delay::path_delay_slots(&schedule, &r.path))
+        .max()
+        .unwrap_or(0);
+    Ok(OrderSolution {
+        order,
+        schedule,
+        max_delay_slots,
+        nodes_explored: solution.nodes_explored(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{frame_wraps, path_delay_slots};
+    use crate::order::{hop_order, random_order};
+    use crate::schedule_from_order;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wimesh_conflict::InterferenceModel;
+    use wimesh_topology::routing::shortest_path;
+    use wimesh_topology::{generators, MeshTopology, NodeId};
+
+    fn chain_instance(n: usize, per_link: u32) -> (MeshTopology, ConflictGraph, Demands, Path) {
+        let topo = generators::chain(n);
+        let path = shortest_path(&topo, NodeId(0), NodeId((n - 1) as u32)).unwrap();
+        let mut demands = Demands::new();
+        for &l in path.links() {
+            demands.set(l, per_link);
+        }
+        let cg = ConflictGraph::build_for_links(
+            &topo,
+            demands.links().collect(),
+            InterferenceModel::protocol_default(),
+        );
+        (topo, cg, demands, path)
+    }
+
+    #[test]
+    fn exact_matches_hop_order_on_single_chain() {
+        let (_, cg, demands, path) = chain_instance(5, 2);
+        let frame = FrameConfig::new(16, 100);
+        let exact = min_max_delay_order(
+            &cg,
+            &demands,
+            std::slice::from_ref(&path),
+            frame,
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        // Hop order is optimal on a single chain: delay = 8 slots.
+        assert_eq!(exact.max_delay_slots, 8);
+        assert_eq!(frame_wraps(&exact.schedule, &path), Some(0));
+        assert!(exact.schedule.validate(&cg).is_ok());
+
+        let heuristic = hop_order(&cg, std::slice::from_ref(&path));
+        let hsched = schedule_from_order(&cg, &demands, &heuristic, frame).unwrap();
+        assert_eq!(
+            path_delay_slots(&hsched, &path),
+            Some(exact.max_delay_slots)
+        );
+    }
+
+    #[test]
+    fn exact_beats_or_equals_random_orders() {
+        let (_, cg, demands, path) = chain_instance(5, 1);
+        let frame = FrameConfig::new(12, 100);
+        let exact = min_max_delay_order(
+            &cg,
+            &demands,
+            std::slice::from_ref(&path),
+            frame,
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        for seed in 0..10 {
+            let order = random_order(&cg, &mut StdRng::seed_from_u64(seed));
+            let sched = schedule_from_order(&cg, &demands, &order, frame).unwrap();
+            let d = path_delay_slots(&sched, &path).unwrap();
+            assert!(
+                d >= exact.max_delay_slots,
+                "random order (seed {seed}) beat the exact optimum: {d} < {}",
+                exact.max_delay_slots
+            );
+        }
+    }
+
+    #[test]
+    fn two_crossing_paths() {
+        // Two flows crossing a shared middle link on a chain: the exact
+        // solver must find an order serving both with bounded delay.
+        let topo = generators::chain(5);
+        let p1 = shortest_path(&topo, NodeId(0), NodeId(4)).unwrap();
+        let p2 = shortest_path(&topo, NodeId(4), NodeId(0)).unwrap();
+        let mut demands = Demands::new();
+        for &l in p1.links().iter().chain(p2.links()) {
+            demands.set(l, 1);
+        }
+        let cg = ConflictGraph::build_for_links(
+            &topo,
+            demands.links().collect(),
+            InterferenceModel::protocol_default(),
+        );
+        let frame = FrameConfig::new(16, 100);
+        let exact = min_max_delay_order(
+            &cg,
+            &demands,
+            &[p1.clone(), p2.clone()],
+            frame,
+            &SolverConfig::default(),
+        )
+        .unwrap();
+        assert!(exact.schedule.validate(&cg).is_ok());
+        let d1 = path_delay_slots(&exact.schedule, &p1).unwrap();
+        let d2 = path_delay_slots(&exact.schedule, &p2).unwrap();
+        assert_eq!(d1.max(d2), exact.max_delay_slots);
+        // Both directions cannot be inversion-free simultaneously on a
+        // chain, but one frame of slack suffices.
+        assert!(exact.max_delay_slots <= 16 + 8);
+    }
+
+    #[test]
+    fn feasibility_mode_respects_deadlines() {
+        let (_, cg, demands, path) = chain_instance(4, 1);
+        let frame = FrameConfig::new(8, 100);
+        // Pipeline delay on a 3-hop chain with d=1: minimum is 3 slots.
+        let tight = PathRequirement {
+            path: path.clone(),
+            deadline_slots: Some(3),
+        };
+        let sol = feasible_order(&cg, &demands, &[tight], frame, &SolverConfig::default())
+            .unwrap();
+        assert!(path_delay_slots(&sol.schedule, &path).unwrap() <= 3);
+
+        let impossible = PathRequirement {
+            path: path.clone(),
+            deadline_slots: Some(2),
+        };
+        let err = feasible_order(
+            &cg,
+            &demands,
+            &[impossible],
+            frame,
+            &SolverConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ScheduleError::Infeasible);
+    }
+
+    #[test]
+    fn frame_too_small_is_infeasible() {
+        let (_, cg, demands, path) = chain_instance(4, 2);
+        // 3 links x 2 slots all mutually conflicting: needs 6 slots.
+        let frame = FrameConfig::new(5, 100);
+        let err = min_max_delay_order(
+            &cg,
+            &demands,
+            std::slice::from_ref(&path),
+            frame,
+            &SolverConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ScheduleError::Infeasible);
+    }
+
+    #[test]
+    fn missing_demand_rejected() {
+        let (_, cg, mut demands, path) = chain_instance(4, 1);
+        demands.set(path.links()[1], 0);
+        let err = min_max_delay_order(
+            &cg,
+            &demands,
+            std::slice::from_ref(&path),
+            FrameConfig::new(8, 100),
+            &SolverConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ScheduleError::MissingDemand(path.links()[1]));
+    }
+}

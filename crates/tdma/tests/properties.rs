@@ -1,0 +1,170 @@
+//! Property tests for the scheduling core: schedules from any acyclic
+//! order are conflict-free and compact; delays are internally consistent.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wimesh_conflict::{ConflictGraph, InterferenceModel};
+use wimesh_tdma::{
+    delay, min_slots_for_order, order, schedule_from_order, Demands, FrameConfig,
+    TransmissionOrder,
+};
+use wimesh_topology::routing::shortest_path;
+use wimesh_topology::{generators, LinkId, MeshTopology, NodeId};
+
+/// A random scheduling instance: a random tree topology with random
+/// per-link demands on the uplink paths of a few random flows.
+#[derive(Debug, Clone)]
+struct Instance {
+    topo: MeshTopology,
+    demands: Demands,
+    paths: Vec<wimesh_topology::routing::Path>,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (3usize..10, any::<u64>(), 1usize..4, 1u32..4).prop_map(|(n, seed, flows, per_link)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = generators::random_tree(n, &mut rng);
+        use rand::Rng;
+        let mut demands = Demands::new();
+        let mut paths = Vec::new();
+        for _ in 0..flows {
+            let a = NodeId(rng.gen_range(0..n as u32));
+            let b = NodeId(rng.gen_range(0..n as u32));
+            if a == b {
+                continue;
+            }
+            let p = shortest_path(&topo, a, b).expect("trees are connected");
+            for &l in p.links() {
+                demands.add(l, per_link);
+            }
+            paths.push(p);
+        }
+        if demands.is_empty() {
+            // Guarantee at least one demanded link.
+            let p = shortest_path(&topo, NodeId(0), NodeId(1))
+                .or_else(|_| shortest_path(&topo, NodeId(1), NodeId(0)))
+                .expect("connected");
+            for &l in p.links() {
+                demands.add(l, per_link);
+            }
+            paths.push(p);
+        }
+        Instance {
+            topo,
+            demands,
+            paths,
+        }
+    })
+}
+
+fn graph_of(inst: &Instance) -> ConflictGraph {
+    ConflictGraph::build_for_links(
+        &inst.topo,
+        inst.demands.links().collect(),
+        InterferenceModel::protocol_default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_permutation_orders_always_schedule((inst, seed) in (arb_instance(), any::<u64>())) {
+        let graph = graph_of(&inst);
+        let ord = order::random_order(&graph, &mut StdRng::seed_from_u64(seed));
+        let needed = min_slots_for_order(&graph, &inst.demands, &ord).expect("acyclic order");
+        // Makespan never exceeds the serial schedule, never undercuts the
+        // largest single demand.
+        prop_assert!(needed as u64 <= inst.demands.total());
+        let max_single = inst.demands.iter().map(|(_, d)| d).max().unwrap_or(0);
+        prop_assert!(needed >= max_single);
+
+        let frame = FrameConfig::new(needed.max(1), 100);
+        let sched = schedule_from_order(&graph, &inst.demands, &ord, frame).expect("fits");
+        prop_assert!(sched.validate(&graph).is_ok(), "conflicting schedule");
+        prop_assert_eq!(sched.makespan(), needed);
+        // Every demanded link got exactly its demand.
+        for (l, d) in inst.demands.iter() {
+            prop_assert_eq!(sched.slot_range(l).expect("scheduled").len, d);
+        }
+    }
+
+    #[test]
+    fn hop_order_never_beaten_by_it_on_own_single_path(
+        (n, per_link) in (3usize..10, 1u32..4)
+    ) {
+        // On a single chain path, hop order achieves the theoretical
+        // minimum delay: the sum of link demands (no wraps).
+        let topo = generators::chain(n);
+        let path = shortest_path(&topo, NodeId(0), NodeId((n - 1) as u32)).expect("chain");
+        let mut demands = Demands::new();
+        for &l in path.links() {
+            demands.set(l, per_link);
+        }
+        let graph = ConflictGraph::build_for_links(
+            &topo,
+            demands.links().collect(),
+            InterferenceModel::protocol_default(),
+        );
+        let ord = order::hop_order(&graph, std::slice::from_ref(&path));
+        let frame = FrameConfig::new(128, 100);
+        let sched = schedule_from_order(&graph, &demands, &ord, frame).expect("fits");
+        prop_assert_eq!(
+            delay::path_delay_slots(&sched, &path),
+            Some(demands.total()),
+            "hop order must pipeline back to back on a chain"
+        );
+        prop_assert_eq!(delay::frame_wraps(&sched, &path), Some(0));
+    }
+
+    #[test]
+    fn delay_decomposition_consistent((inst, seed) in (arb_instance(), any::<u64>())) {
+        let graph = graph_of(&inst);
+        let ord = order::random_order(&graph, &mut StdRng::seed_from_u64(seed));
+        let frame = FrameConfig::new(96, 100);
+        let Ok(sched) = schedule_from_order(&graph, &inst.demands, &ord, frame) else {
+            return Ok(()); // demand too large for the fixed frame: skip
+        };
+        for p in &inst.paths {
+            let d = delay::path_delay_slots(&sched, p).expect("scheduled");
+            let wraps = delay::frame_wraps(&sched, p).expect("scheduled");
+            // Delay is at least the service times and at most
+            // wraps-plus-one full frames.
+            let service: u64 = p.links().iter().map(|&l| inst.demands.get(l) as u64).sum();
+            prop_assert!(d >= service, "delay {d} below service {service}");
+            prop_assert!(
+                d <= (wraps + 1) * frame.slots() as u64,
+                "delay {d} exceeds {} frames", wraps + 1
+            );
+            prop_assert!((wraps as usize) < p.hop_count());
+            // Worst case adds exactly one frame.
+            prop_assert_eq!(
+                delay::worst_case_delay_slots(&sched, p),
+                Some(d + frame.slots() as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn order_round_trip_through_set((i, j, bit) in (0usize..20, 0usize..20, any::<bool>())) {
+        prop_assume!(i != j);
+        let mut ord = TransmissionOrder::new();
+        ord.set(i, j, bit);
+        prop_assert_eq!(ord.before(i, j), Some(bit));
+        prop_assert_eq!(ord.before(j, i), Some(!bit));
+    }
+
+    #[test]
+    fn from_ranks_is_always_acyclic_and_schedulable(
+        (inst, ranks_seed) in (arb_instance(), any::<u64>())
+    ) {
+        let graph = graph_of(&inst);
+        // Arbitrary rank function (hash of link id and seed).
+        let ord = TransmissionOrder::from_ranks(&graph, |l: LinkId| {
+            u64::from(u32::from(l)).wrapping_mul(ranks_seed | 1) % 17
+        });
+        // Rank-derived orders can never cycle.
+        prop_assert!(min_slots_for_order(&graph, &inst.demands, &ord).is_ok());
+    }
+}

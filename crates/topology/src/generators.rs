@@ -1,0 +1,355 @@
+//! Topology factories.
+//!
+//! Deterministic generators ([`chain`], [`ring`], [`grid`], [`star`],
+//! [`binary_tree`]) build the canonical evaluation topologies of the TDMA
+//! mesh-scheduling literature; random generators ([`random_unit_disk`],
+//! [`random_tree`]) build reproducible random instances from an explicit
+//! RNG so experiments can be replayed from a seed.
+//!
+//! All generators produce *bidirectional* connectivity (two directed links
+//! per radio hop), which is what the 802.16 mesh mode assumes.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{MeshTopology, NodeId};
+
+/// Spacing in meters between adjacent nodes in deterministic layouts.
+pub const DEFAULT_SPACING_M: f64 = 250.0;
+
+/// A chain of `n` nodes: `0 - 1 - ... - n-1`.
+///
+/// Chains are the worst case for scheduling delay (every hop is on one
+/// path) and the classic VoIP-capacity topology.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn chain(n: usize) -> MeshTopology {
+    assert!(n > 0, "chain needs at least one node");
+    let mut topo = MeshTopology::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| topo.add_node_at(i as f64 * DEFAULT_SPACING_M, 0.0))
+        .collect();
+    for w in ids.windows(2) {
+        topo.add_bidirectional(w[0], w[1])
+            .expect("fresh chain nodes cannot collide");
+    }
+    topo
+}
+
+/// A ring of `n >= 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> MeshTopology {
+    assert!(n >= 3, "ring needs at least three nodes");
+    let mut topo = MeshTopology::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            let r = DEFAULT_SPACING_M * n as f64 / (2.0 * std::f64::consts::PI);
+            topo.add_node_at(r * theta.cos(), r * theta.sin())
+        })
+        .collect();
+    for i in 0..n {
+        topo.add_bidirectional(ids[i], ids[(i + 1) % n])
+            .expect("fresh ring nodes cannot collide");
+    }
+    topo
+}
+
+/// A `w x h` grid with 4-neighbor (Manhattan) connectivity.
+///
+/// Node `(col, row)` has id `row * w + col`.
+///
+/// # Panics
+///
+/// Panics if `w == 0 || h == 0`.
+pub fn grid(w: usize, h: usize) -> MeshTopology {
+    assert!(w > 0 && h > 0, "grid needs positive dimensions");
+    let mut topo = MeshTopology::new();
+    let mut ids = Vec::with_capacity(w * h);
+    for row in 0..h {
+        for col in 0..w {
+            ids.push(topo.add_node_at(
+                col as f64 * DEFAULT_SPACING_M,
+                row as f64 * DEFAULT_SPACING_M,
+            ));
+        }
+    }
+    for row in 0..h {
+        for col in 0..w {
+            let here = ids[row * w + col];
+            if col + 1 < w {
+                topo.add_bidirectional(here, ids[row * w + col + 1])
+                    .expect("fresh grid nodes cannot collide");
+            }
+            if row + 1 < h {
+                topo.add_bidirectional(here, ids[(row + 1) * w + col])
+                    .expect("fresh grid nodes cannot collide");
+            }
+        }
+    }
+    topo
+}
+
+/// A star: node 0 in the center, `leaves` nodes around it.
+///
+/// # Panics
+///
+/// Panics if `leaves == 0`.
+pub fn star(leaves: usize) -> MeshTopology {
+    assert!(leaves > 0, "star needs at least one leaf");
+    let mut topo = MeshTopology::new();
+    let center = topo.add_node_at(0.0, 0.0);
+    for i in 0..leaves {
+        let theta = 2.0 * std::f64::consts::PI * i as f64 / leaves as f64;
+        let leaf = topo.add_node_at(
+            DEFAULT_SPACING_M * theta.cos(),
+            DEFAULT_SPACING_M * theta.sin(),
+        );
+        topo.add_bidirectional(center, leaf)
+            .expect("fresh star nodes cannot collide");
+    }
+    topo
+}
+
+/// A complete binary tree with `depth` levels below the root
+/// (`2^(depth+1) - 1` nodes). Node 0 is the root; node `i` has children
+/// `2i+1` and `2i+2`.
+///
+/// Overlay trees are the topology class for which the polynomial
+/// delay-optimal ordering algorithm applies.
+pub fn binary_tree(depth: usize) -> MeshTopology {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut topo = MeshTopology::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| {
+            // Lay levels out vertically for readability in debug dumps.
+            let level = (i + 1).ilog2() as f64;
+            topo.add_node_at(i as f64 * 10.0, level * DEFAULT_SPACING_M)
+        })
+        .collect();
+    for i in 0..n {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < n {
+                topo.add_bidirectional(ids[i], ids[child])
+                    .expect("fresh tree nodes cannot collide");
+            }
+        }
+    }
+    topo
+}
+
+/// A uniform random tree over `n` nodes (random attachment), rooted at 0.
+///
+/// Each node `i > 0` attaches to a uniformly random earlier node, giving a
+/// random recursive tree — the random overlay-tree model used for the
+/// tree-scheduling experiments.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> MeshTopology {
+    assert!(n > 0, "tree needs at least one node");
+    let mut topo = MeshTopology::new();
+    let ids: Vec<NodeId> = (0..n).map(|_| topo.add_node()).collect();
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        topo.add_bidirectional(ids[parent], ids[i])
+            .expect("fresh tree nodes cannot collide");
+    }
+    topo
+}
+
+/// Parameters for [`random_unit_disk`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitDiskParams {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Side of the square deployment area in meters.
+    pub area_m: f64,
+    /// Radio range in meters: nodes closer than this are linked.
+    pub range_m: f64,
+    /// Maximum placement attempts before giving up on connectivity.
+    pub max_attempts: usize,
+}
+
+impl Default for UnitDiskParams {
+    fn default() -> Self {
+        Self {
+            nodes: 20,
+            area_m: 1000.0,
+            range_m: 300.0,
+            max_attempts: 200,
+        }
+    }
+}
+
+/// Random unit-disk topology: nodes placed uniformly in a square, linked
+/// when within radio range. Placement is retried until the result is
+/// connected (up to `max_attempts` times), so experiments always run on a
+/// usable mesh.
+///
+/// Returns `None` if no connected placement was found within the attempt
+/// budget — raise the range or density in that case.
+pub fn random_unit_disk<R: Rng + ?Sized>(
+    params: UnitDiskParams,
+    rng: &mut R,
+) -> Option<MeshTopology> {
+    assert!(params.nodes > 0, "unit disk needs at least one node");
+    for _ in 0..params.max_attempts.max(1) {
+        let mut topo = MeshTopology::new();
+        for _ in 0..params.nodes {
+            let x = rng.gen_range(0.0..params.area_m);
+            let y = rng.gen_range(0.0..params.area_m);
+            topo.add_node_at(x, y);
+        }
+        let nodes: Vec<_> = topo.nodes().to_vec();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                if nodes[i].distance_to(&nodes[j]) <= params.range_m {
+                    topo.add_bidirectional(nodes[i].id, nodes[j].id)
+                        .expect("pairs are visited once");
+                }
+            }
+        }
+        if topo.is_connected() {
+            return Some(topo);
+        }
+    }
+    None
+}
+
+/// Picks `count` distinct random node ids from `topo`.
+///
+/// Convenience for choosing random flow endpoints in experiments.
+///
+/// # Panics
+///
+/// Panics if `count > topo.node_count()`.
+pub fn sample_nodes<R: Rng + ?Sized>(
+    topo: &MeshTopology,
+    count: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    assert!(
+        count <= topo.node_count(),
+        "cannot sample {} nodes from {}",
+        count,
+        topo.node_count()
+    );
+    let mut ids: Vec<NodeId> = topo.node_ids().collect();
+    ids.shuffle(rng);
+    ids.truncate(count);
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_counts() {
+        let t = chain(5);
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.link_count(), 8);
+        assert!(t.is_connected());
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(4)), Some(4));
+    }
+
+    #[test]
+    fn single_node_chain() {
+        let t = chain(1);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.link_count(), 0);
+    }
+
+    #[test]
+    fn ring_counts() {
+        let t = ring(6);
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.link_count(), 12);
+        // Opposite side of the ring is 3 hops.
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(3)), Some(3));
+    }
+
+    #[test]
+    fn grid_counts() {
+        let t = grid(3, 4);
+        assert_eq!(t.node_count(), 12);
+        // Horizontal hops: 2*4, vertical: 3*3 => 17 bidirectional = 34 links.
+        assert_eq!(t.link_count(), 34);
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(11)), Some(5));
+    }
+
+    #[test]
+    fn star_counts() {
+        let t = star(7);
+        assert_eq!(t.node_count(), 8);
+        assert_eq!(t.link_count(), 14);
+        assert_eq!(t.hop_distance(NodeId(1), NodeId(7)), Some(2));
+    }
+
+    #[test]
+    fn binary_tree_counts() {
+        let t = binary_tree(3);
+        assert_eq!(t.node_count(), 15);
+        assert_eq!(t.link_count(), 28);
+        // Leaf-to-leaf through the root.
+        assert_eq!(t.hop_distance(NodeId(7), NodeId(14)), Some(6));
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 20] {
+            let t = random_tree(n, &mut rng);
+            assert_eq!(t.node_count(), n);
+            assert_eq!(t.link_count(), 2 * (n - 1));
+            assert!(t.is_connected());
+        }
+    }
+
+    #[test]
+    fn random_unit_disk_connected_and_deterministic() {
+        let params = UnitDiskParams {
+            nodes: 15,
+            area_m: 800.0,
+            range_m: 350.0,
+            max_attempts: 100,
+        };
+        let t1 = random_unit_disk(params, &mut StdRng::seed_from_u64(42)).unwrap();
+        let t2 = random_unit_disk(params, &mut StdRng::seed_from_u64(42)).unwrap();
+        assert!(t1.is_connected());
+        assert_eq!(t1.node_count(), t2.node_count());
+        assert_eq!(t1.link_count(), t2.link_count());
+    }
+
+    #[test]
+    fn random_unit_disk_gives_up_when_impossible() {
+        let params = UnitDiskParams {
+            nodes: 10,
+            area_m: 10_000.0,
+            range_m: 1.0, // effectively no links
+            max_attempts: 3,
+        };
+        assert!(random_unit_disk(params, &mut StdRng::seed_from_u64(1)).is_none());
+    }
+
+    #[test]
+    fn sample_nodes_distinct() {
+        let t = grid(4, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = sample_nodes(&t, 8, &mut rng);
+        assert_eq!(sample.len(), 8);
+        let mut dedup = sample.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+    }
+}

@@ -1,0 +1,93 @@
+//! Why transmission order matters: delay-aware vs naive scheduling.
+//!
+//! Schedules the same demands on a chain under four order policies and
+//! prints the end-to-end scheduling delay of each — the core insight of
+//! the delay-aware TDMA scheduling theory: bandwidth alone says nothing;
+//! the *order* of transmissions inside the frame decides whether a packet
+//! crosses the network in one frame or in one frame per hop.
+//!
+//! ```text
+//! cargo run --example delay_aware_scheduling
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wimesh_conflict::{ConflictGraph, InterferenceModel};
+use wimesh_milp::SolverConfig;
+use wimesh_tdma::milp::min_max_delay_order;
+use wimesh_tdma::{delay, order, schedule_from_order, Demands, FrameConfig};
+use wimesh_topology::routing::shortest_path;
+use wimesh_topology::{generators, NodeId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hops = 8;
+    let topo = generators::chain(hops + 1);
+    let path = shortest_path(&topo, NodeId(0), NodeId(hops as u32))?;
+    let mut demands = Demands::new();
+    for &l in path.links() {
+        demands.set(l, 2);
+    }
+    let graph = ConflictGraph::build_for_links(
+        &topo,
+        demands.links().collect(),
+        InterferenceModel::protocol_default(),
+    );
+    let frame = FrameConfig::new(64, 250); // 64 slots x 250 us = 16 ms
+
+    println!(
+        "{} hops, 2 minislots per link, frame = {frame}\n",
+        path.hop_count()
+    );
+    println!("{:<22} {:>10} {:>8} {:>14}", "order policy", "slots", "wraps", "pipeline delay");
+
+    let report = |name: &str, sched: &wimesh_tdma::Schedule| {
+        let d = delay::path_delay_slots(sched, &path).expect("path scheduled");
+        let wraps = delay::frame_wraps(sched, &path).expect("path scheduled");
+        println!(
+            "{:<22} {:>10} {:>8} {:>11.2} ms",
+            name,
+            sched.makespan(),
+            wraps,
+            frame.slots_to_duration(d).as_secs_f64() * 1e3
+        );
+    };
+
+    // Delay-aware greedy: links in path order.
+    let hop = order::hop_order(&graph, std::slice::from_ref(&path));
+    let sched = schedule_from_order(&graph, &demands, &hop, frame)?;
+    report("hop order (greedy)", &sched);
+    let slot_map = wimesh_tdma::render::render_schedule(&sched, 48);
+
+    // Exact min-max delay MILP.
+    let exact = min_max_delay_order(
+        &graph,
+        &demands,
+        std::slice::from_ref(&path),
+        frame,
+        &SolverConfig::default(),
+    )?;
+    report("exact MILP", &exact.schedule);
+
+    // Delay-oblivious baselines: random permutations.
+    for seed in [1u64, 2, 3] {
+        let rnd = order::random_order(&graph, &mut StdRng::seed_from_u64(seed));
+        let sched = schedule_from_order(&graph, &demands, &rnd, frame)?;
+        report(&format!("random order (seed {seed})"), &sched);
+    }
+
+    // Worst case: reverse path order — every hop waits a full frame.
+    let mut perm: Vec<_> = path.links().to_vec();
+    perm.reverse();
+    let rev = order::TransmissionOrder::from_permutation(&graph, &perm);
+    let sched = schedule_from_order(&graph, &demands, &rev, frame)?;
+    report("reverse order (worst)", &sched);
+
+    println!("\nhop-order slot map (note the pipeline marching left to right):");
+    print!("{slot_map}");
+    println!(
+        "\ndelay-aware orders cross the network in a fraction of a frame;\n\
+         naive orders pay up to one full frame per hop — the gap grows with\n\
+         both frame length and hop count."
+    );
+    Ok(())
+}

@@ -1,0 +1,145 @@
+//! Integration: the distributed MSH-DSCH protocol against the
+//! centralized schedulers — same demands, conflict-free either way, with
+//! a measurable utilisation/convergence trade-off.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wimesh::conflict::{greedy_clique_cover, ConflictGraph, InterferenceModel};
+use wimesh::mac80216::reservation::{run_distributed, ReservationConfig};
+use wimesh::tdma::{min_slots_for_order, order, Demands, FrameConfig};
+use wimesh_topology::routing::GatewayRouting;
+use wimesh_topology::{generators, MeshTopology, NodeId};
+
+fn uplink_demands(topo: &MeshTopology, gateway: NodeId, per_link: u32) -> Demands {
+    let routing = GatewayRouting::new(topo, gateway).unwrap();
+    let mut demands = Demands::new();
+    for link in routing.uplink_links(topo) {
+        demands.set(link, per_link);
+    }
+    demands
+}
+
+/// Largest per-clique demand sum: a hard lower bound on any makespan.
+fn clique_lower_bound(graph: &ConflictGraph, demands: &Demands) -> u32 {
+    greedy_clique_cover(graph)
+        .iter()
+        .map(|clique| {
+            clique
+                .iter()
+                .map(|&v| demands.get(graph.link_at(v)))
+                .sum::<u32>()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Runs both schedulers on the same instance and cross-checks. Returns
+/// `(lower_bound, centralized_makespan, distributed_makespan, frames)`.
+fn compare(topo: &MeshTopology, gateway: NodeId, per_link: u32) -> (u32, u32, u32, u32) {
+    let demands = uplink_demands(topo, gateway, per_link);
+    let frame = FrameConfig::new(256, 40);
+    let graph = ConflictGraph::build_for_links(
+        topo,
+        demands.links().collect(),
+        InterferenceModel::protocol_default(),
+    );
+
+    // Centralized: tree order + Bellman-Ford.
+    let routing = GatewayRouting::new(topo, gateway).unwrap();
+    let ord = order::tree_order(topo, &routing, &graph);
+    let central_makespan = min_slots_for_order(&graph, &demands, &ord).unwrap();
+
+    // Distributed: three-way handshake.
+    let out = run_distributed(
+        topo,
+        &demands,
+        ReservationConfig {
+            frame,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(out.converged, "distributed protocol did not converge");
+    assert!(out.schedule.validate(&graph).is_ok(), "conflicting schedule");
+    for (link, d) in demands.iter() {
+        assert_eq!(out.schedule.slot_range(link).unwrap().len, d);
+    }
+    let lb = clique_lower_bound(&graph, &demands);
+    // Both schedulers respect the clique bound.
+    assert!(central_makespan >= lb);
+    assert!(out.schedule.makespan() >= lb);
+    (lb, central_makespan, out.schedule.makespan(), out.frames_elapsed)
+}
+
+#[test]
+fn chain_distributed_vs_centralized() {
+    let topo = generators::chain(7);
+    let (lb, central, distributed, frames) = compare(&topo, NodeId(0), 4);
+    // The delay-optimal tree order may trade makespan for delay, and the
+    // distributed first-fit may waste slots to races — but both stay
+    // within a small factor of the clique bound.
+    assert!(central <= lb * 3, "central {central} vs bound {lb}");
+    assert!(distributed <= lb * 3, "distributed {distributed} vs bound {lb}");
+    assert!(frames < 100);
+}
+
+#[test]
+fn tree_distributed_vs_centralized() {
+    let topo = generators::binary_tree(3);
+    let (lb, central, distributed, frames) = compare(&topo, NodeId(0), 2);
+    assert!(central <= lb * 3);
+    assert!(distributed <= lb * 3);
+    assert!(frames < 200, "convergence took {frames} frames");
+}
+
+#[test]
+fn grid_distributed_vs_centralized() {
+    let topo = generators::grid(4, 3);
+    let (lb, central, distributed, _) = compare(&topo, NodeId(0), 2);
+    assert!(central <= lb * 3);
+    assert!(distributed <= lb * 4);
+}
+
+#[test]
+fn random_meshes_converge_conflict_free() {
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = generators::random_unit_disk(
+            generators::UnitDiskParams {
+                nodes: 14,
+                area_m: 900.0,
+                range_m: 320.0,
+                max_attempts: 100,
+            },
+            &mut rng,
+        )
+        .expect("connected placement");
+        let demands = uplink_demands(&topo, NodeId(0), 2);
+        let out = run_distributed(&topo, &demands, ReservationConfig::default()).unwrap();
+        assert!(out.converged, "seed {seed} did not converge");
+        let graph = ConflictGraph::build_for_links(
+            &topo,
+            demands.links().collect(),
+            InterferenceModel::protocol_default(),
+        );
+        if let Err((a, b)) = out.schedule.validate(&graph) {
+            panic!("seed {seed}: conflicting reservations {a} and {b}");
+        }
+    }
+}
+
+#[test]
+fn convergence_scales_with_network_size() {
+    // Bigger meshes need more control traffic but stay sub-linear in
+    // links thanks to spatial reuse of the control subframe.
+    let small = {
+        let topo = generators::chain(4);
+        compare(&topo, NodeId(0), 2).3
+    };
+    let large = {
+        let topo = generators::chain(12);
+        compare(&topo, NodeId(0), 2).3
+    };
+    assert!(large >= small);
+    assert!(large < 400, "convergence blew up: {large} frames");
+}
