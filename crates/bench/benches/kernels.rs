@@ -31,7 +31,9 @@ fn bench_conflict_graph(c: &mut Criterion) {
         b.iter(|| ConflictGraph::build(&topo, InterferenceModel::protocol_default()))
     });
     let cg = ConflictGraph::build(&topo, InterferenceModel::protocol_default());
-    c.bench_function("greedy_coloring_grid5x5", |b| b.iter(|| greedy_coloring(&cg)));
+    c.bench_function("greedy_coloring_grid5x5", |b| {
+        b.iter(|| greedy_coloring(&cg))
+    });
 }
 
 fn bench_schedule_from_order(c: &mut Criterion) {
@@ -85,7 +87,9 @@ fn bench_milp(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut m = Model::new();
-                let vars: Vec<_> = (0..16).map(|i| m.add_binary_var(&format!("x{i}"))).collect();
+                let vars: Vec<_> = (0..16)
+                    .map(|i| m.add_binary_var(&format!("x{i}")))
+                    .collect();
                 let mut w = LinExpr::new();
                 let mut v = LinExpr::new();
                 for (i, &x) in vars.iter().enumerate() {

@@ -4,36 +4,134 @@
 //! cargo run -p wimesh-bench --release --bin experiments            # all
 //! cargo run -p wimesh-bench --release --bin experiments -- e4 e5  # some
 //! cargo run -p wimesh-bench --release --bin experiments -- --quick
+//! cargo run -p wimesh-bench --release --bin experiments -- e1 --trace e1.jsonl
+//! cargo run -p wimesh-bench --release --bin experiments -- e1 --summary
 //! ```
 //!
-//! CSV outputs land in `results/`.
+//! CSV outputs land in `results/`, along with one `BENCH_<id>.json`
+//! timing artifact per experiment. `--trace <file>` streams spans and
+//! metric snapshots as JSONL via `wimesh-obs`; `--summary` prints a
+//! human-readable metrics digest after each experiment.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use wimesh_bench::{run_experiment, Ctx, ALL_EXPERIMENTS};
+use wimesh_obs::sink::{JsonlSink, NoopSink};
+
+/// Spans need `&'static str` names; map known ids to fixed labels.
+fn span_name(id: &str) -> &'static str {
+    match id {
+        "e1" => "bench.e1",
+        "e2" => "bench.e2",
+        "e3" => "bench.e3",
+        "e4" => "bench.e4",
+        "e5" => "bench.e5",
+        "e6" => "bench.e6",
+        "e7" => "bench.e7",
+        "e8" => "bench.e8",
+        "e9" => "bench.e9",
+        "e10" => "bench.e10",
+        "e11" => "bench.e11",
+        "e12" => "bench.e12",
+        "e13" => "bench.e13",
+        "e14" => "bench.e14",
+        "t10" => "bench.t10",
+        _ => "bench.experiment",
+    }
+}
+
+/// Writes `results/BENCH_<id>.json` so CI and scripts can read
+/// per-experiment outcomes without scraping stdout.
+fn write_artifact(ctx: &Ctx, id: &str, ok: bool, wall_s: f64) {
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"experiment\":");
+    wimesh_obs::json::push_str_value(&mut line, id);
+    line.push_str(",\"ok\":");
+    line.push_str(if ok { "true" } else { "false" });
+    line.push_str(",\"wall_s\":");
+    wimesh_obs::json::push_f64(&mut line, wall_s);
+    line.push_str(",\"quick\":");
+    line.push_str(if ctx.quick { "true" } else { "false" });
+    line.push_str("}\n");
+    let path = ctx.out_dir.join(format!("BENCH_{id}.json"));
+    if std::fs::create_dir_all(&ctx.out_dir)
+        .and_then(|()| std::fs::write(&path, line))
+        .is_err()
+    {
+        eprintln!("warning: could not write {}", path.display());
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
+    let mut quick = false;
+    let mut summary = false;
+    let mut trace: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--summary" => summary = true,
+            "--trace" => match it.next() {
+                Some(path) => trace = Some(path),
+                None => {
+                    eprintln!("--trace requires a file path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => ids.push(other.to_string()),
+        }
+    }
     let ids: Vec<&str> = if ids.is_empty() {
         ALL_EXPERIMENTS.to_vec()
     } else {
         ids.iter().map(String::as_str).collect()
     };
 
+    // --trace streams to a JSONL file; --summary alone still needs
+    // recording enabled, so it installs the no-op sink.
+    if let Some(path) = &trace {
+        match JsonlSink::create(path) {
+            Ok(sink) => wimesh_obs::install(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("cannot open trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if summary {
+        wimesh_obs::install(Arc::new(NoopSink));
+    }
+
     let ctx = Ctx::new("results", quick);
     let mut failed = false;
     for id in ids {
         println!("\n########## experiment {id} ##########");
         let start = std::time::Instant::now();
-        match run_experiment(id, &ctx) {
-            Ok(()) => println!("  ({id} finished in {:.1} s)", start.elapsed().as_secs_f64()),
-            Err(e) => {
-                eprintln!("experiment {id} failed: {e}");
-                failed = true;
+        let ok = {
+            let _span = wimesh_obs::span!(span_name(id));
+            match run_experiment(id, &ctx) {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!("experiment {id} failed: {e}");
+                    false
+                }
             }
+        };
+        let wall_s = start.elapsed().as_secs_f64();
+        if ok {
+            println!("  ({id} finished in {wall_s:.1} s)");
+        } else {
+            failed = true;
         }
+        write_artifact(&ctx, id, ok, wall_s);
+        if summary {
+            println!("{}", wimesh_obs::summary());
+        }
+    }
+    if wimesh_obs::is_enabled() {
+        wimesh_obs::finish();
     }
     if failed {
         ExitCode::FAILURE

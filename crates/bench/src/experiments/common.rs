@@ -71,12 +71,7 @@ pub fn tdma_capacity(mesh: &MeshQos, flows: &[FlowSpec], policy: OrderPolicy) ->
 /// DCF capacity: the largest `k` such that simulating the first `k` calls
 /// keeps every call acceptable. Linear search from 1 (simulations are the
 /// cost driver, so the search stops at the first failure).
-pub fn dcf_capacity(
-    mesh: &MeshQos,
-    flows: &[FlowSpec],
-    sim_time: Duration,
-    seed: u64,
-) -> usize {
+pub fn dcf_capacity(mesh: &MeshQos, flows: &[FlowSpec], sim_time: Duration, seed: u64) -> usize {
     let deadline = flows
         .first()
         .and_then(|f| f.deadline)

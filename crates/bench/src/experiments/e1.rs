@@ -34,16 +34,30 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
         "E1: VoIP capacity vs chain length (G.729, gateway at node 0)",
         &["nodes", "hops", "tdma_calls", "dcf_calls", "tdma/dcf"],
     );
-    for &n in lengths {
+    for (i, &n) in lengths.iter().enumerate() {
         let topo = generators::chain(n);
         let mesh = MeshQos::new(topo, EmulationParams::default())?;
-        let flows =
-            common::voip_calls_to_gateway(n, NodeId(0), max_calls, VoipCodec::G729);
-        let tdma = common::tdma_capacity(
-            &mesh,
-            &flows,
-            OrderPolicy::TreeOrder { gateway: NodeId(0) },
-        );
+        let flows = common::voip_calls_to_gateway(n, NodeId(0), max_calls, VoipCodec::G729);
+        let tdma =
+            common::tdma_capacity(&mesh, &flows, OrderPolicy::TreeOrder { gateway: NodeId(0) });
+        if i == 0 {
+            // Sanity anchor: on the smallest chain the polynomial tree
+            // order must match the exact MILP order search (this also
+            // exercises the solver when tracing with --trace).
+            let k = flows.len().min(8);
+            let exact = common::tdma_capacity(&mesh, &flows[..k], OrderPolicy::ExactMilp);
+            let tree = common::tdma_capacity(
+                &mesh,
+                &flows[..k],
+                OrderPolicy::TreeOrder { gateway: NodeId(0) },
+            );
+            if exact != tree {
+                return Err(BenchError::Other(format!(
+                    "exact MILP capacity {exact} != tree order capacity {tree} on {n}-chain"
+                )));
+            }
+            println!("  (cross-check: exact MILP = tree order = {exact} calls on the {n}-chain)");
+        }
         let dcf = common::dcf_capacity(&mesh, &flows, sim_time, 1);
         let ratio = if dcf > 0 {
             format!("{:.2}", tdma as f64 / dcf as f64)

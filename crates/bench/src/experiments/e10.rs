@@ -10,9 +10,7 @@
 //! measurably more slots than the 1-hop (802.16 coordination) model;
 //! primary-only is the no-interference lower envelope.
 
-use wimesh::conflict::{
-    greedy_clique_cover, greedy_coloring, ConflictGraph, InterferenceModel,
-};
+use wimesh::conflict::{greedy_clique_cover, greedy_coloring, ConflictGraph, InterferenceModel};
 use wimesh::mac80216::csch::uplink_demands;
 use wimesh::tdma::Demands;
 use wimesh_topology::routing::GatewayRouting;
@@ -23,7 +21,11 @@ use crate::{BenchError, Ctx, Table};
 fn clique_lb(graph: &ConflictGraph, demands: &Demands) -> u32 {
     greedy_clique_cover(graph)
         .iter()
-        .map(|c| c.iter().map(|&v| demands.get(graph.link_at(v))).sum::<u32>())
+        .map(|c| {
+            c.iter()
+                .map(|&v| demands.get(graph.link_at(v)))
+                .sum::<u32>()
+        })
         .max()
         .unwrap_or(0)
 }
@@ -43,7 +45,14 @@ fn measure(topo: &MeshTopology, demands: &Demands, model: InterferenceModel) -> 
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let mut table = Table::new(
         "E10: interference radius ablation — coloring makespan for 2-slot uplinks",
-        &["topology", "links", "radius", "conflict_edges", "coloring_slots", "clique_lb"],
+        &[
+            "topology",
+            "links",
+            "radius",
+            "conflict_edges",
+            "coloring_slots",
+            "clique_lb",
+        ],
     );
     let chains: &[usize] = if ctx.quick { &[7] } else { &[5, 7, 9, 12] };
     let mut cases: Vec<(String, MeshTopology)> = chains

@@ -38,34 +38,41 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
 
     let mut table = Table::new(
         "E11: scheduler comparison, binary tree depth 3, 2 slots per uplink, 64x250us frame",
-        &["scheduler", "makespan", "max_leaf_delay_slots", "max_wraps", "signalling"],
+        &[
+            "scheduler",
+            "makespan",
+            "max_leaf_delay_slots",
+            "max_wraps",
+            "signalling",
+        ],
     );
-    let mut report = |name: &str, schedule: &Schedule, signalling: String| -> Result<(), BenchError> {
-        if let Err((a, b)) = schedule.validate(&graph) {
-            return Err(BenchError(format!("{name}: conflict {a}/{b}")));
-        }
-        let d = leaf_paths
-            .iter()
-            .map(|p| delay::path_delay_slots(schedule, p))
-            .collect::<Option<Vec<_>>>()
-            .ok_or_else(|| BenchError(format!("{name}: leaf path unscheduled")))?
-            .into_iter()
-            .max()
-            .expect("non-empty");
-        let w = leaf_paths
-            .iter()
-            .filter_map(|p| delay::frame_wraps(schedule, p))
-            .max()
-            .expect("non-empty");
-        table.row_strings(vec![
-            name.to_string(),
-            schedule.makespan().to_string(),
-            d.to_string(),
-            w.to_string(),
-            signalling,
-        ]);
-        Ok(())
-    };
+    let mut report =
+        |name: &str, schedule: &Schedule, signalling: String| -> Result<(), BenchError> {
+            if let Err((a, b)) = schedule.validate(&graph) {
+                return Err(BenchError::Other(format!("{name}: conflict {a}/{b}")));
+            }
+            let d = leaf_paths
+                .iter()
+                .map(|p| delay::path_delay_slots(schedule, p))
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| BenchError::Other(format!("{name}: leaf path unscheduled")))?
+                .into_iter()
+                .max()
+                .expect("non-empty");
+            let w = leaf_paths
+                .iter()
+                .filter_map(|p| delay::frame_wraps(schedule, p))
+                .max()
+                .expect("non-empty");
+            table.row_strings(vec![
+                name.to_string(),
+                schedule.makespan().to_string(),
+                d.to_string(),
+                w.to_string(),
+                signalling,
+            ]);
+            Ok(())
+        };
 
     for (name, mode) in [
         ("csch sequential", CschMode::Sequential),
@@ -89,12 +96,15 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
         },
     )?;
     if !dist.converged {
-        return Err(BenchError("distributed did not converge".into()));
+        return Err(BenchError::Other("distributed did not converge".into()));
     }
     report(
         "distributed dsch",
         &dist.schedule,
-        format!("{} frames, {} msgs", dist.frames_elapsed, dist.messages_sent),
+        format!(
+            "{} frames, {} msgs",
+            dist.frames_elapsed, dist.messages_sent
+        ),
     )?;
 
     // Exact: first find the optimal max delay, then the smallest
@@ -118,7 +128,11 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     // can ever be feasible.
     let lb = greedy_clique_cover(&graph)
         .iter()
-        .map(|c| c.iter().map(|&v| demands.get(graph.link_at(v))).sum::<u32>())
+        .map(|c| {
+            c.iter()
+                .map(|&v| demands.get(graph.link_at(v)))
+                .sum::<u32>()
+        })
         .max()
         .unwrap_or(1)
         .max(1);

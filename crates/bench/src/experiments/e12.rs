@@ -42,7 +42,11 @@ fn violations(
 }
 
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
-    let offered: &[usize] = if ctx.quick { &[8, 16] } else { &[4, 8, 12, 16, 20, 24] };
+    let offered: &[usize] = if ctx.quick {
+        &[8, 16]
+    } else {
+        &[4, 8, 12, 16, 20, 24]
+    };
     let sim_time = if ctx.quick {
         Duration::from_secs(10)
     } else {
@@ -54,17 +58,19 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
 
     let mut table = Table::new(
         "E12: burst-provisioning ablation (3x4 grid, G.711 to gateway, 30 s sims)",
-        &["offered", "with_burst_slots", "with_burst_violations", "no_burst_slots", "no_burst_violations"],
+        &[
+            "offered",
+            "with_burst_slots",
+            "with_burst_violations",
+            "no_burst_slots",
+            "no_burst_violations",
+        ],
     );
     let mut any_ablated_violation = false;
     for &k in offered {
-        let with_burst =
-            common::voip_calls_to_gateway(node_count, NodeId(0), k, VoipCodec::G711);
+        let with_burst = common::voip_calls_to_gateway(node_count, NodeId(0), k, VoipCodec::G711);
         // Ablated: same flows, burst term zeroed (1 byte is the minimum).
-        let no_burst: Vec<FlowSpec> = with_burst
-            .iter()
-            .map(|f| f.clone().with_burst(1))
-            .collect();
+        let no_burst: Vec<FlowSpec> = with_burst.iter().map(|f| f.clone().with_burst(1)).collect();
         let (_, v1, s1) = violations(&mesh, &with_burst, sim_time, 12)?;
         let (_, v2, s2) = violations(&mesh, &no_burst, sim_time, 12)?;
         any_ablated_violation |= v2 > 0;
@@ -76,7 +82,7 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
             v2.to_string(),
         ]);
         if v1 > 0 {
-            return Err(BenchError(format!(
+            return Err(BenchError::Other(format!(
                 "burst-provisioned admission violated its bound at k={k}"
             )));
         }

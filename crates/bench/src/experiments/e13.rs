@@ -52,8 +52,7 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
         .map(|i| FlowSpec::voip(i, NodeId(4 - i), NodeId(0), VoipCodec::G711))
         .collect();
     let outcome = mesh.admit(&flows, OrderPolicy::TreeOrder { gateway: NodeId(0) })?;
-    let outcome_prov =
-        provisioned.admit(&flows, OrderPolicy::TreeOrder { gateway: NodeId(0) })?;
+    let outcome_prov = provisioned.admit(&flows, OrderPolicy::TreeOrder { gateway: NodeId(0) })?;
     let bound = outcome
         .admitted
         .iter()
@@ -61,13 +60,20 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
         .max()
         .expect("flows admitted");
 
-    let voip = |_: &FlowSpec| -> Box<dyn TrafficSource> {
-        Box::new(VoipSource::new(VoipCodec::G711))
-    };
+    let voip =
+        |_: &FlowSpec| -> Box<dyn TrafficSource> { Box::new(VoipSource::new(VoipCodec::G711)) };
 
     let mut table = Table::new(
         "E13: channel-error resilience, 4-hop chain, 2 G.711 calls",
-        &["loss_pct", "tdma_delivery_pct", "tdma_p99_ms", "tdma_max_ms", "tdma_prov20_p99_ms", "dcf_delivery_pct", "dcf_p99_ms"],
+        &[
+            "loss_pct",
+            "tdma_delivery_pct",
+            "tdma_p99_ms",
+            "tdma_max_ms",
+            "tdma_prov20_p99_ms",
+            "dcf_delivery_pct",
+            "dcf_p99_ms",
+        ],
     );
     let run_tdma = |outcome: &wimesh::AdmissionOutcome,
                     model: &wimesh_emu::EmulationModel,
@@ -82,8 +88,7 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
                 source: Box::new(VoipSource::new(VoipCodec::G711)),
             })
             .collect();
-        let mut sim = TdmaSimulation::new(*model, &outcome.schedule, tdma_flows, 200)?
-            .with_loss(p);
+        let mut sim = TdmaSimulation::new(*model, &outcome.schedule, tdma_flows, 200)?.with_loss(p);
         sim.run(sim_time, &mut StdRng::seed_from_u64(13));
         let (mut sent, mut delivered) = (0u64, 0u64);
         let mut p99 = Duration::ZERO;

@@ -27,7 +27,15 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let calls = 40;
     let mut table = Table::new(
         "E14: uniform vs distance-adaptive link rates (random 14-node meshes, G.729 to gateway)",
-        &["seed", "min_payload_B", "max_payload_B", "uniform_calls", "uniform_slots", "adaptive_calls", "adaptive_slots"],
+        &[
+            "seed",
+            "min_payload_B",
+            "max_payload_B",
+            "uniform_calls",
+            "uniform_slots",
+            "adaptive_calls",
+            "adaptive_slots",
+        ],
     );
     for &seed in seeds {
         let mut rng = StdRng::seed_from_u64(2000 + seed);
@@ -40,7 +48,7 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
             },
             &mut rng,
         )
-        .ok_or_else(|| BenchError("no connected placement".into()))?;
+        .ok_or_else(|| BenchError::Other("no connected placement".into()))?;
         let flows =
             common::voip_calls_to_gateway(topo.node_count(), NodeId(0), calls, VoipCodec::G729);
 

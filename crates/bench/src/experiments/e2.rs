@@ -31,7 +31,14 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
 
     // Four G.711 calls from the far end to the gateway.
     let calls: Vec<FlowSpec> = (0..4)
-        .map(|i| FlowSpec::voip(i, NodeId((n - 1 - i as usize % 2) as u32), NodeId(0), VoipCodec::G711))
+        .map(|i| {
+            FlowSpec::voip(
+                i,
+                NodeId((n - 1 - i as usize % 2) as u32),
+                NodeId(0),
+                VoipCodec::G711,
+            )
+        })
         .collect();
     let outcome = mesh.admit(&calls, OrderPolicy::HopOrder)?;
     let bound = outcome
@@ -41,16 +48,25 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
         .max()
         .unwrap_or_default();
 
-    let voip = |_: &FlowSpec| -> Box<dyn TrafficSource> {
-        Box::new(VoipSource::new(VoipCodec::G711))
-    };
+    let voip =
+        |_: &FlowSpec| -> Box<dyn TrafficSource> { Box::new(VoipSource::new(VoipCodec::G711)) };
     let mut rng = StdRng::seed_from_u64(2);
     let tdma_stats = mesh.simulate_tdma(&outcome, voip, sim_time, 200, &mut rng)?;
 
     // DCF: same calls plus two saturating 1500-B cross flows.
     let mut dcf_flows = calls.clone();
-    dcf_flows.push(FlowSpec::best_effort(100, NodeId(0), NodeId((n - 1) as u32), 4_000_000.0));
-    dcf_flows.push(FlowSpec::best_effort(101, NodeId((n - 1) as u32), NodeId(0), 4_000_000.0));
+    dcf_flows.push(FlowSpec::best_effort(
+        100,
+        NodeId(0),
+        NodeId((n - 1) as u32),
+        4_000_000.0,
+    ));
+    dcf_flows.push(FlowSpec::best_effort(
+        101,
+        NodeId((n - 1) as u32),
+        NodeId(0),
+        4_000_000.0,
+    ));
     let make_source = |spec: &FlowSpec| -> Box<dyn TrafficSource> {
         if spec.id.0 < 100 {
             Box::new(VoipSource::new(VoipCodec::G711))
@@ -75,7 +91,9 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
         "E2: one-way delay CDF, 6-hop chain with 4 G.711 calls (DCF adds saturating cross-traffic)",
         &["delay_ms", "cdf_tdma", "cdf_dcf_voip"],
     );
-    let checkpoints_ms: &[u64] = &[1, 2, 5, 10, 15, 20, 30, 40, 60, 80, 120, 200, 400, 800, 1500];
+    let checkpoints_ms: &[u64] = &[
+        1, 2, 5, 10, 15, 20, 30, 40, 60, 80, 120, 200, 400, 800, 1500,
+    ];
     for &ck in checkpoints_ms {
         let at = Duration::from_millis(ck);
         let cdf_of = |stats: &[&wimesh::sim::FlowStats]| {
@@ -104,7 +122,10 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
         ]);
     }
     table.print();
-    println!("  tdma worst-case bound: {} ms (all mass must sit left of it)", ms(bound));
+    println!(
+        "  tdma worst-case bound: {} ms (all mass must sit left of it)",
+        ms(bound)
+    );
     let dcf_loss: f64 = dcf
         .iter()
         .filter(|(spec, _)| spec.id.0 < 100)

@@ -46,7 +46,11 @@ fn lower_bound(mesh: &MeshQos, outcome: &wimesh::AdmissionOutcome) -> u32 {
     );
     greedy_clique_cover(&graph)
         .iter()
-        .map(|c| c.iter().map(|&v| demands.get(graph.link_at(v))).sum::<u32>())
+        .map(|c| {
+            c.iter()
+                .map(|&v| demands.get(graph.link_at(v)))
+                .sum::<u32>()
+        })
         .max()
         .unwrap_or(0)
 }
@@ -55,7 +59,13 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let max_flows = if ctx.quick { 4 } else { 10 };
     let mut table = Table::new(
         "E3: minimum guaranteed minislots vs offered VoIP flows (6-node chain, G.711)",
-        &["flows", "s_exact", "s_hop_order", "clique_lb", "admitted_exact"],
+        &[
+            "flows",
+            "s_exact",
+            "s_hop_order",
+            "clique_lb",
+            "admitted_exact",
+        ],
     );
     let n = 6;
     let topo = generators::chain(n);
@@ -78,13 +88,24 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let mesh = MeshQos::new(topo, EmulationParams::default())?;
     let mut grid_table = Table::new(
         "E3b: same sweep on a 3x3 grid (gateway at a corner)",
-        &["flows", "s_exact", "s_hop_order", "clique_lb", "admitted_exact"],
+        &[
+            "flows",
+            "s_exact",
+            "s_hop_order",
+            "clique_lb",
+            "admitted_exact",
+        ],
     );
     for k in 1..=max_flows.min(8) {
         let flows: Vec<FlowSpec> = (0..k)
             .map(|i| {
                 let srcs = [8u32, 6, 2, 7, 5, 4, 3, 1];
-                FlowSpec::voip(i as u32, NodeId(srcs[i % srcs.len()]), NodeId(0), VoipCodec::G711)
+                FlowSpec::voip(
+                    i as u32,
+                    NodeId(srcs[i % srcs.len()]),
+                    NodeId(0),
+                    VoipCodec::G711,
+                )
             })
             .collect();
         let exact = mesh.admit(&flows, OrderPolicy::ExactMilp)?;

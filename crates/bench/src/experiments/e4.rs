@@ -30,7 +30,14 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let frame = FrameConfig::new(64, 250);
     let mut table = Table::new(
         "E4: max scheduling delay (ms) vs hops, per order policy (2 slots/link, 64x250us frame)",
-        &["hops", "hop_order", "exact_milp", "random_mean", "random_max", "reverse"],
+        &[
+            "hops",
+            "hop_order",
+            "exact_milp",
+            "random_mean",
+            "random_max",
+            "reverse",
+        ],
     );
     for &hops in hop_counts {
         let topo = generators::chain(hops + 1);

@@ -31,7 +31,15 @@ fn try_model(phy: PhyStandard, rate: f64, slot_us: u64) -> Option<EmulationModel
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let mut table = Table::new(
         "E6: emulated minislot capacity and efficiency (20 ppm, 500 ms resync)",
-        &["phy", "rate_mbps", "slot_us", "guard_us", "payload_B", "slot_kbps", "efficiency_pct"],
+        &[
+            "phy",
+            "rate_mbps",
+            "slot_us",
+            "guard_us",
+            "payload_B",
+            "slot_kbps",
+            "efficiency_pct",
+        ],
     );
     let cases: &[(PhyStandard, &[f64])] = &[
         (PhyStandard::Dot11b, &[1.0, 11.0]),

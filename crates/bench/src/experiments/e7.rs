@@ -33,7 +33,15 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
 
     let mut table = Table::new(
         "E7: guard time and capacity vs resync interval (802.11a @ 24 Mbit/s, 500 us slots)",
-        &["drift_ppm", "resync_ms", "bound_us", "simulated_us", "guard_us", "payload_B", "efficiency_pct"],
+        &[
+            "drift_ppm",
+            "resync_ms",
+            "bound_us",
+            "simulated_us",
+            "guard_us",
+            "payload_B",
+            "efficiency_pct",
+        ],
     );
     for &ppm in drifts {
         for &resync_ms in resyncs_ms {

@@ -29,7 +29,17 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
 
     let mut table = Table::new(
         "E8: distributed 3-way-handshake scheduling on random meshes (2 slots per uplink)",
-        &["nodes", "links", "frames_mean", "frames_max", "msgs_mean", "retries_mean", "makespan_mean", "clique_lb_mean", "converged"],
+        &[
+            "nodes",
+            "links",
+            "frames_mean",
+            "frames_max",
+            "msgs_mean",
+            "retries_mean",
+            "makespan_mean",
+            "clique_lb_mean",
+            "converged",
+        ],
     );
     for &n in sizes {
         let mut frames = Vec::new();
@@ -50,7 +60,7 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
                 },
                 &mut rng,
             )
-            .ok_or_else(|| BenchError(format!("no connected {n}-node placement")))?;
+            .ok_or_else(|| BenchError::Other(format!("no connected {n}-node placement")))?;
             let routing = GatewayRouting::new(&topo, NodeId(0)).expect("gateway exists");
             let mut demands = Demands::new();
             for link in routing.uplink_links(&topo) {
@@ -72,13 +82,17 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
             );
             // Validate conflict-freeness on every instance.
             if let Err((a, b)) = out.schedule.validate(&graph) {
-                return Err(BenchError(format!(
+                return Err(BenchError::Other(format!(
                     "seed {seed}: conflicting reservations {a}/{b}"
                 )));
             }
             let lb = greedy_clique_cover(&graph)
                 .iter()
-                .map(|c| c.iter().map(|&v| demands.get(graph.link_at(v))).sum::<u32>())
+                .map(|c| {
+                    c.iter()
+                        .map(|&v| demands.get(graph.link_at(v)))
+                        .sum::<u32>()
+                })
                 .max()
                 .unwrap_or(0);
             bounds.push(lb as f64);
@@ -86,7 +100,10 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         table.row_strings(vec![
             n.to_string(),
-            format!("{:.0}", mean(&links.iter().map(|&x| x as f64).collect::<Vec<_>>())),
+            format!(
+                "{:.0}",
+                mean(&links.iter().map(|&x| x as f64).collect::<Vec<_>>())
+            ),
             format!("{:.1}", mean(&frames)),
             format!("{:.0}", frames.iter().cloned().fold(0.0, f64::max)),
             format!("{:.0}", mean(&msgs)),

@@ -41,12 +41,32 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let cases: &[(usize, usize)] = if ctx.quick {
         &[(4, 1), (5, 2), (6, 2)]
     } else {
-        &[(4, 1), (5, 1), (6, 1), (5, 2), (6, 2), (7, 2), (6, 3), (7, 3), (8, 3), (8, 4)]
+        &[
+            (4, 1),
+            (5, 1),
+            (6, 1),
+            (5, 2),
+            (6, 2),
+            (7, 2),
+            (6, 3),
+            (7, 3),
+            (8, 3),
+            (8, 4),
+        ]
     };
     let frame = FrameConfig::new(96, 250);
     let mut table = Table::new(
         "E9: exact order-MILP scaling vs hop-order heuristic (alternating chain flows)",
-        &["nodes", "flows", "binaries", "bb_nodes", "exact_ms", "exact_delay", "heur_delay", "gap"],
+        &[
+            "nodes",
+            "flows",
+            "binaries",
+            "bb_nodes",
+            "exact_ms",
+            "exact_delay",
+            "heur_delay",
+            "gap",
+        ],
     );
     for &(nodes, k) in cases {
         let (topo, paths, demands) = instance(nodes, k);

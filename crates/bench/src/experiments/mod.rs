@@ -3,6 +3,11 @@
 pub(crate) mod common;
 
 pub mod e1;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e13;
+pub mod e14;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -11,9 +16,4 @@ pub mod e6;
 pub mod e7;
 pub mod e8;
 pub mod e9;
-pub mod e10;
-pub mod e11;
-pub mod e12;
-pub mod e13;
-pub mod e14;
 pub mod t10;

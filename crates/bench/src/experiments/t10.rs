@@ -20,7 +20,11 @@ use crate::experiments::common;
 use crate::{BenchError, Ctx, Table};
 
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
-    let offered: &[usize] = if ctx.quick { &[2, 6] } else { &[2, 4, 6, 8, 12, 16, 24] };
+    let offered: &[usize] = if ctx.quick {
+        &[2, 6]
+    } else {
+        &[2, 4, 6, 8, 12, 16, 24]
+    };
     let sim_time = if ctx.quick {
         Duration::from_secs(10)
     } else {
@@ -33,7 +37,15 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
 
     let mut table = Table::new(
         "T10: admission summary, 3x4 grid, mixed G.711 VoIP + best effort",
-        &["offered_voip", "admitted_voip", "offered_be", "admitted_be", "guaranteed_slots", "be_slots", "violations"],
+        &[
+            "offered_voip",
+            "admitted_voip",
+            "offered_be",
+            "admitted_be",
+            "guaranteed_slots",
+            "be_slots",
+            "violations",
+        ],
     );
     for &k in offered {
         let mut flows = common::voip_calls_to_gateway(node_count, gateway, k, VoipCodec::G711);
@@ -63,8 +75,7 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
             .iter()
             .zip(&stats)
             .filter(|(f, s)| {
-                f.spec.is_guaranteed()
-                    && (s.dropped() > 0 || s.max_delay() > f.worst_case_delay)
+                f.spec.is_guaranteed() && (s.dropped() > 0 || s.max_delay() > f.worst_case_delay)
             })
             .count();
 
@@ -78,7 +89,7 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
             violations.to_string(),
         ]);
         if violations > 0 {
-            return Err(BenchError(format!(
+            return Err(BenchError::Other(format!(
                 "T10: {violations} deadline violations at k={k} — guarantee broken"
             )));
         }

@@ -18,38 +18,70 @@ use std::fmt;
 use std::path::PathBuf;
 
 /// Error type for experiment runs.
+///
+/// Wraps the underlying failure so callers can walk the chain via
+/// [`std::error::Error::source`] instead of matching on strings.
 #[derive(Debug)]
-pub struct BenchError(pub String);
+pub enum BenchError {
+    /// Filesystem failure writing CSV or trace artifacts.
+    Io(std::io::Error),
+    /// Admission / QoS pipeline failure.
+    Qos(wimesh::QosError),
+    /// TDMA schedule construction failure.
+    Schedule(wimesh::tdma::ScheduleError),
+    /// Anything else (unknown ids, experiment-specific invariants).
+    Other(String),
+}
 
 impl fmt::Display for BenchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        match self {
+            BenchError::Io(e) => write!(f, "i/o error: {e}"),
+            BenchError::Qos(e) => write!(f, "qos error: {e}"),
+            BenchError::Schedule(e) => write!(f, "schedule error: {e}"),
+            BenchError::Other(msg) => f.write_str(msg),
+        }
     }
 }
 
-impl std::error::Error for BenchError {}
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io(e) => Some(e),
+            BenchError::Qos(e) => Some(e),
+            BenchError::Schedule(e) => Some(e),
+            BenchError::Other(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
 
 impl From<wimesh::QosError> for BenchError {
     fn from(e: wimesh::QosError) -> Self {
-        BenchError(e.to_string())
+        BenchError::Qos(e)
     }
 }
 
 impl From<wimesh::tdma::ScheduleError> for BenchError {
     fn from(e: wimesh::tdma::ScheduleError) -> Self {
-        BenchError(e.to_string())
+        BenchError::Schedule(e)
     }
 }
 
 impl From<wimesh::topology::TopologyError> for BenchError {
     fn from(e: wimesh::topology::TopologyError) -> Self {
-        BenchError(e.to_string())
+        BenchError::Other(e.to_string())
     }
 }
 
 impl From<wimesh::emu::EmuError> for BenchError {
     fn from(e: wimesh::emu::EmuError) -> Self {
-        BenchError(e.to_string())
+        BenchError::Other(e.to_string())
     }
 }
 
@@ -73,9 +105,9 @@ impl Ctx {
 
     /// Writes a finished table to `<out_dir>/<id>.csv`.
     pub fn write_csv(&self, id: &str, table: &Table) -> Result<(), BenchError> {
-        std::fs::create_dir_all(&self.out_dir).map_err(|e| BenchError(e.to_string()))?;
+        std::fs::create_dir_all(&self.out_dir)?;
         let path = self.out_dir.join(format!("{id}.csv"));
-        std::fs::write(&path, table.to_csv()).map_err(|e| BenchError(e.to_string()))?;
+        std::fs::write(&path, table.to_csv())?;
         println!("  -> {}", path.display());
         Ok(())
     }
@@ -108,6 +140,6 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Result<(), BenchError> {
         "e13" => experiments::e13::run(ctx),
         "e14" => experiments::e14::run(ctx),
         "t10" => experiments::t10::run(ctx),
-        other => Err(BenchError(format!("unknown experiment id: {other}"))),
+        other => Err(BenchError::Other(format!("unknown experiment id: {other}"))),
     }
 }

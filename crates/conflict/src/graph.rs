@@ -84,9 +84,7 @@ impl ConflictGraph {
         // Precompute pairwise hop distances between link endpoints when the
         // protocol model needs them.
         let hop_dist = match model {
-            InterferenceModel::Protocol { hops } => {
-                Some(all_pairs_hop_distance(topo, hops + 1))
-            }
+            InterferenceModel::Protocol { hops } => Some(all_pairs_hop_distance(topo, hops + 1)),
             _ => None,
         };
         let n = links.len();
@@ -238,7 +236,8 @@ mod tests {
     use wimesh_topology::generators;
 
     fn link(topo: &MeshTopology, a: u32, b: u32) -> LinkId {
-        topo.link_between(NodeId(a), NodeId(b)).expect("link exists")
+        topo.link_between(NodeId(a), NodeId(b))
+            .expect("link exists")
     }
 
     #[test]
@@ -315,11 +314,8 @@ mod tests {
     fn duplicate_active_link_panics() {
         let topo = generators::chain(3);
         let l01 = link(&topo, 0, 1);
-        let _ = ConflictGraph::build_for_links(
-            &topo,
-            vec![l01, l01],
-            InterferenceModel::PrimaryOnly,
-        );
+        let _ =
+            ConflictGraph::build_for_links(&topo, vec![l01, l01], InterferenceModel::PrimaryOnly);
     }
 
     #[test]
@@ -347,8 +343,7 @@ mod tests {
         assert!(h2.edge_count() > h1.edge_count());
         // Every h1 conflict is also an h2 conflict (monotonicity).
         for (i, j) in h1.edges() {
-            assert!(h2
-                .are_in_conflict(h1.link_at(i), h1.link_at(j)));
+            assert!(h2.are_in_conflict(h1.link_at(i), h1.link_at(j)));
         }
     }
 

@@ -156,6 +156,7 @@ pub(crate) fn admit_routed(
     policy: OrderPolicy,
     solver: &SolverConfig,
 ) -> Result<AdmissionOutcome, QosError> {
+    let _span = wimesh_obs::span!("admission.admit");
     let frame = model.frame();
     let mesh_frame = model.mesh_frame();
     let ctrl = mesh_frame.ctrl_duration();
@@ -166,6 +167,9 @@ pub(crate) fn admit_routed(
     let mut best: Option<(Schedule, TransmissionOrder, u32)> = None;
 
     for (spec, maybe_path) in flows {
+        // One span per flow decision: covers routing checks, demand
+        // aggregation and the (possibly MILP-backed) schedule attempt.
+        let _flow_span = wimesh_obs::span!("admission.flow");
         // `<= 0.0 || NaN` spelled to reject non-finite rates too.
         if spec.rate_bps <= 0.0 || spec.rate_bps.is_nan() {
             return Err(QosError::InvalidRate { flow: spec.id.0 });
@@ -244,6 +248,11 @@ pub(crate) fn admit_routed(
         }
     }
 
+    if wimesh_obs::is_enabled() {
+        wimesh_obs::counter_add("admission.flows.accepted", accepted.len() as u64);
+        wimesh_obs::counter_add("admission.flows.rejected", rejected.len() as u64);
+    }
+
     let (schedule, order, guaranteed_slots) = match best {
         Some(b) => b,
         None => (
@@ -259,9 +268,8 @@ pub(crate) fn admit_routed(
         let pipeline = delay::path_delay_slots(&schedule, &a.path)
             .expect("admitted paths are fully scheduled");
         let wraps = delay::frame_wraps(&schedule, &a.path).expect("scheduled");
-        let worst_case_delay = mesh_frame.frame_duration()
-            + frame.slots_to_duration(pipeline)
-            + ctrl * wraps as u32;
+        let worst_case_delay =
+            mesh_frame.frame_duration() + frame.slots_to_duration(pipeline) + ctrl * wraps as u32;
         admitted.push(AdmittedFlow {
             spec: a.spec,
             path: a.path,
@@ -313,6 +321,7 @@ fn try_schedule(
     policy: OrderPolicy,
     solver: &SolverConfig,
 ) -> Result<(Schedule, TransmissionOrder, u32), ScheduleError> {
+    let _span = wimesh_obs::span!("admission.try_schedule");
     let frame = model.frame();
     let mesh_frame = model.mesh_frame();
     let ctrl = mesh_frame.ctrl_duration();
@@ -405,10 +414,21 @@ fn try_schedule(
                 .max()
                 .unwrap_or(1)
                 .max(1);
+            let _search_span = wimesh_obs::span!("admission.search");
             for used in lower..=frame.slots() {
-                match feasible_order_within(&graph, &demands, &reqs, frame, used, solver) {
-                    Ok(sol) => return Ok((sol.schedule, sol.order, used)),
-                    Err(ScheduleError::Infeasible) => continue,
+                wimesh_obs::counter_inc("admission.search.iterations");
+                let step_start = std::time::Instant::now();
+                let step = feasible_order_within(&graph, &demands, &reqs, frame, used, solver);
+                wimesh_obs::record_duration("admission.search.step", step_start.elapsed());
+                match step {
+                    Ok(sol) => {
+                        wimesh_obs::counter_inc("admission.milp.feasible");
+                        return Ok((sol.schedule, sol.order, used));
+                    }
+                    Err(ScheduleError::Infeasible) => {
+                        wimesh_obs::counter_inc("admission.milp.infeasible");
+                        continue;
+                    }
                     Err(e) => return Err(e),
                 }
             }
@@ -554,9 +574,6 @@ mod tests {
         assert!(out.admitted.is_empty());
         assert!(out.rejected.is_empty());
         assert_eq!(out.guaranteed_slots, 0);
-        assert_eq!(
-            out.best_effort_slots(),
-            mesh.model().frame().slots()
-        );
+        assert_eq!(out.best_effort_slots(), mesh.model().frame().slots());
     }
 }

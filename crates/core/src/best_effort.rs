@@ -179,8 +179,7 @@ mod tests {
         be.set(topo.link_between(NodeId(0), NodeId(1)).unwrap(), 6);
         be.set(topo.link_between(NodeId(1), NodeId(2)).unwrap(), 6);
 
-        let alloc =
-            fill_best_effort(topo, mesh.interference(), &guaranteed, &be).unwrap();
+        let alloc = fill_best_effort(topo, mesh.interference(), &guaranteed, &be).unwrap();
         // Guaranteed ranges unchanged.
         for (l, r) in guaranteed.iter() {
             assert_eq!(alloc.schedule.slot_range(l), Some(r));
@@ -203,8 +202,7 @@ mod tests {
         let mut be = Demands::new();
         let mid = topo.link_between(NodeId(1), NodeId(2)).unwrap();
         be.set(mid, free * 3);
-        let alloc =
-            fill_best_effort(topo, mesh.interference(), &guaranteed, &be).unwrap();
+        let alloc = fill_best_effort(topo, mesh.interference(), &guaranteed, &be).unwrap();
         let got = alloc.granted.get(&mid).copied();
         assert!(got.is_some(), "some leftover must exist");
         assert!(got.unwrap().len <= free * 3);
@@ -230,9 +228,7 @@ mod tests {
         let topo = mesh.topology();
         let mut be = Demands::new();
         be.set(topo.link_between(NodeId(0), NodeId(1)).unwrap(), 2);
-        let alloc =
-            fill_best_effort(topo, mesh.interference(), &outcome.schedule, &be)
-                .unwrap();
+        let alloc = fill_best_effort(topo, mesh.interference(), &outcome.schedule, &be).unwrap();
         assert!(alloc.granted.is_empty());
         assert_eq!(alloc.denied.len(), 1);
     }
@@ -244,8 +240,7 @@ mod tests {
         let reserved = guaranteed.links().next().unwrap();
         let mut be = Demands::new();
         be.set(reserved, 2);
-        let alloc =
-            fill_best_effort(topo, mesh.interference(), &guaranteed, &be).unwrap();
+        let alloc = fill_best_effort(topo, mesh.interference(), &guaranteed, &be).unwrap();
         assert_eq!(alloc.denied, vec![reserved]);
     }
 

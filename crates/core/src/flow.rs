@@ -61,14 +61,8 @@ impl FlowSpec {
     /// A VoIP call: reserved at the codec's peak (talkspurt) rate, with a
     /// one-packet burst and the default mesh delay budget.
     pub fn voip(id: u32, src: NodeId, dst: NodeId, codec: VoipCodec) -> Self {
-        Self::guaranteed(
-            id,
-            src,
-            dst,
-            codec.active_rate_bps(),
-            DEFAULT_VOIP_DEADLINE,
-        )
-        .with_burst(codec.packet_bytes())
+        Self::guaranteed(id, src, dst, codec.active_rate_bps(), DEFAULT_VOIP_DEADLINE)
+            .with_burst(codec.packet_bytes())
     }
 
     /// A best-effort flow (no deadline).

@@ -149,23 +149,18 @@ mod tests {
         let single = mesh
             .admit(std::slice::from_ref(&spec), OrderPolicy::HopOrder)
             .unwrap();
-        assert!(single.admitted.is_empty(), "3.2 Mb/s should not fit one route");
+        assert!(
+            single.admitted.is_empty(),
+            "3.2 Mb/s should not fit one route"
+        );
 
         // Multipath: split across both ring directions.
-        let subs =
-            split_over_disjoint_paths(mesh.topology(), &spec, 2, 10).unwrap();
+        let subs = split_over_disjoint_paths(mesh.topology(), &spec, 2, 10).unwrap();
         assert_eq!(subs.len(), 2);
-        let routed: Vec<(FlowSpec, Option<_>)> = subs
-            .into_iter()
-            .map(|(s, p)| (s, Some(p)))
-            .collect();
+        let routed: Vec<(FlowSpec, Option<_>)> =
+            subs.into_iter().map(|(s, p)| (s, Some(p))).collect();
         let multi = mesh.admit_routed(&routed, OrderPolicy::HopOrder).unwrap();
-        assert_eq!(
-            multi.admitted.len(),
-            2,
-            "rejected: {:?}",
-            multi.rejected
-        );
+        assert_eq!(multi.admitted.len(), 2, "rejected: {:?}", multi.rejected);
         for f in &multi.admitted {
             assert!(f.worst_case_delay <= spec.deadline.unwrap());
         }
@@ -177,12 +172,8 @@ mod tests {
         let mesh = MeshQos::new(topo, EmulationParams::default()).unwrap();
         let spec = FlowSpec::best_effort(0, NodeId(0), NodeId(3), 50_000.0);
         // A path ending at the wrong node.
-        let wrong = wimesh_topology::routing::shortest_path(
-            mesh.topology(),
-            NodeId(0),
-            NodeId(2),
-        )
-        .unwrap();
+        let wrong =
+            wimesh_topology::routing::shortest_path(mesh.topology(), NodeId(0), NodeId(2)).unwrap();
         let out = mesh
             .admit_routed(&[(spec, Some(wrong))], OrderPolicy::HopOrder)
             .unwrap();

@@ -123,7 +123,10 @@ impl MeshQos {
     ///
     /// Panics unless `p` is within `[0, 0.9]`.
     pub fn set_loss_provisioning(&mut self, p: f64) {
-        assert!((0.0..=0.9).contains(&p), "loss provisioning must be in [0, 0.9]");
+        assert!(
+            (0.0..=0.9).contains(&p),
+            "loss provisioning must be in [0, 0.9]"
+        );
         self.loss_provisioning = p;
     }
 
@@ -337,7 +340,12 @@ mod tests {
         // CBR keeps this smoke test independent of on/off luck.
         let results = mesh.simulate_dcf(
             &flows,
-            |_| Box::new(wimesh_sim::traffic::CbrSource::new(Duration::from_millis(20), 200)),
+            |_| {
+                Box::new(wimesh_sim::traffic::CbrSource::new(
+                    Duration::from_millis(20),
+                    200,
+                ))
+            },
             DcfConfig::default(),
             Duration::from_secs(5),
             &mut StdRng::seed_from_u64(7),
@@ -362,10 +370,7 @@ mod tests {
         )
         .unwrap();
         let uniform = MeshQos::new(generators::chain(4), EmulationParams::default()).unwrap();
-        let l = mesh
-            .topology()
-            .link_between(NodeId(0), NodeId(1))
-            .unwrap();
+        let l = mesh.topology().link_between(NodeId(0), NodeId(1)).unwrap();
         // 250 m at the default table is slower than 24 Mbit/s: capacity
         // per minislot drops below the uniform model's.
         assert!(mesh.link_payload(l) < uniform.link_payload(l));
@@ -427,14 +432,16 @@ mod tests {
         let a = provisioned.admit(&flows, OrderPolicy::HopOrder).unwrap();
         let b = plain.admit(&flows, OrderPolicy::HopOrder).unwrap();
         assert_eq!(a.admitted.len(), 1);
-        assert!(a.guaranteed_slots > b.guaranteed_slots, "headroom costs slots");
+        assert!(
+            a.guaranteed_slots > b.guaranteed_slots,
+            "headroom costs slots"
+        );
     }
 
     #[test]
     #[should_panic(expected = "loss provisioning")]
     fn loss_provisioning_bounds_checked() {
-        let mut mesh =
-            MeshQos::new(generators::chain(3), EmulationParams::default()).unwrap();
+        let mut mesh = MeshQos::new(generators::chain(3), EmulationParams::default()).unwrap();
         mesh.set_loss_provisioning(0.95);
     }
 
@@ -444,9 +451,6 @@ mod tests {
         let mesh = MeshQos::new(topo, EmulationParams::default()).unwrap();
         assert_eq!(mesh.topology().node_count(), 3);
         assert!(mesh.model().slot_payload_bytes() > 0);
-        assert_eq!(
-            mesh.interference(),
-            InterferenceModel::protocol_default()
-        );
+        assert_eq!(mesh.interference(), InterferenceModel::protocol_default());
     }
 }

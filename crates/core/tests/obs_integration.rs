@@ -1,0 +1,84 @@
+//! Integration: admission control emits the documented spans and metrics
+//! through `wimesh-obs` when a sink is installed.
+//!
+//! Everything lives in one `#[test]` because the obs sink is process
+//! global; splitting assertions across tests would race on install/finish.
+
+use std::sync::Arc;
+
+use wimesh::{FlowSpec, MeshQos, OrderPolicy};
+use wimesh_emu::EmulationParams;
+use wimesh_obs::sink::MemorySink;
+use wimesh_sim::traffic::VoipCodec;
+use wimesh_topology::{generators, NodeId};
+
+#[test]
+fn admit_emits_expected_spans_and_metrics() {
+    let sink = Arc::new(MemorySink::default());
+    wimesh_obs::reset();
+    wimesh_obs::install(sink.clone());
+
+    let mesh = MeshQos::new(generators::chain(5), EmulationParams::default())
+        .expect("default emulation params are valid");
+    let flows: Vec<FlowSpec> = (0..2)
+        .map(|i| FlowSpec::voip(i, NodeId(4 - i), NodeId(0), VoipCodec::G729))
+        .collect();
+    let outcome = mesh
+        .admit(&flows, OrderPolicy::ExactMilp)
+        .expect("chain admits two voip flows");
+    assert!(!outcome.admitted.is_empty());
+    // HopOrder goes through tdma's schedule_from_order, covering the
+    // tdma.schedule.build span (ExactMilp schedules inside the MILP).
+    mesh.admit(&flows, OrderPolicy::HopOrder)
+        .expect("hop order admits the same flows");
+
+    assert!(wimesh_obs::finish().is_some());
+
+    // Span names from each instrumented layer must appear in the stream.
+    let names = sink.span_names();
+    for expected in [
+        "admission.admit",
+        "admission.flow",
+        "admission.try_schedule",
+        "admission.search",
+        "milp.simplex.solve",
+        "tdma.schedule.build",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "missing span {expected}; got {names:?}"
+        );
+    }
+
+    // Spans close innermost-first: the root admission span is last.
+    assert_eq!(*names.last().unwrap(), "admission.admit");
+    let root = sink
+        .span_events()
+        .into_iter()
+        .find(|e| e.name == "admission.admit")
+        .unwrap();
+    assert_eq!(root.depth, 0, "admission.admit is the outermost span");
+
+    // finish() flushed one registry snapshot with the admission metrics.
+    let snaps = sink.metrics_snapshots();
+    assert_eq!(snaps.len(), 1);
+    let snap = &snaps[0];
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    };
+    // Two flows accepted per admit call, two calls.
+    assert_eq!(counter("admission.flows.accepted"), Some(4));
+    assert!(counter("admission.search.iterations").unwrap_or(0) >= 1);
+    assert!(counter("milp.simplex.pivots").unwrap_or(0) >= 1);
+    assert!(
+        snap.histograms
+            .iter()
+            .any(|(n, h)| n == "admission.search.step" && h.count() >= 1),
+        "per-step durations recorded"
+    );
+
+    wimesh_obs::reset();
+}

@@ -79,7 +79,10 @@ mod tests {
     fn drift_accumulates_linearly() {
         let c = DriftClock::new(20.0); // 20 ppm fast
         let err = c.error_at(SimTime::from_secs(1));
-        assert!((err - 20_000.0).abs() < 1.0, "1 s at 20 ppm = 20 us, got {err}");
+        assert!(
+            (err - 20_000.0).abs() < 1.0,
+            "1 s at 20 ppm = 20 us, got {err}"
+        );
         let err10 = c.error_at(SimTime::from_secs(10));
         assert!((err10 - 200_000.0).abs() < 10.0);
     }

@@ -33,10 +33,9 @@ pub enum EmuError {
 impl fmt::Display for EmuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EmuError::GuardExceedsSlot { guard, slot } => write!(
-                f,
-                "guard time {guard:?} does not fit the {slot:?} minislot"
-            ),
+            EmuError::GuardExceedsSlot { guard, slot } => {
+                write!(f, "guard time {guard:?} does not fit the {slot:?} minislot")
+            }
             EmuError::SlotTooShort { usable } => {
                 write!(f, "minislot leaves only {usable:?} for the exchange")
             }
@@ -63,7 +62,9 @@ mod tests {
             slot: Duration::from_micros(500),
         };
         assert!(e.to_string().contains("guard time"));
-        assert!(EmuError::UnscheduledLink.to_string().contains("no scheduled"));
+        assert!(EmuError::UnscheduledLink
+            .to_string()
+            .contains("no scheduled"));
     }
 
     #[test]

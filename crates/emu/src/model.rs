@@ -87,8 +87,8 @@ impl EmulationModel {
                 rate_mbps: params.rate_mbps,
             });
         }
-        let guard = sync::mutual_error_bound(&params.clock, params.max_sync_depth)
-            + params.turnaround;
+        let guard =
+            sync::mutual_error_bound(&params.clock, params.max_sync_depth) + params.turnaround;
         let slot = Duration::from_micros(params.mesh_frame.data.slot_duration_us());
         if guard >= slot {
             return Err(EmuError::GuardExceedsSlot { guard, slot });
@@ -97,6 +97,12 @@ impl EmulationModel {
         let slot_payload_bytes = airtime::max_payload_in(params.phy, usable, params.rate_mbps);
         if slot_payload_bytes == 0 {
             return Err(EmuError::SlotTooShort { usable });
+        }
+        if wimesh_obs::is_enabled() {
+            wimesh_obs::gauge_set(
+                "emu.guard_overhead_fraction",
+                guard.as_secs_f64() / slot.as_secs_f64(),
+            );
         }
         Ok(Self {
             params,
@@ -218,7 +224,11 @@ mod tests {
     fn default_model_is_sane() {
         let m = EmulationModel::new(EmulationParams::default()).unwrap();
         assert!(m.guard_time() >= Duration::from_micros(5));
-        assert!(m.slot_payload_bytes() > 200, "payload {}", m.slot_payload_bytes());
+        assert!(
+            m.slot_payload_bytes() > 200,
+            "payload {}",
+            m.slot_payload_bytes()
+        );
         assert!(m.efficiency() > 0.2 && m.efficiency() < 1.0);
     }
 

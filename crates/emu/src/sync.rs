@@ -62,6 +62,8 @@ pub fn simulate<R: Rng>(
     duration: Duration,
     rng: &mut R,
 ) -> SyncReport {
+    let _span = wimesh_obs::span!("emu.sync.simulate");
+    let mut error_samples = 0u64;
     let n = topo.node_count();
     let mut clocks: Vec<DriftClock> = (0..n)
         .map(|_| DriftClock::new(rng.gen_range(-params.drift_ppm..=params.drift_ppm)))
@@ -82,6 +84,7 @@ pub fn simulate<R: Rng>(
         // Advance to just before the next resync and sample errors.
         let sample_at = t + params.resync_interval;
         let errors: Vec<f64> = clocks.iter().map(|c| c.error_at(sample_at)).collect();
+        error_samples += errors.len() as u64;
         for (i, &a) in errors.iter().enumerate() {
             max_node = max_node.max(Duration::from_nanos(a.abs() as u64));
             for &b in &errors[i + 1..] {
@@ -103,6 +106,14 @@ pub fn simulate<R: Rng>(
             beacons += 1;
         }
         t = sample_at;
+    }
+    if wimesh_obs::is_enabled() {
+        wimesh_obs::counter_add("emu.sync.error_samples", error_samples);
+        wimesh_obs::counter_add("emu.sync.beacons_sent", beacons);
+        wimesh_obs::gauge_set(
+            "emu.sync.max_mutual_error_us",
+            max_mutual.as_secs_f64() * 1e6,
+        );
     }
     SyncReport {
         max_mutual_error: max_mutual,

@@ -71,6 +71,9 @@ pub struct TdmaSimulation {
     /// absorbed by the reservation), so a corrupted packet is redelivered
     /// from the head of the queue in the next minislot/frame.
     loss_probability: f64,
+    /// Reserved minislots that carried no transmission (empty queue or
+    /// head-of-line packet larger than the remaining budget).
+    missed_slots: u64,
 }
 
 impl TdmaSimulation {
@@ -122,14 +125,11 @@ impl TdmaSimulation {
         let stats = flows.iter().map(|_| FlowStats::for_voip()).collect();
         let seqs = vec![0; flows.len()];
         let pending = vec![0; flows.len()];
-        let flow_index = flows
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (f.id, i))
-            .collect();
+        let flow_index = flows.iter().enumerate().map(|(i, f)| (f.id, i)).collect();
         let payloads = vec![model.slot_payload_bytes(); link_index.len()];
         Ok(Self {
             loss_probability: 0.0,
+            missed_slots: 0,
             payloads,
             model,
             links,
@@ -154,10 +154,7 @@ impl TdmaSimulation {
     /// # Panics
     ///
     /// Panics if a payload is zero.
-    pub fn with_link_payloads(
-        mut self,
-        payloads: &std::collections::HashMap<LinkId, u32>,
-    ) -> Self {
+    pub fn with_link_payloads(mut self, payloads: &std::collections::HashMap<LinkId, u32>) -> Self {
         for (&link, &p) in payloads {
             assert!(p > 0, "payload must be positive");
             if let Some(&i) = self.link_index.get(&link) {
@@ -175,13 +172,26 @@ impl TdmaSimulation {
     ///
     /// Panics if `p` is not within `[0, 1)`.
     pub fn with_loss(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability must be in [0, 1)"
+        );
         self.loss_probability = p;
         self
     }
 
+    /// Reserved minislots that went unused across all runs so far: the
+    /// queue was empty or its head packet did not fit the remaining
+    /// minislot budget. A high count means the schedule over-provisions.
+    pub fn missed_slots(&self) -> u64 {
+        self.missed_slots
+    }
+
     /// Runs the simulation for `duration` of virtual time.
     pub fn run<R: Rng>(&mut self, duration: Duration, rng: &mut R) {
+        let _span = wimesh_obs::span!("emu.tdma.run");
+        let wall_start = std::time::Instant::now();
+        let missed_before = self.missed_slots;
         let mut q: EventQueue<Event> = EventQueue::new();
         let end = SimTime::ZERO + duration;
         // Prime arrivals and the first frame's serves.
@@ -225,6 +235,14 @@ impl TdmaSimulation {
                 }
             }
         }
+        if wimesh_obs::is_enabled() {
+            q.publish_obs();
+            wimesh_obs::counter_add("emu.slots.missed", self.missed_slots - missed_before);
+            let wall = wall_start.elapsed().as_secs_f64();
+            if wall > 0.0 {
+                wimesh_obs::gauge_set("sim.virtual_per_wall", duration.as_secs_f64() / wall);
+            }
+        }
     }
 
     /// Serves one link's minislot range starting at `now`.
@@ -234,15 +252,21 @@ impl TdmaSimulation {
         for s in 0..slots {
             let deliver_at = now + self.slot_duration * (s + 1);
             let mut remaining = budget_per_slot;
+            let mut transmitted = false;
             loop {
                 let Some(front) = self.queues[i].front() else {
-                    return; // queue drained; rest of the range idles
+                    // Queue drained; rest of the range idles. A minislot
+                    // counts as missed only if nothing went on air in it.
+                    let idle_from = if transmitted { s + 1 } else { s };
+                    self.missed_slots += u64::from(slots - idle_from);
+                    return;
                 };
                 if front.size_bytes > remaining {
                     break; // next packet starts in the next minislot
                 }
                 let packet = self.queues[i].pop().expect("front existed");
                 remaining -= packet.size_bytes;
+                transmitted = true;
                 if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability) {
                     // Corrupted on air: the minislot's airtime is burnt
                     // and the packet goes back to the head for the *next*
@@ -251,6 +275,9 @@ impl TdmaSimulation {
                     break;
                 }
                 self.deliver(i, packet, deliver_at, q);
+            }
+            if !transmitted {
+                self.missed_slots += 1;
             }
         }
     }
@@ -449,11 +476,9 @@ mod tests {
         let topo = generators::chain(3);
         let path = shortest_path(&topo, NodeId(0), NodeId(2)).unwrap();
         let model = EmulationModel::new(EmulationParams::default()).unwrap();
-        let schedule = wimesh_tdma::Schedule::from_ranges(
-            model.frame(),
-            std::collections::BTreeMap::new(),
-        )
-        .unwrap();
+        let schedule =
+            wimesh_tdma::Schedule::from_ranges(model.frame(), std::collections::BTreeMap::new())
+                .unwrap();
         let flows = vec![TdmaFlow {
             id: FlowId(0),
             path,
@@ -483,13 +508,19 @@ mod tests {
         let clean = {
             let (mut sim, _) = chain_sim(4, 2);
             sim.run(Duration::from_secs(20), &mut StdRng::seed_from_u64(8));
-            (sim.flow_stats(0).delivered(), sim.flow_stats(0).mean_delay().unwrap())
+            (
+                sim.flow_stats(0).delivered(),
+                sim.flow_stats(0).mean_delay().unwrap(),
+            )
         };
         let lossy = {
             let (sim, _) = chain_sim(4, 2);
             let mut sim = sim.with_loss(0.10);
             sim.run(Duration::from_secs(20), &mut StdRng::seed_from_u64(8));
-            (sim.flow_stats(0).delivered(), sim.flow_stats(0).mean_delay().unwrap())
+            (
+                sim.flow_stats(0).delivered(),
+                sim.flow_stats(0).mean_delay().unwrap(),
+            )
         };
         assert!(lossy.0 >= clean.0 - 5, "retries must recover deliveries");
         assert!(lossy.1 > clean.1, "retries must cost delay");

@@ -21,7 +21,9 @@
 //!   deterministic function of the tree and the demands.
 
 use wimesh_conflict::{greedy_coloring, ConflictGraph, InterferenceModel};
-use wimesh_tdma::{order, schedule_from_order, Demands, FrameConfig, Schedule, ScheduleError, SlotRange};
+use wimesh_tdma::{
+    order, schedule_from_order, Demands, FrameConfig, Schedule, ScheduleError, SlotRange,
+};
 use wimesh_topology::routing::GatewayRouting;
 use wimesh_topology::MeshTopology;
 
@@ -137,10 +139,7 @@ pub fn run_centralized(
     let interior: u64 = topo
         .node_ids()
         .filter(|&n| {
-            n != routing.gateway()
-                && topo
-                    .node_ids()
-                    .any(|c| routing.parent(c) == Some(n))
+            n != routing.gateway() && topo.node_ids().any(|c| routing.parent(c) == Some(n))
         })
         .count() as u64;
     let messages = requesters.len() as u64 + interior + 1; // +1 BS grant
@@ -286,9 +285,8 @@ mod tests {
         let routing = GatewayRouting::new(&topo, NodeId(0)).unwrap();
         let demands = uplink_demands(&topo, &routing, 2);
         let frame = FrameConfig::new(64, 100);
-        let mk = |mode| {
-            run_centralized(&topo, &routing, &demands, CschConfig { frame, mode }).unwrap()
-        };
+        let mk =
+            |mode| run_centralized(&topo, &routing, &demands, CschConfig { frame, mode }).unwrap();
         let seq = mk(CschMode::Sequential);
         let reuse = mk(CschMode::SpatialReuse);
         let min = mk(CschMode::MinSlots);
@@ -316,9 +314,8 @@ mod tests {
         let (topo, routing) = setup(8);
         let demands = uplink_demands(&topo, &routing, 2);
         let frame = FrameConfig::new(64, 100);
-        let mk = |mode| {
-            run_centralized(&topo, &routing, &demands, CschConfig { frame, mode }).unwrap()
-        };
+        let mk =
+            |mode| run_centralized(&topo, &routing, &demands, CschConfig { frame, mode }).unwrap();
         let reuse = mk(CschMode::SpatialReuse);
         let min = mk(CschMode::MinSlots);
         assert!(min.schedule.makespan() < reuse.schedule.makespan());
@@ -359,8 +356,7 @@ mod tests {
             .link_ids()
             .find(|&l| {
                 let link = topo.link(l).unwrap();
-                routing.parent(link.tx) != Some(link.rx)
-                    && routing.parent(link.rx) != Some(link.tx)
+                routing.parent(link.tx) != Some(link.rx) && routing.parent(link.rx) != Some(link.tx)
             })
             .expect("ring has a chord");
         let mut demands = Demands::new();

@@ -101,10 +101,7 @@ mod tests {
     fn exactly_one_winner_per_competitor_set() {
         let nodes: Vec<NodeId> = (0..10).map(NodeId).collect();
         for opp in 0..100 {
-            let winners: Vec<_> = nodes
-                .iter()
-                .filter(|&&n| wins(n, opp, &nodes))
-                .collect();
+            let winners: Vec<_> = nodes.iter().filter(|&&n| wins(n, opp, &nodes)).collect();
             assert_eq!(winners.len(), 1, "opportunity {opp}");
         }
     }
@@ -124,10 +121,7 @@ mod tests {
         }
         for (i, &w) in wins_count.iter().enumerate() {
             let share = w as f64 / rounds as f64;
-            assert!(
-                (share - 0.2).abs() < 0.05,
-                "node {i} win share {share}"
-            );
+            assert!((share - 0.2).abs() < 0.05, "node {i} win share {share}");
         }
     }
 

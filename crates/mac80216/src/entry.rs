@@ -155,9 +155,7 @@ pub fn run_network_entry(
                     let better = match best_heard[v.index()] {
                         None => true,
                         Some(cur) => {
-                            let d = |x: NodeId| {
-                                join_frame[x.index()].unwrap_or(u32::MAX)
-                            };
+                            let d = |x: NodeId| join_frame[x.index()].unwrap_or(u32::MAX);
                             (d(w), w) < (d(cur), cur)
                         }
                     };
@@ -196,9 +194,8 @@ pub fn run_network_entry(
         frame += 1;
     }
 
-    let all_joined = (0..n).all(|i| {
-        active[i] || topo.hop_distance(gateway, NodeId(i as u32)).is_none()
-    });
+    let all_joined =
+        (0..n).all(|i| active[i] || topo.hop_distance(gateway, NodeId(i as u32)).is_none());
     EntryOutcome {
         join_frame,
         sponsor,
@@ -216,7 +213,11 @@ mod tests {
     fn chain_joins_in_depth_order() {
         let topo = generators::chain(6);
         let out = run_network_entry(&topo, NodeId(0), EntryConfig::default());
-        assert!(out.all_joined, "not all joined in {} frames", out.frames_elapsed);
+        assert!(
+            out.all_joined,
+            "not all joined in {} frames",
+            out.frames_elapsed
+        );
         assert_eq!(out.joined_count(), 6);
         // Join frames are nondecreasing with distance from the gateway.
         let frames: Vec<u32> = (0..6).map(|i| out.join_frame[i].unwrap()).collect();
@@ -239,7 +240,11 @@ mod tests {
             assert_eq!(out.sponsor[leaf], Some(NodeId(0)));
             assert_eq!(out.sync_depth(NodeId(leaf as u32)), Some(1));
         }
-        assert!(out.frames_elapsed < 40, "star took {} frames", out.frames_elapsed);
+        assert!(
+            out.frames_elapsed < 40,
+            "star took {} frames",
+            out.frames_elapsed
+        );
     }
 
     #[test]

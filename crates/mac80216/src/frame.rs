@@ -57,10 +57,7 @@ mod tests {
         let data = FrameConfig::new(100, 100); // 10 ms data
         let f = MeshFrameConfig::with_data(data);
         assert_eq!(f.ctrl_duration(), Duration::from_micros(4 * 430));
-        assert_eq!(
-            f.frame_duration(),
-            Duration::from_micros(4 * 430 + 10_000)
-        );
+        assert_eq!(f.frame_duration(), Duration::from_micros(4 * 430 + 10_000));
         let oh = f.control_overhead();
         assert!(oh > 0.1 && oh < 0.2, "overhead {oh}");
     }

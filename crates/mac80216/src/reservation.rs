@@ -129,11 +129,7 @@ impl NodeState {
             return;
         }
         let busy = self.busy_ranges();
-        self.pending.requests.push(Request {
-            link,
-            demand,
-            busy,
-        });
+        self.pending.requests.push(Request { link, demand, busy });
     }
 }
 
@@ -182,7 +178,9 @@ pub fn run_distributed(
     }
 
     let election = MeshElection::new(topo);
-    let mut nodes: Vec<NodeState> = (0..topo.node_count()).map(|_| NodeState::default()).collect();
+    let mut nodes: Vec<NodeState> = (0..topo.node_count())
+        .map(|_| NodeState::default())
+        .collect();
     for (link, d) in demands.iter() {
         let tx = topo.link(link).expect("checked").tx;
         nodes[tx.index()].my_demands.insert(link, d);
@@ -192,7 +190,9 @@ pub fn run_distributed(
     let mut messages_sent = 0u64;
     let mut retries = 0u64;
     let mut opportunity = 0u32;
-    let budget = config.max_frames.saturating_mul(config.opportunities_per_frame);
+    let budget = config
+        .max_frames
+        .saturating_mul(config.opportunities_per_frame);
 
     let converged = loop {
         if all_confirmed(&nodes) {
@@ -250,11 +250,7 @@ pub fn run_distributed(
 /// can revoke an apparently complete schedule.
 fn all_confirmed(nodes: &[NodeState]) -> bool {
     nodes.iter().all(|st| {
-        st.pending.is_empty()
-            && st
-                .my_demands
-                .keys()
-                .all(|l| st.confirmed.contains_key(l))
+        st.pending.is_empty() && st.my_demands.keys().all(|l| st.confirmed.contains_key(l))
     })
 }
 
@@ -369,9 +365,7 @@ fn process_message(
 /// Whether two links cannot share minislots under the 1-hop protocol
 /// interference model.
 fn links_conflict(topo: &MeshTopology, a: &Link, b: &Link) -> bool {
-    a.shares_endpoint(b)
-        || within_one_hop(topo, a.tx, b.rx)
-        || within_one_hop(topo, b.tx, a.rx)
+    a.shares_endpoint(b) || within_one_hop(topo, a.tx, b.rx) || within_one_hop(topo, b.tx, a.rx)
 }
 
 /// Records a reservation heard from a neighbour and resolves collisions
@@ -578,4 +572,3 @@ mod tests {
         assert!(out.converged);
     }
 }
-

@@ -90,8 +90,10 @@ pub(crate) fn branch_and_bound(
         })
         .collect();
 
+    let _span = wimesh_obs::span!("milp.bnb.solve");
     let mut heap = BinaryHeap::new();
     let mut nodes_explored = 0usize;
+    let mut nodes_pruned = 0u64;
     let mut incumbent: Option<(Vec<f64>, f64)> = None;
 
     match model.solve_relaxation(Some(&root_bounds)) {
@@ -111,6 +113,9 @@ pub(crate) fn branch_and_bound(
         // remaining bound cannot beat the incumbent we are done.
         if let Some((_, inc_obj)) = &incumbent {
             if node.score <= to_score(*inc_obj) + config.abs_gap {
+                // Best-first: the popped node and everything left in the
+                // heap are bounded away by the incumbent.
+                nodes_pruned += 1 + heap.len() as u64;
                 break;
             }
         }
@@ -121,12 +126,16 @@ pub(crate) fn branch_and_bound(
 
         let (values, obj) = match model.solve_relaxation(Some(&node.bounds)) {
             Ok(r) => r,
-            Err(SolveError::Infeasible) => continue,
+            Err(SolveError::Infeasible) => {
+                nodes_pruned += 1;
+                continue;
+            }
             Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
             Err(e) => return Err(e),
         };
         if let Some((_, inc_obj)) = &incumbent {
             if to_score(obj) <= to_score(*inc_obj) + config.abs_gap {
+                nodes_pruned += 1;
                 continue;
             }
         }
@@ -192,6 +201,10 @@ pub(crate) fn branch_and_bound(
                                 bounds: child,
                                 depth: node.depth + 1,
                             });
+                        } else {
+                            // Child bounded away before ever entering the
+                            // heap.
+                            nodes_pruned += 1;
                         }
                     }
                 }
@@ -199,6 +212,8 @@ pub(crate) fn branch_and_bound(
         }
     }
 
+    wimesh_obs::counter_add("milp.bnb.nodes_explored", nodes_explored as u64);
+    wimesh_obs::counter_add("milp.bnb.nodes_pruned", nodes_pruned);
     match incumbent {
         Some((values, objective)) => Ok(Solution::from_parts(
             values,
@@ -333,7 +348,9 @@ mod tests {
         // Deterministic pseudo-random family of small binary programs.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / ((1u64 << 31) as f64)
         };
         for trial in 0..25 {

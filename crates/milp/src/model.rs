@@ -239,7 +239,10 @@ impl Model {
     pub fn add_constraint(&mut self, expr: impl Into<LinExpr>, op: CmpOp, rhs: f64) {
         let mut expr = expr.into();
         if let Some(max) = expr.max_var_index() {
-            assert!(max < self.vars.len(), "expression references unknown variable");
+            assert!(
+                max < self.vars.len(),
+                "expression references unknown variable"
+            );
         }
         let rhs = rhs - expr.constant();
         expr.add_constant(-expr.constant());
@@ -255,7 +258,10 @@ impl Model {
     pub fn set_objective(&mut self, sense: Sense, expr: impl Into<LinExpr>) {
         let expr = expr.into();
         if let Some(max) = expr.max_var_index() {
-            assert!(max < self.vars.len(), "objective references unknown variable");
+            assert!(
+                max < self.vars.len(),
+                "objective references unknown variable"
+            );
         }
         self.sense = Some(sense);
         self.objective = expr;
@@ -435,10 +441,7 @@ impl Model {
             });
         }
 
-        let total_slack: usize = rows
-            .iter()
-            .filter(|r| r.op != CmpOp::Eq)
-            .count();
+        let total_slack: usize = rows.iter().filter(|r| r.op != CmpOp::Eq).count();
         let width = ncols + total_slack;
         for row in rows {
             let mut arow = vec![0.0; width];

@@ -115,6 +115,7 @@ fn run_phase(
     let stall_threshold = 4 * (tab.rows + tab.cols) + 64;
     let mut stall = 0usize;
     let mut last_obj = obj;
+    let mut pivots = 0u64;
     for _ in 0..max_iters {
         let use_bland = stall > stall_threshold;
         // Entering column.
@@ -132,6 +133,7 @@ fn run_phase(
             }
         }
         let Some(j) = enter else {
+            wimesh_obs::counter_add("milp.simplex.pivots", pivots);
             return Ok(obj);
         };
         // Ratio test: min b_i / t_ij over t_ij > 0; ties -> smallest basis
@@ -152,9 +154,11 @@ fn run_phase(
             }
         }
         let Some(i) = leave else {
+            wimesh_obs::counter_add("milp.simplex.pivots", pivots);
             return Err(SimplexOutcome::Unbounded);
         };
         tab.pivot(i, j);
+        pivots += 1;
         // Update reduced costs incrementally: r -= r_j * pivot_row.
         let pivot_row = &tab.t[i];
         let delta = r[j];
@@ -175,14 +179,19 @@ fn run_phase(
             last_obj = obj;
         }
     }
+    wimesh_obs::counter_add("milp.simplex.pivots", pivots);
     Err(SimplexOutcome::IterationLimit)
 }
 
 /// Solves a standard-form LP with the two-phase method.
 pub(crate) fn solve(lp: &StandardLp) -> SimplexOutcome {
+    let _span = wimesh_obs::span!("milp.simplex.solve");
     let rows = lp.a.len();
     let cols = lp.c.len();
-    debug_assert!(lp.b.iter().all(|&b| b >= -EPS), "standard form needs b >= 0");
+    debug_assert!(
+        lp.b.iter().all(|&b| b >= -EPS),
+        "standard form needs b >= 0"
+    );
     if rows == 0 {
         // No constraints: optimum is 0 with x = 0 unless some c_j < 0 with
         // no upper bound (the model layer always adds bound rows, so a

@@ -40,7 +40,9 @@ fn arb_binary_program() -> impl Strategy<Value = BinaryProgram> {
 
 fn build(p: &BinaryProgram) -> Model {
     let mut m = Model::new();
-    let vars: Vec<_> = (0..p.n).map(|i| m.add_binary_var(&format!("x{i}"))).collect();
+    let vars: Vec<_> = (0..p.n)
+        .map(|i| m.add_binary_var(&format!("x{i}")))
+        .collect();
     for (coefs, rhs, is_le) in &p.constraints {
         let mut e = LinExpr::new();
         for (&c, &v) in coefs.iter().zip(&vars) {

@@ -1,0 +1,231 @@
+//! The process-global metrics registry: counters, gauges, duration
+//! histograms and per-span aggregates.
+//!
+//! Names are `&'static str` (dotted paths like `"milp.simplex.pivots"`)
+//! so recording never allocates. The registry sits behind one mutex;
+//! instrumented code keeps hot-loop tallies in locals and publishes once
+//! per call, so the lock is taken at call granularity, not iteration
+//! granularity.
+
+use std::collections::HashMap;
+use std::sync::{LazyLock, Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::hist::FixedHistogram;
+
+/// Default duration histogram geometry: 20 µs bins spanning 40 ms.
+/// Overflow samples keep exact mean/max via [`FixedHistogram`].
+const DURATION_BIN_WIDTH_NS: u64 = 20_000;
+const DURATION_BINS: usize = 2_000;
+
+/// A gauge's observed state: the most recent value and the largest value
+/// ever set (the high-water mark).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeState {
+    /// Most recently set value.
+    pub last: f64,
+    /// Largest value ever set.
+    pub max: f64,
+}
+
+/// Aggregate over all closed spans of one name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanAgg {
+    /// Spans closed.
+    pub count: u64,
+    /// Total time spent inside, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A point-in-time copy of the whole registry, sorted by name within
+/// each section.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, state)` for every gauge.
+    pub gauges: Vec<(String, GaugeState)>,
+    /// `(name, histogram)` for every duration histogram (nanoseconds).
+    pub histograms: Vec<(String, FixedHistogram)>,
+    /// `(name, aggregate)` for every span name seen.
+    pub spans: Vec<(String, SpanAgg)>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: HashMap<&'static str, u64>,
+    gauges: HashMap<&'static str, GaugeState>,
+    histograms: HashMap<&'static str, FixedHistogram>,
+    spans: HashMap<&'static str, SpanAgg>,
+}
+
+static REGISTRY: LazyLock<Mutex<Registry>> = LazyLock::new(Mutex::default);
+
+fn registry() -> MutexGuard<'static, Registry> {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) fn counter_add(name: &'static str, delta: u64) {
+    *registry().counters.entry(name).or_insert(0) += delta;
+}
+
+pub(crate) fn gauge_set(name: &'static str, value: f64) {
+    registry()
+        .gauges
+        .entry(name)
+        .and_modify(|g| {
+            g.last = value;
+            if value > g.max {
+                g.max = value;
+            }
+        })
+        .or_insert(GaugeState {
+            last: value,
+            max: value,
+        });
+}
+
+pub(crate) fn record_duration(name: &'static str, d: Duration) {
+    let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+    registry()
+        .histograms
+        .entry(name)
+        .or_insert_with(|| FixedHistogram::new(DURATION_BIN_WIDTH_NS, DURATION_BINS))
+        .record(ns);
+}
+
+pub(crate) fn span_closed(name: &'static str, dur: Duration) {
+    let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+    let mut reg = registry();
+    let agg = reg.spans.entry(name).or_default();
+    agg.count += 1;
+    agg.total_ns = agg.total_ns.saturating_add(ns);
+    agg.max_ns = agg.max_ns.max(ns);
+}
+
+/// Copies the registry into a snapshot, sorted by name.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    let mut snap = MetricsSnapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(n, v)| (n.to_string(), *v))
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(n, g)| (n.to_string(), *g))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.to_string(), h.clone()))
+            .collect(),
+        spans: reg.spans.iter().map(|(n, a)| (n.to_string(), *a)).collect(),
+    };
+    snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.spans.sort_by(|a, b| a.0.cmp(&b.0));
+    snap
+}
+
+/// Empties the registry.
+pub(crate) fn clear() {
+    let mut reg = registry();
+    reg.counters.clear();
+    reg.gauges.clear();
+    reg.histograms.clear();
+    reg.spans.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests bypass the enabled-check by calling the crate-private
+    // recording functions directly, so they need no installed sink and
+    // use unique names to stay independent of other tests.
+
+    #[test]
+    fn counters_accumulate() {
+        counter_add("metrics.test.counter", 2);
+        counter_add("metrics.test.counter", 3);
+        let snap = snapshot();
+        let (_, v) = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "metrics.test.counter")
+            .expect("counter present");
+        assert_eq!(*v, 5);
+    }
+
+    #[test]
+    fn gauges_track_last_and_high_water() {
+        gauge_set("metrics.test.gauge", 4.0);
+        gauge_set("metrics.test.gauge", 9.0);
+        gauge_set("metrics.test.gauge", 2.0);
+        let snap = snapshot();
+        let (_, g) = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "metrics.test.gauge")
+            .expect("gauge present");
+        assert_eq!(g.last, 2.0);
+        assert_eq!(g.max, 9.0);
+    }
+
+    #[test]
+    fn durations_feed_histograms() {
+        record_duration("metrics.test.hist", Duration::from_micros(30));
+        record_duration("metrics.test.hist", Duration::from_micros(70));
+        let snap = snapshot();
+        let (_, h) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "metrics.test.hist")
+            .expect("histogram present");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Some(50_000.0));
+        assert_eq!(h.max_value(), 70_000);
+    }
+
+    #[test]
+    fn span_aggregates_roll_up() {
+        span_closed("metrics.test.span", Duration::from_micros(10));
+        span_closed("metrics.test.span", Duration::from_micros(30));
+        let snap = snapshot();
+        let (_, agg) = snap
+            .spans
+            .iter()
+            .find(|(n, _)| n == "metrics.test.span")
+            .expect("span agg present");
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.total_ns, 40_000);
+        assert_eq!(agg.max_ns, 30_000);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        counter_add("metrics.test.zz", 1);
+        counter_add("metrics.test.aa", 1);
+        let snap = snapshot();
+        let names: Vec<_> = snap.counters.iter().map(|(n, _)| n.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

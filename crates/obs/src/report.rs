@@ -1,0 +1,152 @@
+//! Human-readable end-of-run summary rendering.
+
+use crate::metrics::MetricsSnapshot;
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn fmt_ns_f(ns: f64) -> String {
+    fmt_ns(ns.max(0.0).round() as u64)
+}
+
+/// Renders `snapshot` as an aligned plain-text report, one section per
+/// metric kind; empty sections are omitted. Returns a short placeholder
+/// when nothing was recorded.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    if snapshot.is_empty() {
+        return "observability summary: nothing recorded\n".to_string();
+    }
+    let mut out = String::new();
+    out.push_str("=== observability summary ===\n");
+
+    let width = snapshot
+        .counters
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(snapshot.gauges.iter().map(|(n, _)| n.len()))
+        .chain(snapshot.histograms.iter().map(|(n, _)| n.len()))
+        .chain(snapshot.spans.iter().map(|(n, _)| n.len()))
+        .max()
+        .unwrap_or(0)
+        .max(8);
+
+    if !snapshot.counters.is_empty() {
+        out.push_str("\ncounters:\n");
+        for (name, value) in &snapshot.counters {
+            out.push_str(&format!("  {name:<width$}  {value}\n"));
+        }
+    }
+
+    if !snapshot.gauges.is_empty() {
+        out.push_str("\ngauges (last / high-water):\n");
+        for (name, g) in &snapshot.gauges {
+            out.push_str(&format!("  {name:<width$}  {} / {}\n", g.last, g.max));
+        }
+    }
+
+    if !snapshot.histograms.is_empty() {
+        out.push_str("\ndurations (count · mean · p50 · p99 · max):\n");
+        for (name, h) in &snapshot.histograms {
+            out.push_str(&format!(
+                "  {name:<width$}  {} · {} · {} · {} · {}\n",
+                h.count(),
+                h.mean().map(fmt_ns_f).unwrap_or_else(|| "-".into()),
+                h.quantile(0.5).map(fmt_ns).unwrap_or_else(|| "-".into()),
+                h.quantile(0.99).map(fmt_ns).unwrap_or_else(|| "-".into()),
+                fmt_ns(h.max_value()),
+            ));
+        }
+    }
+
+    if !snapshot.spans.is_empty() {
+        out.push_str("\nspans (count · total · mean · max):\n");
+        for (name, agg) in &snapshot.spans {
+            let mean = agg
+                .total_ns
+                .checked_div(agg.count)
+                .map_or_else(|| "-".into(), fmt_ns);
+            out.push_str(&format!(
+                "  {name:<width$}  {} · {} · {mean} · {}\n",
+                agg.count,
+                fmt_ns(agg.total_ns),
+                fmt_ns(agg.max_ns),
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::FixedHistogram;
+    use crate::metrics::{GaugeState, SpanAgg};
+
+    #[test]
+    fn empty_snapshot_has_placeholder() {
+        let text = render(&MetricsSnapshot::default());
+        assert!(text.contains("nothing recorded"));
+    }
+
+    #[test]
+    fn sections_render_only_when_populated() {
+        let snap = MetricsSnapshot {
+            counters: vec![("events".into(), 42)],
+            ..Default::default()
+        };
+        let text = render(&snap);
+        assert!(text.contains("counters:"));
+        assert!(text.contains("events"));
+        assert!(text.contains("42"));
+        assert!(!text.contains("gauges"));
+        assert!(!text.contains("spans"));
+    }
+
+    #[test]
+    fn full_report_mentions_everything() {
+        let mut h = FixedHistogram::new(1_000, 10);
+        h.record(1_500);
+        let snap = MetricsSnapshot {
+            counters: vec![("c".into(), 1)],
+            gauges: vec![(
+                "g".into(),
+                GaugeState {
+                    last: 2.0,
+                    max: 3.0,
+                },
+            )],
+            histograms: vec![("h".into(), h)],
+            spans: vec![(
+                "s".into(),
+                SpanAgg {
+                    count: 4,
+                    total_ns: 8_000,
+                    max_ns: 3_000,
+                },
+            )],
+        };
+        let text = render(&snap);
+        for needle in ["counters:", "gauges", "durations", "spans", "2 / 3"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn ns_formatting_units() {
+        assert_eq!(fmt_ns(120), "120 ns");
+        assert_eq!(fmt_ns(1_500), "1.5 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

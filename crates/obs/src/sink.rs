@@ -1,0 +1,308 @@
+//! Event sinks: where spans and metrics snapshots go.
+//!
+//! Three implementations cover the workspace's needs: [`NoopSink`]
+//! (explicitly discard), [`MemorySink`] (test assertions), and
+//! [`JsonlSink`] (one JSON object per line, written with the hand-rolled
+//! [`crate::json`] helpers).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json;
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanEvent;
+
+/// Destination for instrumentation events.
+///
+/// Implementations must be `Send + Sync`; handlers run on whichever
+/// thread closes a span. Handlers must not install or remove sinks.
+pub trait Sink: Send + Sync {
+    /// Called once per closed span, in close order per thread.
+    fn on_span(&self, event: &SpanEvent);
+
+    /// Called with the final registry snapshot by [`crate::finish`].
+    fn on_metrics(&self, snapshot: &MetricsSnapshot);
+
+    /// Flushes buffered output (default: nothing to flush).
+    fn flush(&self) {}
+}
+
+/// Discards everything.
+///
+/// Installing this sink keeps the recording machinery on (registry
+/// updates still happen) while producing no output; leaving no sink
+/// installed at all is cheaper still (see the crate-level overhead
+/// policy).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn on_span(&self, _event: &SpanEvent) {}
+    fn on_metrics(&self, _snapshot: &MetricsSnapshot) {}
+}
+
+/// Buffers every event in memory for test assertions.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    spans: Mutex<Vec<SpanEvent>>,
+    snapshots: Mutex<Vec<MetricsSnapshot>>,
+}
+
+impl MemorySink {
+    /// All span events received so far, in arrival order.
+    pub fn span_events(&self) -> Vec<SpanEvent> {
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The names of all received spans, in arrival order.
+    pub fn span_names(&self) -> Vec<&'static str> {
+        self.span_events().iter().map(|e| e.name).collect()
+    }
+
+    /// All metrics snapshots received so far.
+    pub fn metrics_snapshots(&self) -> Vec<MetricsSnapshot> {
+        self.snapshots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn on_span(&self, event: &SpanEvent) {
+        self.spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(*event);
+    }
+
+    fn on_metrics(&self, snapshot: &MetricsSnapshot) {
+        self.snapshots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(snapshot.clone());
+    }
+}
+
+/// Streams events as JSON Lines to a writer (typically a file).
+///
+/// Line shapes:
+///
+/// ```text
+/// {"t":"span","name":"...","start_us":N,"dur_ns":N,"depth":N}
+/// {"t":"counter","name":"...","value":N}
+/// {"t":"gauge","name":"...","last":X,"max":X}
+/// {"t":"hist","name":"...","count":N,"mean_ns":X,"p50_ns":N,"p99_ns":N,"max_ns":N,"overflow":N}
+/// {"t":"span_agg","name":"...","count":N,"total_ns":N,"max_ns":N}
+/// ```
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::from_writer(Box::new(file)))
+    }
+
+    /// Wraps an arbitrary writer (used by tests with `Vec<u8>`-backed
+    /// writers).
+    pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            writer: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // A failed trace write must never abort the traced program.
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+impl Sink for JsonlSink {
+    fn on_span(&self, event: &SpanEvent) {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"t\":\"span\",\"name\":");
+        json::push_str_value(&mut line, event.name);
+        line.push_str(&format!(
+            ",\"start_us\":{},\"dur_ns\":{},\"depth\":{}}}",
+            event.start_us, event.dur_ns, event.depth
+        ));
+        self.write_line(&line);
+    }
+
+    fn on_metrics(&self, snapshot: &MetricsSnapshot) {
+        for (name, value) in &snapshot.counters {
+            let mut line = String::with_capacity(64);
+            line.push_str("{\"t\":\"counter\",\"name\":");
+            json::push_str_value(&mut line, name);
+            line.push_str(&format!(",\"value\":{value}}}"));
+            self.write_line(&line);
+        }
+        for (name, g) in &snapshot.gauges {
+            let mut line = String::with_capacity(64);
+            line.push_str("{\"t\":\"gauge\",\"name\":");
+            json::push_str_value(&mut line, name);
+            line.push_str(",\"last\":");
+            json::push_f64(&mut line, g.last);
+            line.push_str(",\"max\":");
+            json::push_f64(&mut line, g.max);
+            line.push('}');
+            self.write_line(&line);
+        }
+        for (name, h) in &snapshot.histograms {
+            let mut line = String::with_capacity(128);
+            line.push_str("{\"t\":\"hist\",\"name\":");
+            json::push_str_value(&mut line, name);
+            line.push_str(&format!(",\"count\":{}", h.count()));
+            line.push_str(",\"mean_ns\":");
+            json::push_f64(&mut line, h.mean().unwrap_or(0.0));
+            line.push_str(&format!(
+                ",\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"overflow\":{}}}",
+                h.quantile(0.5).unwrap_or(0),
+                h.quantile(0.99).unwrap_or(0),
+                h.max_value(),
+                h.overflow_count()
+            ));
+            self.write_line(&line);
+        }
+        for (name, agg) in &snapshot.spans {
+            let mut line = String::with_capacity(96);
+            line.push_str("{\"t\":\"span_agg\",\"name\":");
+            json::push_str_value(&mut line, name);
+            line.push_str(&format!(
+                ",\"count\":{},\"total_ns\":{},\"max_ns\":{}}}",
+                agg.count, agg.total_ns, agg.max_ns
+            ));
+            self.write_line(&line);
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self
+            .writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{GaugeState, SpanAgg};
+    use std::sync::Arc;
+
+    /// A Write that appends into a shared buffer.
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut hist = crate::hist::FixedHistogram::new(1_000, 100);
+        hist.record(5_000);
+        hist.record(500_000); // overflow
+        MetricsSnapshot {
+            counters: vec![("c.one".into(), 7)],
+            gauges: vec![(
+                "g.two".into(),
+                GaugeState {
+                    last: 1.5,
+                    max: 9.0,
+                },
+            )],
+            histograms: vec![("h.three".into(), hist)],
+            spans: vec![(
+                "s.four".into(),
+                SpanAgg {
+                    count: 2,
+                    total_ns: 300,
+                    max_ns: 200,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_have_expected_shape() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::from_writer(Box::new(SharedBuf(buf.clone())));
+        sink.on_span(&SpanEvent {
+            name: "quote\"d",
+            start_us: 12,
+            dur_ns: 345,
+            depth: 1,
+        });
+        sink.on_metrics(&sample_snapshot());
+        sink.flush();
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(
+            lines[0],
+            r#"{"t":"span","name":"quote\"d","start_us":12,"dur_ns":345,"depth":1}"#
+        );
+        assert_eq!(lines[1], r#"{"t":"counter","name":"c.one","value":7}"#);
+        assert_eq!(
+            lines[2],
+            r#"{"t":"gauge","name":"g.two","last":1.5,"max":9}"#
+        );
+        assert!(lines[3].starts_with(r#"{"t":"hist","name":"h.three","count":2"#));
+        assert!(lines[3].contains("\"overflow\":1"));
+        assert_eq!(
+            lines[4],
+            r#"{"t":"span_agg","name":"s.four","count":2,"total_ns":300,"max_ns":200}"#
+        );
+        // Every line is balanced-brace, minimal JSON-object sanity.
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "balanced braces in {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let sink = MemorySink::default();
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            sink.on_span(&SpanEvent {
+                name,
+                start_us: i as u64,
+                dur_ns: 1,
+                depth: 0,
+            });
+        }
+        assert_eq!(sink.span_names(), vec!["a", "b", "c"]);
+        sink.on_metrics(&sample_snapshot());
+        assert_eq!(sink.metrics_snapshots().len(), 1);
+    }
+
+    #[test]
+    fn noop_sink_accepts_everything() {
+        let sink = NoopSink;
+        sink.on_span(&SpanEvent {
+            name: "x",
+            start_us: 0,
+            dur_ns: 0,
+            depth: 0,
+        });
+        sink.on_metrics(&sample_snapshot());
+        sink.flush();
+    }
+}

@@ -1,0 +1,163 @@
+//! Timed, nested spans with RAII guards.
+//!
+//! [`enter`] (normally via the [`crate::span!`] macro) opens a span on
+//! the current thread; dropping the returned guard closes it, records
+//! the wall time into the per-name aggregate, and streams a
+//! [`SpanEvent`] to the installed sink. Nesting depth is tracked per
+//! thread with a plain `Cell` — no allocation, no synchronization.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::metrics;
+
+thread_local! {
+    /// Current nesting depth on this thread (0 = top level).
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// One closed span, as delivered to sinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Dotted span name, e.g. `"admission.search"`.
+    pub name: &'static str,
+    /// Start time in microseconds since the obs epoch (first install).
+    pub start_us: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at entry (0 = outermost on its thread).
+    pub depth: u32,
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    depth: u32,
+}
+
+/// RAII guard closing the span when dropped.
+///
+/// While instrumentation is disabled the guard is inert (carries no
+/// state, does nothing on drop).
+pub struct SpanGuard(Option<ActiveSpan>);
+
+/// Opens a span named `name`. Prefer the [`crate::span!`] macro.
+#[inline]
+pub fn enter(name: &'static str) -> SpanGuard {
+    if !crate::is_enabled() {
+        return SpanGuard(None);
+    }
+    let start = Instant::now();
+    let start_us =
+        u64::try_from(start.duration_since(crate::epoch()).as_micros()).unwrap_or(u64::MAX);
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    SpanGuard(Some(ActiveSpan {
+        name,
+        start,
+        start_us,
+        depth,
+    }))
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(span) = self.0.take() {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            let dur = span.start.elapsed();
+            metrics::span_closed(span.name, dur);
+            let event = SpanEvent {
+                name: span.name,
+                start_us: span.start_us,
+                dur_ns: u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX),
+                depth: span.depth,
+            };
+            crate::with_sink(|sink| sink.on_span(&event));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use crate::sink::MemorySink;
+    use crate::test_lock;
+
+    #[test]
+    fn nesting_depth_and_close_order() {
+        let _guard = test_lock::hold();
+        crate::reset();
+        let sink = Arc::new(MemorySink::default());
+        crate::install(sink.clone());
+        {
+            let _outer = crate::span!("span.test.outer");
+            {
+                let _mid = crate::span!("span.test.mid");
+                let _inner = crate::span!("span.test.inner");
+            }
+            let _sibling = crate::span!("span.test.sibling");
+        }
+        crate::finish();
+
+        let events: Vec<_> = sink
+            .span_events()
+            .into_iter()
+            .filter(|e| e.name.starts_with("span.test."))
+            .collect();
+        // Spans arrive in close order: innermost first.
+        let names: Vec<_> = events.iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "span.test.inner",
+                "span.test.mid",
+                "span.test.sibling",
+                "span.test.outer"
+            ]
+        );
+        let depth_of = |n: &str| events.iter().find(|e| e.name == n).unwrap().depth;
+        assert_eq!(depth_of("span.test.outer"), 0);
+        assert_eq!(depth_of("span.test.mid"), 1);
+        assert_eq!(depth_of("span.test.inner"), 2);
+        assert_eq!(depth_of("span.test.sibling"), 1);
+        crate::reset();
+    }
+
+    #[test]
+    fn span_times_are_monotone() {
+        let _guard = test_lock::hold();
+        crate::reset();
+        let sink = Arc::new(MemorySink::default());
+        crate::install(sink.clone());
+        {
+            let _outer = crate::span!("span.mono.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _inner = crate::span!("span.mono.inner");
+        }
+        crate::finish();
+        let events = sink.span_events();
+        let outer = events.iter().find(|e| e.name == "span.mono.outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "span.mono.inner").unwrap();
+        assert!(inner.start_us >= outer.start_us);
+        assert!(outer.dur_ns >= inner.dur_ns);
+        assert!(outer.dur_ns >= 2_000_000, "outer spans the sleep");
+        crate::reset();
+    }
+
+    #[test]
+    fn disabled_spans_cost_nothing_observable() {
+        let _guard = test_lock::hold();
+        crate::reset();
+        assert!(!crate::is_enabled());
+        {
+            let _s = crate::span!("span.disabled.never");
+        }
+        let snap = crate::metrics::snapshot();
+        assert!(snap.spans.iter().all(|(n, _)| n != "span.disabled.never"));
+    }
+}

@@ -173,11 +173,7 @@ impl DcfSimulation {
         let stats = flows.iter().map(|_| FlowStats::for_voip()).collect();
         let next_arrival = vec![(SimTime::ZERO, 0); flows.len()];
         let difs_slots = div_ceil_duration(timing.difs(), timing.slot);
-        let flow_index = flows
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (f.id, i))
-            .collect();
+        let flow_index = flows.iter().enumerate().map(|(i, f)| (f.id, i)).collect();
         Self {
             config,
             flow_index,
@@ -418,7 +414,9 @@ impl DcfSimulation {
                 if self.nodes[src].queue.len() >= self.config.queue_capacity {
                     self.stats[f].record_dropped();
                 } else {
-                    self.nodes[src].queue.push_back(QueuedPacket { packet, hop: 0 });
+                    self.nodes[src]
+                        .queue
+                        .push_back(QueuedPacket { packet, hop: 0 });
                 }
                 self.next_arrival[f] = self.flows[f].source.next_packet(at, rng);
             }
@@ -506,10 +504,7 @@ mod tests {
         let topo = generators::chain(5);
         let fwd: Vec<NodeId> = (0..5).map(NodeId).collect();
         let bwd: Vec<NodeId> = (0..5).rev().map(NodeId).collect();
-        let flows = vec![
-            cbr_flow(0, fwd, 1, 1500),
-            cbr_flow(1, bwd, 1, 1500),
-        ];
+        let flows = vec![cbr_flow(0, fwd, 1, 1500), cbr_flow(1, bwd, 1, 1500)];
         let config = DcfConfig {
             queue_capacity: 20,
             ..DcfConfig::default()

@@ -21,8 +21,8 @@
 
 pub mod airtime;
 pub mod dcf;
-pub mod rate_adaptation;
 mod phy;
+pub mod rate_adaptation;
 
 pub use phy::{PhyStandard, PhyTiming};
 pub use rate_adaptation::RateTable;

@@ -82,7 +82,9 @@ impl PhyStandard {
 
     /// Whether `rate_mbps` is a valid rate for this standard.
     pub fn supports_rate(&self, rate_mbps: f64) -> bool {
-        self.rates_mbps().iter().any(|&r| (r - rate_mbps).abs() < 1e-9)
+        self.rates_mbps()
+            .iter()
+            .any(|&r| (r - rate_mbps).abs() < 1e-9)
     }
 }
 

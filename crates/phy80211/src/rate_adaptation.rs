@@ -97,13 +97,14 @@ mod tests {
 
     #[test]
     fn base_rate_anchored() {
-        for phy in [PhyStandard::Dot11a, PhyStandard::Dot11b, PhyStandard::Dot11g] {
+        for phy in [
+            PhyStandard::Dot11a,
+            PhyStandard::Dot11b,
+            PhyStandard::Dot11g,
+        ] {
             let t = RateTable::new(phy, 250.0, 3.0);
             assert!((t.max_range_m() - 250.0).abs() < 1e-9);
-            assert_eq!(
-                t.rate_for_distance(250.0),
-                Some(phy.base_rate_mbps())
-            );
+            assert_eq!(t.rate_for_distance(250.0), Some(phy.base_rate_mbps()));
         }
     }
 

@@ -46,6 +46,7 @@ pub struct EventQueue<E> {
     now: SimTime,
     next_seq: u64,
     processed: u64,
+    depth_high_water: usize,
 }
 
 impl<E> EventQueue<E> {
@@ -56,6 +57,7 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             processed: 0,
+            depth_high_water: 0,
         }
     }
 
@@ -82,6 +84,7 @@ impl<E> EventQueue<E> {
             seq,
             event,
         });
+        self.depth_high_water = self.depth_high_water.max(self.heap.len());
     }
 
     /// Schedules `event` after a delay from now.
@@ -113,8 +116,37 @@ impl<E> EventQueue<E> {
     }
 
     /// Total events processed so far.
+    ///
+    /// "Processed" means returned from [`EventQueue::pop`]; pending
+    /// events do not count. Together with [`EventQueue::len`] and
+    /// [`EventQueue::depth_high_water`] this exposes the queue's load
+    /// profile to the observability layer without any bookkeeping in the
+    /// caller.
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// The largest number of simultaneously pending events ever observed
+    /// (the heap's high-water mark).
+    ///
+    /// Updated on every [`EventQueue::schedule`]; never decreases. A
+    /// fresh queue reports 0.
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_high_water
+    }
+
+    /// Publishes this queue's lifetime statistics to the observability
+    /// registry under the `sim.events.*` namespace.
+    ///
+    /// Cheap no-op while no [`wimesh_obs`] sink is installed; call it
+    /// once at the end of a simulation run, not per event.
+    pub fn publish_obs(&self) {
+        if !wimesh_obs::is_enabled() {
+            return;
+        }
+        wimesh_obs::counter_add("sim.events.processed", self.processed);
+        wimesh_obs::gauge_set("sim.events.depth_high_water", self.depth_high_water as f64);
+        wimesh_obs::gauge_set("sim.events.pending_at_end", self.heap.len() as f64);
     }
 }
 
@@ -200,6 +232,23 @@ mod tests {
             }
         }
         assert_eq!(fired, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.depth_high_water(), 0);
+        q.schedule(SimTime::from_micros(1), ());
+        q.schedule(SimTime::from_micros(2), ());
+        q.schedule(SimTime::from_micros(3), ());
+        assert_eq!(q.depth_high_water(), 3);
+        q.pop();
+        q.pop();
+        // Draining must not lower the high-water mark.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.depth_high_water(), 3);
+        q.schedule(SimTime::from_micros(4), ());
+        assert_eq!(q.depth_high_water(), 3, "peak was 3, now only 2 pending");
     }
 
     #[test]

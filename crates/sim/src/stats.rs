@@ -8,12 +8,17 @@ use crate::SimTime;
 ///
 /// Bins are `bin_width` wide starting at zero; values beyond the last bin
 /// land in an overflow bin whose midpoint is reported pessimistically.
+/// The binning itself is delegated to [`wimesh_obs::hist::FixedHistogram`]
+/// (nanosecond units) so the simulator and the observability layer share
+/// one implementation.
 #[derive(Debug, Clone)]
 pub struct Histogram {
-    bin_width: Duration,
-    counts: Vec<u64>,
-    overflow: u64,
-    total: u64,
+    inner: wimesh_obs::hist::FixedHistogram,
+}
+
+/// Converts a duration to histogram units (nanoseconds), saturating.
+fn to_ns(value: Duration) -> u64 {
+    u64::try_from(value.as_nanos()).unwrap_or(u64::MAX)
 }
 
 impl Histogram {
@@ -21,37 +26,30 @@ impl Histogram {
     ///
     /// # Panics
     ///
-    /// Panics if `bins == 0` or `bin_width` is zero.
+    /// Panics if `bins == 0`, `bin_width` is zero, or `bin_width` does
+    /// not fit in 64-bit nanoseconds.
     pub fn new(bin_width: Duration, bins: usize) -> Self {
-        assert!(bins > 0, "histogram needs bins");
-        assert!(!bin_width.is_zero(), "histogram needs positive bin width");
+        let width_ns =
+            u64::try_from(bin_width.as_nanos()).expect("bin width must fit in u64 nanoseconds");
+        assert!(width_ns > 0, "histogram needs positive bin width");
         Self {
-            bin_width,
-            counts: vec![0; bins],
-            overflow: 0,
-            total: 0,
+            inner: wimesh_obs::hist::FixedHistogram::new(width_ns, bins),
         }
     }
 
     /// Records one sample.
     pub fn record(&mut self, value: Duration) {
-        let idx = (value.as_nanos() / self.bin_width.as_nanos()) as usize;
-        if idx < self.counts.len() {
-            self.counts[idx] += 1;
-        } else {
-            self.overflow += 1;
-        }
-        self.total += 1;
+        self.inner.record(to_ns(value));
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.total
+        self.inner.count()
     }
 
     /// Samples that exceeded the histogram range.
     pub fn overflow_count(&self) -> u64 {
-        self.overflow
+        self.inner.overflow_count()
     }
 
     /// The `q`-quantile (0.0..=1.0) as the upper edge of the bin where the
@@ -63,30 +61,14 @@ impl Histogram {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range");
-        if self.total == 0 {
-            return None;
-        }
-        let target = (q * self.total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Some(self.bin_width * (i as u32 + 1));
-            }
-        }
-        Some(self.bin_width * self.counts.len() as u32)
+        self.inner.quantile(q).map(Duration::from_nanos)
     }
 
     /// Fraction of samples at or below `value` (empirical CDF, bin
-    /// resolution).
+    /// resolution). Queries at or beyond the binned range include
+    /// overflow samples, so `cdf_at(large)` converges to 1.0.
     pub fn cdf_at(&self, value: Duration) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
-        let idx = (value.as_nanos() / self.bin_width.as_nanos()) as usize;
-        let below: u64 = self.counts.iter().take(idx + 1).sum();
-        below as f64 / self.total as f64
+        self.inner.cdf_at(to_ns(value))
     }
 }
 
@@ -267,6 +249,20 @@ mod tests {
         assert!((h.cdf_at(Duration::from_millis(5)) - 1.0).abs() < 1e-9);
         let empty = Histogram::new(Duration::from_millis(1), 10);
         assert_eq!(empty.cdf_at(Duration::from_millis(1)), 0.0);
+    }
+
+    #[test]
+    fn cdf_includes_overflow_beyond_range() {
+        // Regression: overflow samples were never counted by cdf_at, so
+        // the CDF of a histogram with overflow could not reach 1.0 even
+        // for queries far beyond the binned range.
+        let mut h = Histogram::new(Duration::from_millis(1), 10); // range 10 ms
+        h.record(Duration::from_micros(500));
+        h.record(Duration::from_secs(5)); // overflow
+        assert_eq!(h.overflow_count(), 1);
+        assert!((h.cdf_at(Duration::from_millis(9)) - 0.5).abs() < 1e-9);
+        assert!((h.cdf_at(Duration::from_millis(10)) - 1.0).abs() < 1e-9);
+        assert!((h.cdf_at(Duration::from_secs(60)) - 1.0).abs() < 1e-9);
     }
 
     #[test]

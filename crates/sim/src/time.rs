@@ -143,8 +143,6 @@ mod tests {
     #[test]
     fn checked_add_overflow() {
         assert!(SimTime::MAX.checked_add(Duration::from_nanos(1)).is_none());
-        assert!(SimTime::ZERO
-            .checked_add(Duration::from_secs(1))
-            .is_some());
+        assert!(SimTime::ZERO.checked_add(Duration::from_secs(1)).is_some());
     }
 }

@@ -74,6 +74,7 @@ impl CbrSource {
 
 impl TrafficSource for CbrSource {
     fn next_packet(&mut self, now: SimTime, _rng: &mut dyn RngCore) -> (SimTime, u32) {
+        wimesh_obs::counter_inc("sim.traffic.packets_generated");
         (now + self.interval, self.payload_bytes)
     }
 
@@ -107,7 +108,11 @@ impl PoissonSource {
 
 impl TrafficSource for PoissonSource {
     fn next_packet(&mut self, now: SimTime, rng: &mut dyn RngCore) -> (SimTime, u32) {
-        (now + exponential(self.mean_interval, rng), self.payload_bytes)
+        wimesh_obs::counter_inc("sim.traffic.packets_generated");
+        (
+            now + exponential(self.mean_interval, rng),
+            self.payload_bytes,
+        )
     }
 
     fn mean_rate_bps(&self) -> f64 {
@@ -175,7 +180,11 @@ impl VoipSource {
     /// # Panics
     ///
     /// Panics if either mean is zero.
-    pub fn with_activity(codec: VoipCodec, talkspurt_mean: Duration, silence_mean: Duration) -> Self {
+    pub fn with_activity(
+        codec: VoipCodec,
+        talkspurt_mean: Duration,
+        silence_mean: Duration,
+    ) -> Self {
         assert!(!talkspurt_mean.is_zero() && !silence_mean.is_zero());
         Self {
             codec,
@@ -200,6 +209,7 @@ impl VoipSource {
 
 impl TrafficSource for VoipSource {
     fn next_packet(&mut self, now: SimTime, rng: &mut dyn RngCore) -> (SimTime, u32) {
+        wimesh_obs::counter_inc("sim.traffic.packets_generated");
         let mut t = now;
         loop {
             match self.talking_until {
@@ -298,7 +308,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut t = SimTime::ZERO;
         let mut bytes = 0u64;
-        let horizon = SimTime::from_secs(2_000);
+        let horizon = SimTime::from_secs(8_000);
         loop {
             let (at, size) = src.next_packet(t, &mut rng);
             if at > horizon {

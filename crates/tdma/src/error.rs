@@ -38,7 +38,11 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::OrderCycle { cycle } => {
-                write!(f, "transmission order has a cycle through {} links", cycle.len())
+                write!(
+                    f,
+                    "transmission order has a cycle through {} links",
+                    cycle.len()
+                )
             }
             ScheduleError::FrameTooShort { needed, available } => {
                 write!(f, "order needs {needed} slots but frame has {available}")

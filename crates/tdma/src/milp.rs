@@ -95,7 +95,15 @@ pub fn feasible_order(
     frame: FrameConfig,
     config: &SolverConfig,
 ) -> Result<OrderSolution, ScheduleError> {
-    solve(graph, demands, requirements, frame, frame.slots(), config, false)
+    solve(
+        graph,
+        demands,
+        requirements,
+        frame,
+        frame.slots(),
+        config,
+        false,
+    )
 }
 
 /// Like [`feasible_order`], but confines all guaranteed transmissions to
@@ -126,7 +134,15 @@ pub fn feasible_order_within(
         used_slots >= 1 && used_slots <= frame.slots(),
         "used_slots must be within the frame"
     );
-    solve(graph, demands, requirements, frame, used_slots, config, false)
+    solve(
+        graph,
+        demands,
+        requirements,
+        frame,
+        used_slots,
+        config,
+        false,
+    )
 }
 
 fn solve(
@@ -396,8 +412,7 @@ mod tests {
             path: path.clone(),
             deadline_slots: Some(3),
         };
-        let sol = feasible_order(&cg, &demands, &[tight], frame, &SolverConfig::default())
-            .unwrap();
+        let sol = feasible_order(&cg, &demands, &[tight], frame, &SolverConfig::default()).unwrap();
         assert!(path_delay_slots(&sol.schedule, &path).unwrap() <= 3);
 
         let impossible = PathRequirement {

@@ -270,7 +270,11 @@ mod tests {
         // Downlink path to leaf 6: 0->2->6.
         let down = routing.downlink(&topo, NodeId(6)).unwrap();
         for (a, b) in down.relay_pairs() {
-            assert_eq!(order.link_before(&cg, a, b), Some(true), "downlink inversion");
+            assert_eq!(
+                order.link_before(&cg, a, b),
+                Some(true),
+                "downlink inversion"
+            );
         }
         // Uplinks precede downlinks where they conflict.
         let l10 = topo.link_between(NodeId(1), NodeId(0)).unwrap();

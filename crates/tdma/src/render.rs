@@ -37,6 +37,7 @@ use crate::Schedule;
 /// # Ok::<(), wimesh_tdma::ScheduleError>(())
 /// ```
 pub fn render_schedule(schedule: &Schedule, max_cols: u32) -> String {
+    let render_start = std::time::Instant::now();
     let slots = schedule.frame().slots();
     let shown = slots.min(max_cols.max(1));
     let truncated = shown < slots;
@@ -73,6 +74,7 @@ pub fn render_schedule(schedule: &Schedule, max_cols: u32) -> String {
     if schedule.is_empty() {
         out.push_str("(no links scheduled)\n");
     }
+    wimesh_obs::record_duration("tdma.render.time", render_start.elapsed());
     out
 }
 
@@ -114,8 +116,7 @@ mod tests {
 
     #[test]
     fn empty_schedule() {
-        let empty =
-            Schedule::from_ranges(FrameConfig::new(4, 100), BTreeMap::new()).unwrap();
+        let empty = Schedule::from_ranges(FrameConfig::new(4, 100), BTreeMap::new()).unwrap();
         let s = render_schedule(&empty, 16);
         assert!(s.contains("no links scheduled"));
     }

@@ -140,13 +140,13 @@ fn earliest_starts(
         if !(scheduled[i] && scheduled[j]) {
             continue;
         }
-        let before = order
-            .before(i, j)
-            .ok_or_else(|| ScheduleError::SolverFailed(format!(
+        let before = order.before(i, j).ok_or_else(|| {
+            ScheduleError::SolverFailed(format!(
                 "order missing for conflicting links {} and {}",
                 graph.link_at(i),
                 graph.link_at(j)
-            )))?;
+            ))
+        })?;
         if before {
             edges.push((i, j, demand_of(i)));
         } else {
@@ -157,7 +157,9 @@ fn earliest_starts(
     let mut sigma = vec![0i64; n];
     let mut pred: Vec<Option<usize>> = vec![None; n];
     let mut changed_vertex = None;
+    let mut rounds = 0u64;
     for round in 0..=n {
+        rounds += 1;
         let mut changed = None;
         for &(u, v, w) in &edges {
             if sigma[u] + w > sigma[v] {
@@ -175,6 +177,7 @@ fn earliest_starts(
             Some(_) => {}
         }
     }
+    wimesh_obs::counter_add("tdma.bf.relaxation_rounds", rounds);
     if let Some(start) = changed_vertex {
         // Walk predecessors n times to land on the cycle, then collect it.
         let mut v = start;
@@ -188,6 +191,7 @@ fn earliest_starts(
             cur = pred[cur].expect("on cycle");
         }
         cycle.reverse();
+        wimesh_obs::counter_inc("tdma.bf.cycles_detected");
         return Err(ScheduleError::OrderCycle {
             cycle: cycle.into_iter().map(|i| graph.link_at(i)).collect(),
         });
@@ -238,6 +242,7 @@ pub fn schedule_from_order(
     order: &TransmissionOrder,
     frame: FrameConfig,
 ) -> Result<Schedule, ScheduleError> {
+    let _span = wimesh_obs::span!("tdma.schedule.build");
     check_demands_in_graph(graph, demands)?;
     let starts = earliest_starts(graph, demands, order)?;
     if starts.makespan > frame.slots() as i64 {
@@ -347,7 +352,8 @@ mod tests {
         order.set(i, j, true);
         order.set(j, k, true);
         order.set(k, i, true);
-        let err = schedule_from_order(&cg, &demands, &order, FrameConfig::new(16, 100)).unwrap_err();
+        let err =
+            schedule_from_order(&cg, &demands, &order, FrameConfig::new(16, 100)).unwrap_err();
         match err {
             ScheduleError::OrderCycle { cycle } => {
                 assert_eq!(cycle.len(), 3);
@@ -375,8 +381,7 @@ mod tests {
         let (topo, cg, demands) = chain_setup(7, 1);
         let path = shortest_path(&topo, NodeId(0), NodeId(6)).unwrap();
         let order = hop_order(&cg, std::slice::from_ref(&path));
-        let sched =
-            schedule_from_order(&cg, &demands, &order, FrameConfig::new(16, 100)).unwrap();
+        let sched = schedule_from_order(&cg, &demands, &order, FrameConfig::new(16, 100)).unwrap();
         assert!(sched.validate(&cg).is_ok());
         assert!(
             sched.makespan() as u64 <= demands.total(),
@@ -390,8 +395,7 @@ mod tests {
         let (_, cg, mut demands) = chain_setup(4, 1);
         demands.set(LinkId(999), 1);
         let order = TransmissionOrder::new();
-        let err =
-            schedule_from_order(&cg, &demands, &order, FrameConfig::new(8, 100)).unwrap_err();
+        let err = schedule_from_order(&cg, &demands, &order, FrameConfig::new(8, 100)).unwrap_err();
         assert_eq!(err, ScheduleError::LinkNotInGraph(LinkId(999)));
     }
 
@@ -399,8 +403,7 @@ mod tests {
     fn undecided_pair_rejected() {
         let (_, cg, demands) = chain_setup(4, 1);
         let order = TransmissionOrder::new(); // nothing decided
-        let err =
-            schedule_from_order(&cg, &demands, &order, FrameConfig::new(8, 100)).unwrap_err();
+        let err = schedule_from_order(&cg, &demands, &order, FrameConfig::new(8, 100)).unwrap_err();
         assert!(matches!(err, ScheduleError::SolverFailed(_)));
     }
 
@@ -413,8 +416,7 @@ mod tests {
         let mut demands = Demands::new();
         demands.set(l01, 3);
         let order = TransmissionOrder::new(); // no scheduled pair exists
-        let sched =
-            schedule_from_order(&cg, &demands, &order, FrameConfig::new(8, 100)).unwrap();
+        let sched = schedule_from_order(&cg, &demands, &order, FrameConfig::new(8, 100)).unwrap();
         assert_eq!(sched.len(), 1);
         assert_eq!(sched.slot_range(l01), Some(SlotRange::new(0, 3)));
     }

@@ -6,8 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wimesh_conflict::{ConflictGraph, InterferenceModel};
 use wimesh_tdma::{
-    delay, min_slots_for_order, order, schedule_from_order, Demands, FrameConfig,
-    TransmissionOrder,
+    delay, min_slots_for_order, order, schedule_from_order, Demands, FrameConfig, TransmissionOrder,
 };
 use wimesh_topology::routing::shortest_path;
 use wimesh_topology::{generators, LinkId, MeshTopology, NodeId};

@@ -383,7 +383,10 @@ mod tests {
         }
         assert_eq!(t.k_hop_neighborhood(ids[0], 1), vec![ids[1]]);
         assert_eq!(t.k_hop_neighborhood(ids[0], 2), vec![ids[1], ids[2]]);
-        assert_eq!(t.k_hop_neighborhood(ids[2], 2), vec![ids[0], ids[1], ids[3], ids[4]]);
+        assert_eq!(
+            t.k_hop_neighborhood(ids[2], 2),
+            vec![ids[0], ids[1], ids[3], ids[4]]
+        );
         assert!(t.k_hop_neighborhood(ids[0], 0).is_empty());
     }
 

@@ -85,11 +85,7 @@ impl Path {
 /// * [`TopologyError::UnknownNode`] if either endpoint does not exist.
 /// * [`TopologyError::NoRoute`] if `to` is unreachable or `from == to`
 ///   (a mesh flow needs at least one link).
-pub fn shortest_path(
-    topo: &MeshTopology,
-    from: NodeId,
-    to: NodeId,
-) -> Result<Path, TopologyError> {
+pub fn shortest_path(topo: &MeshTopology, from: NodeId, to: NodeId) -> Result<Path, TopologyError> {
     if topo.node(from).is_none() {
         return Err(TopologyError::UnknownNode(from));
     }
@@ -164,8 +160,7 @@ pub fn edge_disjoint_paths(
     k: usize,
 ) -> Result<Vec<Path>, TopologyError> {
     let first = shortest_path(topo, from, to)?;
-    let mut banned: std::collections::HashSet<LinkId> =
-        first.links().iter().copied().collect();
+    let mut banned: std::collections::HashSet<LinkId> = first.links().iter().copied().collect();
     let mut paths = vec![first];
     while paths.len() < k {
         match shortest_path_avoiding(topo, from, to, &banned) {
@@ -384,10 +379,7 @@ mod tests {
         let mut t2 = crate::MeshTopology::new();
         let a = t2.add_node();
         let b = t2.add_node();
-        assert_eq!(
-            shortest_path(&t2, a, b),
-            Err(TopologyError::NoRoute(a, b))
-        );
+        assert_eq!(shortest_path(&t2, a, b), Err(TopologyError::NoRoute(a, b)));
     }
 
     #[test]

@@ -7,8 +7,12 @@ use wimesh_topology::{generators, MeshTopology, NodeId};
 /// Strategy: a connected random topology built from a random tree plus
 /// random extra edges.
 fn arb_connected_topology() -> impl Strategy<Value = MeshTopology> {
-    (2usize..12, proptest::collection::vec((0u32..12, 0u32..12), 0..10), any::<u64>()).prop_map(
-        |(n, extra, seed)| {
+    (
+        2usize..12,
+        proptest::collection::vec((0u32..12, 0u32..12), 0..10),
+        any::<u64>(),
+    )
+        .prop_map(|(n, extra, seed)| {
             use rand::rngs::StdRng;
             use rand::SeedableRng;
             let mut rng = StdRng::seed_from_u64(seed);
@@ -16,12 +20,12 @@ fn arb_connected_topology() -> impl Strategy<Value = MeshTopology> {
             for (a, b) in extra {
                 let (a, b) = (NodeId(a % n as u32), NodeId(b % n as u32));
                 if a != b && topo.link_between(a, b).is_none() {
-                    topo.add_bidirectional(a, b).expect("checked for duplicates");
+                    topo.add_bidirectional(a, b)
+                        .expect("checked for duplicates");
                 }
             }
             topo
-        },
-    )
+        })
 }
 
 proptest! {

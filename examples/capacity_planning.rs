@@ -84,17 +84,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- best effort in the leftover -----------------------------------
     let mut be = Demands::new();
-    let bulk_path =
-        wimesh_topology::routing::shortest_path(mesh.topology(), NodeId(6), NodeId(2))?;
+    let bulk_path = wimesh_topology::routing::shortest_path(mesh.topology(), NodeId(6), NodeId(2))?;
     for &l in bulk_path.links() {
         be.add(l, 8);
     }
-    let alloc = fill_best_effort(
-        mesh.topology(),
-        mesh.interference(),
-        &outcome.schedule,
-        &be,
-    )?;
+    let alloc = fill_best_effort(mesh.topology(), mesh.interference(), &outcome.schedule, &be)?;
     println!(
         "\nbest-effort bulk transfer over {} hops: {} minislots granted, {} links denied",
         bulk_path.hop_count(),

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{} hops, 2 minislots per link, frame = {frame}\n",
         path.hop_count()
     );
-    println!("{:<22} {:>10} {:>8} {:>14}", "order policy", "slots", "wraps", "pipeline delay");
+    println!(
+        "{:<22} {:>10} {:>8} {:>14}",
+        "order policy", "slots", "wraps", "pipeline delay"
+    );
 
     let report = |name: &str, sched: &wimesh_tdma::Schedule| {
         let d = delay::path_delay_slots(sched, &path).expect("path scheduled");

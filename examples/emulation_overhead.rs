@@ -82,10 +82,7 @@ fn main() {
     }
 
     println!("\n== minislot length sweep (802.11a @ 24 Mbit/s) ==");
-    println!(
-        "{:<12} {:>12} {:>12}",
-        "slot", "payload/slot", "efficiency"
-    );
+    println!("{:<12} {:>12} {:>12}", "slot", "payload/slot", "efficiency");
     for slot_us in [250u64, 500, 1000, 2000, 4000] {
         match model(PhyStandard::Dot11a, 24.0, slot_us, 500, 20.0) {
             Ok(m) => println!(

@@ -62,7 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         Box::new(VoipSource::new(codec))
     };
-    let stats = mesh.simulate_tdma(&outcome, make_source, Duration::from_secs(60), 200, &mut rng)?;
+    let stats = mesh.simulate_tdma(
+        &outcome,
+        make_source,
+        Duration::from_secs(60),
+        200,
+        &mut rng,
+    )?;
 
     println!("\n60 s packet simulation over the emulated TDMA MAC:");
     for (f, s) in outcome.admitted.iter().zip(&stats) {

@@ -112,7 +112,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .enumerate()
         .map(|(i, &src)| TdmaFlow {
             id: FlowId(i as u32),
-            path: routing.uplink(&topo, src).expect("joined nodes have routes"),
+            path: routing
+                .uplink(&topo, src)
+                .expect("joined nodes have routes"),
             source: Box::new(VoipSource::new(VoipCodec::G729)),
         })
         .collect();

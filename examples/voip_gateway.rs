@@ -48,8 +48,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Emulated TDMA.
     let mut rng = StdRng::seed_from_u64(7);
-    let tdma =
-        mesh.simulate_tdma(&outcome, make_source, Duration::from_secs(60), 200, &mut rng)?;
+    let tdma = mesh.simulate_tdma(
+        &outcome,
+        make_source,
+        Duration::from_secs(60),
+        200,
+        &mut rng,
+    )?;
 
     // Native DCF, same flows and routes.
     let mut rng = StdRng::seed_from_u64(7);
@@ -61,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut rng,
     );
 
-    println!("\n{:<6} {:>12} {:>12} {:>12} {:>12} {:>9}", "flow", "tdma-mean", "tdma-max", "dcf-mean", "dcf-p99", "dcf-loss");
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "flow", "tdma-mean", "tdma-max", "dcf-mean", "dcf-p99", "dcf-loss"
+    );
     for (i, f) in outcome.admitted.iter().enumerate() {
         let t = &tdma[i];
         let d = dcf
@@ -75,7 +83,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ms(t.mean_delay().unwrap_or_default()),
             ms(t.max_delay()),
             d.and_then(|s| s.mean_delay()).map(ms).unwrap_or_default(),
-            d.and_then(|s| s.delay_quantile(0.99)).map(ms).unwrap_or_default(),
+            d.and_then(|s| s.delay_quantile(0.99))
+                .map(ms)
+                .unwrap_or_default(),
             d.map(|s| s.loss_rate() * 100.0).unwrap_or(0.0),
         );
         assert!(t.max_delay() <= f.worst_case_delay);

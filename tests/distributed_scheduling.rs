@@ -60,7 +60,10 @@ fn compare(topo: &MeshTopology, gateway: NodeId, per_link: u32) -> (u32, u32, u3
     )
     .unwrap();
     assert!(out.converged, "distributed protocol did not converge");
-    assert!(out.schedule.validate(&graph).is_ok(), "conflicting schedule");
+    assert!(
+        out.schedule.validate(&graph).is_ok(),
+        "conflicting schedule"
+    );
     for (link, d) in demands.iter() {
         assert_eq!(out.schedule.slot_range(link).unwrap().len, d);
     }
@@ -68,7 +71,12 @@ fn compare(topo: &MeshTopology, gateway: NodeId, per_link: u32) -> (u32, u32, u3
     // Both schedulers respect the clique bound.
     assert!(central_makespan >= lb);
     assert!(out.schedule.makespan() >= lb);
-    (lb, central_makespan, out.schedule.makespan(), out.frames_elapsed)
+    (
+        lb,
+        central_makespan,
+        out.schedule.makespan(),
+        out.frames_elapsed,
+    )
 }
 
 #[test]
@@ -79,7 +87,10 @@ fn chain_distributed_vs_centralized() {
     // distributed first-fit may waste slots to races — but both stay
     // within a small factor of the clique bound.
     assert!(central <= lb * 3, "central {central} vs bound {lb}");
-    assert!(distributed <= lb * 3, "distributed {distributed} vs bound {lb}");
+    assert!(
+        distributed <= lb * 3,
+        "distributed {distributed} vs bound {lb}"
+    );
     assert!(frames < 100);
 }
 

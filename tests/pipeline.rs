@@ -180,10 +180,7 @@ fn schedule_survives_roundtrip_through_distributed_protocol() {
     };
     let dist = wimesh::mac80216::reservation::run_distributed(&topo, &demands, config).unwrap();
     assert!(dist.converged);
-    let graph = ConflictGraph::build_for_links(
-        &topo,
-        demands.links().collect(),
-        mesh.interference(),
-    );
+    let graph =
+        ConflictGraph::build_for_links(&topo, demands.links().collect(), mesh.interference());
     assert!(dist.schedule.validate(&graph).is_ok());
 }

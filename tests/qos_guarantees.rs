@@ -28,14 +28,29 @@ fn guarantees_hold_over_long_runs() {
         .map(|i| FlowSpec::voip(i, NodeId(5), NodeId(0), VoipCodec::G729))
         .collect();
     let outcome = mesh.admit(&flows, OrderPolicy::HopOrder).unwrap();
-    assert_eq!(outcome.admitted.len(), 4, "rejected: {:?}", outcome.rejected);
+    assert_eq!(
+        outcome.admitted.len(),
+        4,
+        "rejected: {:?}",
+        outcome.rejected
+    );
 
     let mut rng = StdRng::seed_from_u64(5);
     let stats = mesh
-        .simulate_tdma(&outcome, voip_source, Duration::from_secs(120), 200, &mut rng)
+        .simulate_tdma(
+            &outcome,
+            voip_source,
+            Duration::from_secs(120),
+            200,
+            &mut rng,
+        )
         .unwrap();
     for (f, s) in outcome.admitted.iter().zip(&stats) {
-        assert!(s.sent() > 500, "flow {} barely generated traffic", f.spec.id);
+        assert!(
+            s.sent() > 500,
+            "flow {} barely generated traffic",
+            f.spec.id
+        );
         assert_eq!(s.dropped(), 0, "guaranteed flow lost packets");
         assert!(
             s.max_delay() <= f.worst_case_delay,
@@ -84,13 +99,21 @@ fn dcf_collapses_where_tdma_does_not() {
     let mesh = MeshQos::new(topo, EmulationParams::default()).unwrap();
 
     let voip = FlowSpec::voip(0, NodeId(6), NodeId(0), VoipCodec::G711);
-    let outcome = mesh.admit(std::slice::from_ref(&voip), OrderPolicy::HopOrder).unwrap();
+    let outcome = mesh
+        .admit(std::slice::from_ref(&voip), OrderPolicy::HopOrder)
+        .unwrap();
     assert_eq!(outcome.admitted.len(), 1);
     let bound = outcome.admitted[0].worst_case_delay;
 
     let mut rng = StdRng::seed_from_u64(21);
     let tdma_stats = mesh
-        .simulate_tdma(&outcome, voip_source, Duration::from_secs(30), 200, &mut rng)
+        .simulate_tdma(
+            &outcome,
+            voip_source,
+            Duration::from_secs(30),
+            200,
+            &mut rng,
+        )
         .unwrap();
     assert!(tdma_stats[0].max_delay() <= bound);
     assert_eq!(tdma_stats[0].dropped(), 0);
@@ -120,10 +143,8 @@ fn dcf_collapses_where_tdma_does_not() {
         &mut rng,
     );
     let voip_dcf = &dcf[0].1;
-    let degraded = voip_dcf.loss_rate() > 0.01
-        || voip_dcf
-            .delay_quantile(0.99)
-            .is_some_and(|d| d > bound);
+    let degraded =
+        voip_dcf.loss_rate() > 0.01 || voip_dcf.delay_quantile(0.99).is_some_and(|d| d > bound);
     assert!(
         degraded,
         "DCF under saturation should violate the bound: loss {:.3}, p99 {:?}",

@@ -1,0 +1,167 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's
+//! benches use ([`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], [`criterion_group!`],
+//! [`criterion_main!`], [`black_box`]). Instead of criterion's
+//! statistical pipeline it runs a short warm-up, then a fixed number of
+//! timed batches, and prints median per-iteration time — enough to
+//! compare kernels across commits without any external dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup output is sized; only the variants this workspace
+/// uses are meaningful, the rest behave like [`BatchSize::SmallInput`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One setup per iteration, small per-iteration state.
+    SmallInput,
+    /// One setup per iteration, large per-iteration state.
+    LargeInput,
+    /// One setup per batch.
+    PerIteration,
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    /// Total measured time across all timed iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` with per-iteration state built by `setup`; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    /// Timed iterations per sample.
+    iters_per_sample: u64,
+    /// Samples per benchmark (median is reported).
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: these benches exist to flag regressions, not
+        // to produce publication-grade statistics.
+        Self {
+            iters_per_sample: 10,
+            samples: 7,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its median
+    /// per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warm-up pass (untimed for reporting purposes).
+        let mut warm = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warm);
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut b = Bencher {
+                iters: self.iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter.push(b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX));
+        }
+        per_iter.sort();
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "bench {name:<40} median {median:?}/iter ({} samples)",
+            self.samples
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1)
+        });
+        // warm-up + samples
+        assert_eq!(calls as usize, 1 + c.samples);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group!(group_smoke, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.bench_function("smoke", |b| b.iter(|| black_box(3u64).pow(2)));
+    }
+
+    #[test]
+    fn group_macro_expands() {
+        group_smoke();
+    }
+}

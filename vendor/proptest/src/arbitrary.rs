@@ -1,0 +1,62 @@
+//! The [`Arbitrary`] trait and the [`any`] strategy constructor.
+
+use std::marker::PhantomData;
+
+use rand::distributions::{Distribution, Standard};
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T> Arbitrary for T
+where
+    Standard: Distribution<T>,
+{
+    fn arbitrary(rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_bool_hits_both() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let s = any::<bool>();
+        let trues = (0..100).filter(|_| s.new_value(&mut rng)).count();
+        assert!(trues > 20 && trues < 80);
+    }
+
+    #[test]
+    fn any_u64_varies() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let s = any::<u64>();
+        assert_ne!(s.new_value(&mut rng), s.new_value(&mut rng));
+    }
+}

@@ -1,0 +1,142 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive size bound for generated collections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let (min, max) = r.into_inner();
+        assert!(min <= max, "empty collection size range");
+        Self { min, max }
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// A strategy for `Vec`s whose length lies in `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.draw(rng);
+        let mut set = BTreeSet::new();
+        // Duplicates shrink the set, so over-draw within a bound; a small
+        // element domain may still yield fewer than `target` elements.
+        let attempts = target * 16 + 64;
+        for _ in 0..attempts {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.new_value(rng));
+        }
+        set
+    }
+}
+
+/// A strategy for `BTreeSet`s with sizes drawn from `size` (best effort
+/// when the element domain is smaller than the requested size).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_exact_size() {
+        let mut rng = TestRng::seed_from_u64(6);
+        let s = vec(0u32..5, 4usize);
+        assert_eq!(s.new_value(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn vec_ranged_size() {
+        let mut rng = TestRng::seed_from_u64(7);
+        let s = vec(0u32..5, 1..6);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((1..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_target_on_wide_domains() {
+        let mut rng = TestRng::seed_from_u64(8);
+        let s = btree_set(0u64..1_000_000, 5..=5);
+        assert_eq!(s.new_value(&mut rng).len(), 5);
+    }
+}

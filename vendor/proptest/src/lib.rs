@@ -1,0 +1,192 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's
+//! property tests use: the [`proptest!`] macro, [`strategy::Strategy`]
+//! with `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! [`collection::vec`]/[`collection::btree_set`], [`arbitrary::any`],
+//! [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from upstream, chosen deliberately for an offline build:
+//!
+//! * **No shrinking.** A failing case reports its deterministic stream
+//!   index; re-running reproduces it exactly (generation is seeded per
+//!   case from a fixed constant, never from OS entropy).
+//! * **No persistence files.** Failures do not write `proptest-regressions`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The prelude: everything a property test module needs.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Runs property test functions: each `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` that draws inputs and checks the body over many
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run_cases(&config, &strategy, |($($pat,)+)| {
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking directly) so the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{} ({:?} != {:?})", format!($($fmt)+), l, r);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Discards the current case (without counting it) when an assumption
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds((a, b, c) in (0u32..10, -5i32..=5, 1usize..4)) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((1..4).contains(&c));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(0u64..100, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn btree_set_distinct(s in crate::collection::btree_set(0u32..64, 1..12)) {
+            prop_assert!(!s.is_empty() && s.len() < 12);
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![Just(1u32), Just(2u32)].prop_map(|v| v * 10)) {
+            prop_assert!(x == 10 || x == 20);
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (1usize..5).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0u8..10, n))
+        })) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn assume_discards(x in 0u32..100) {
+            prop_assume!(x != 17);
+            prop_assert_ne!(x, 17);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(seed in any::<u64>()) {
+            // Exercise early return from a passing case.
+            if seed % 2 == 0 {
+                return Ok(());
+            }
+            prop_assert!(seed % 2 == 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic_with_case_info() {
+        let config = crate::test_runner::Config::with_cases(16);
+        crate::test_runner::run_cases(&config, &(0u32..10,), |(_x,)| {
+            Err(TestCaseError::fail("forced failure"))
+        });
+    }
+}

@@ -1,0 +1,265 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::distributions::uniform::SampleUniform;
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree: generation is a
+/// single draw and failing cases are reproduced by their deterministic
+/// stream index rather than shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Filters generated values, retrying until `f` accepts one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no accepted value is found in a bounded number of
+    /// retries (the filter is too strict).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy (needed by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A constant strategy: always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.base.new_value(rng)).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    base: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        for _ in 0..10_000 {
+            let v = self.base.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 10000 consecutive values",
+            self.whence
+        );
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// Object-safe generation, blanket-implemented for every [`Strategy`].
+trait DynStrategy<V> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A uniform choice among boxed strategies (built by
+/// [`crate::prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].new_value(rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident => $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 => 0);
+tuple_strategy!(S0 => 0, S1 => 1);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6, S7 => 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn just_clones() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let s = Just(vec![1, 2, 3]);
+        assert_eq!(s.new_value(&mut rng), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let s = (0u32..100).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.new_value(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn union_uses_every_arm() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.new_value(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}

@@ -1,0 +1,156 @@
+//! The case runner: deterministic input generation and failure
+//! reporting.
+
+use std::fmt;
+
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// The generator driving input construction.
+///
+/// A plain deterministic PRNG: every case `i` of every test uses a seed
+/// derived from a fixed constant and `i`, so failures reproduce exactly
+/// on re-run with no persistence files.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was discarded (e.g. `prop_assume!` did not hold).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl fmt::Display) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+
+    /// A discard with the given message.
+    pub fn reject(reason: impl fmt::Display) -> Self {
+        TestCaseError::Reject(reason.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected (assumed-away) cases before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Base seed all case seeds derive from (`b"proptest"` as an integer).
+const BASE_SEED: u64 = 0x7072_6f70_7465_7374;
+
+/// Runs `config.cases` successful executions of `test` over inputs drawn
+/// from `strategy`.
+///
+/// # Panics
+///
+/// Panics when a case fails (carrying the case's stream index for exact
+/// reproduction) or when too many cases are rejected.
+pub fn run_cases<S, F>(config: &Config, strategy: &S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut stream = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::seed_from_u64(BASE_SEED.wrapping_add(stream));
+        stream += 1;
+        let value = strategy.new_value(&mut rng);
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest: too many rejected cases ({rejected}) after {passed} passes"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest: case failed (stream index {}): {msg}", stream - 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_passes() {
+        let config = Config::with_cases(10);
+        let mut calls = 0u32;
+        run_cases(&config, &(0u32..100,), |(x,)| {
+            calls += 1;
+            if x % 3 == 0 {
+                Err(TestCaseError::reject("multiple of three"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls > 10, "rejections must not count as passes");
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected")]
+    fn reject_limit_enforced() {
+        let config = Config {
+            cases: 1,
+            max_global_rejects: 5,
+        };
+        run_cases(&config, &(0u32..10,), |_| {
+            Err(TestCaseError::reject("always"))
+        });
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let collect = || {
+            let mut seen = Vec::new();
+            run_cases(&Config::with_cases(20), &(0u64..1_000_000,), |(x,)| {
+                seen.push(x);
+                Ok(())
+            });
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+}

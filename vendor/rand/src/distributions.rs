@@ -1,0 +1,208 @@
+//! Distributions: the [`Distribution`] trait, the [`Standard`]
+//! distribution, and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// Types that can produce values of `T` from a random source.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The "natural" distribution per type: full range for integers,
+/// `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Uniform range sampling, mirroring `rand::distributions::uniform`.
+pub mod uniform {
+    use super::unit_f64;
+    use crate::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types uniformly sampleable over a range.
+    pub trait SampleUniform: Sized {
+        /// Uniform draw from `[low, high)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+        /// Uniform draw from `[low, high]`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `low > high`.
+        fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    macro_rules! uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "empty gen_range: {low}..{high}");
+                    let span = (high - low) as u64;
+                    low + (rng.next_u64() % span) as $t
+                }
+
+                fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low <= high, "empty gen_range: {low}..={high}");
+                    let span = (high - low) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    low + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+    uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "empty gen_range: {low}..{high}");
+                    let span = (high as i64).wrapping_sub(low as i64) as u64;
+                    let off = rng.next_u64() % span;
+                    ((low as i64).wrapping_add(off as i64)) as $t
+                }
+
+                fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low <= high, "empty gen_range: {low}..={high}");
+                    let span = (high as i64).wrapping_sub(low as i64) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let off = rng.next_u64() % (span + 1);
+                    ((low as i64).wrapping_add(off as i64)) as $t
+                }
+            }
+        )*};
+    }
+    uniform_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "empty gen_range: {low}..{high}");
+                    let u = unit_f64(rng) as $t;
+                    let v = low + (high - low) * u;
+                    // Floating rounding can land exactly on `high`.
+                    if v >= high { low } else { v }
+                }
+
+                fn sample_inclusive<R: Rng + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low <= high, "empty gen_range: {low}..={high}");
+                    let u = unit_f64(rng) as $t;
+                    (low + (high - low) * u).clamp(low, high)
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+
+    /// Range forms accepted by [`crate::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_inclusive(low, high, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn standard_bool_is_fair() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let heads = (0..10_000).filter(|_| Standard.sample(&mut rng)).count();
+        assert!((4_500..5_500).contains(&heads), "{heads} heads");
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            match rng.gen_range(0u32..=3) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn signed_ranges_center_correctly() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let sum: i64 = (0..40_000).map(|_| rng.gen_range(-10i32..=10) as i64).sum();
+        let mean = sum as f64 / 40_000.0;
+        assert!(mean.abs() < 0.2, "mean {mean}");
+    }
+}

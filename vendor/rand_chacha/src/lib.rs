@@ -1,0 +1,168 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Implements the actual ChaCha block function (RFC 7539 quarter-round
+//! core) with 8, 12 and 20 double-round variants behind `rand`'s
+//! [`RngCore`]/[`SeedableRng`] traits. The keystream matches the ChaCha
+//! specification for a zero nonce; nothing in the workspace depends on
+//! byte-for-byte parity with upstream `rand_chacha`'s word ordering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+#[inline]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: usize) -> [u32; BLOCK_WORDS] {
+    let mut state: [u32; BLOCK_WORDS] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (s, i) in state.iter_mut().zip(initial) {
+        *s = s.wrapping_add(i);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            block: [u32; BLOCK_WORDS],
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.block = chacha_block(&self.key, self.counter, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= BLOCK_WORDS {
+                    self.refill();
+                }
+                let w = self.block[self.index];
+                self.index += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                (hi << 32) | lo
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                Self {
+                    key,
+                    counter: 0,
+                    block: [0; BLOCK_WORDS],
+                    index: BLOCK_WORDS, // force refill on first use
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "ChaCha with 8 rounds: fastest variant.");
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(
+    ChaCha20Rng,
+    20,
+    "ChaCha with 20 rounds: the full-strength variant."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc7539_block_test_vector() {
+        // RFC 7539 §2.3.2 with nonce zero differs from the spec vector
+        // (which uses a nonzero nonce), so check the invariants we rely
+        // on instead: determinism and full-period counter advance.
+        let key: [u32; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+        let a = chacha_block(&key, 0, 20);
+        let b = chacha_block(&key, 0, 20);
+        let c = chacha_block(&key, 1, 20);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn deterministic_and_distinct_variants() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        let mut c = ChaCha20Rng::seed_from_u64(99);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs, "round counts must change the stream");
+    }
+
+    #[test]
+    fn crosses_block_boundaries() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        // 40 u64 draws consume 80 words: at least 5 blocks.
+        let vals: Vec<u64> = (0..40).map(|_| rng.next_u64()).collect();
+        let mut dedup = vals.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), vals.len(), "keystream words should not repeat");
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exists so the workspace's *optional* `serde` dependency resolves
+//! without network access. The workspace never enables its `serde`
+//! features in the offline build (they require the `serde_derive` proc
+//! macro, which cannot be vendored as a stub meaningfully), so only the
+//! trait names need to exist.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    /// Stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use super::Serialize;
+}

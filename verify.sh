@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full local verification: build, tests, lints, formatting.
+# Run from the workspace root before sending a PR.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+cargo fmt --check
+echo "verify: all checks passed"
