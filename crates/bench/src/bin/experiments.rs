@@ -37,6 +37,7 @@ fn span_name(id: &str) -> &'static str {
         "e13" => "bench.e13",
         "e14" => "bench.e14",
         "t10" => "bench.t10",
+        "churn" => "bench.churn",
         _ => "bench.experiment",
     }
 }

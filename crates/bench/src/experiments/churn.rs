@@ -1,0 +1,312 @@
+//! Churn — incremental [`wimesh::QosSession`] vs repeated cold batch
+//! admission.
+//!
+//! A stateless admission controller reacts to every flow arrival and
+//! departure by re-running the full batch [`wimesh::MeshQos::admit`]
+//! over the current flow set: every event pays for re-vetting every
+//! flow, rebuilding the conflict graph and re-searching the minislot
+//! count from scratch. The stateful [`wimesh::QosSession`] instead
+//! updates its cached conflict graph incrementally and warm-starts the
+//! feasibility search from the last feasible transmission order.
+//!
+//! Two scenarios:
+//!
+//! * `grid5x5/hop` — 20 VoIP flows on a 5×5 grid under the hop-order
+//!   heuristic, with admit/release churn. Measures wall time of the
+//!   warm session against the repeated cold batch controller and checks
+//!   the verdicts stay identical at every event.
+//! * `chain/exact` — a smaller instance under
+//!   [`OrderPolicy::ExactMilp`] where the feasibility oracle dominates.
+//!   Measures MILP oracle calls on both sides: the cold controller's
+//!   linear scan (the `admission.search.iterations` counter) against
+//!   the session's warm-started binary search
+//!   ([`wimesh::SessionStats::oracle_calls`]).
+//!
+//! Writes `results/churn.csv` plus the acceptance artifact
+//! `results/BENCH_admission_churn.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use wimesh::sim::traffic::VoipCodec;
+use wimesh::sim::FlowId;
+use wimesh::{FlowSpec, MeshQos, OrderPolicy, SessionStats};
+use wimesh_obs::sink::NoopSink;
+use wimesh_topology::{generators, MeshTopology, NodeId};
+
+use crate::{BenchError, Ctx, Table};
+
+/// One admit/release churn trace: the initial arrivals followed by
+/// `rounds` cycles that each release one active flow and re-admit it.
+#[derive(Debug, Clone)]
+enum Event {
+    Admit(FlowSpec),
+    Release(FlowId),
+}
+
+/// Everything one scenario produces, for the table and the artifact.
+#[derive(Debug)]
+struct ScenarioResult {
+    name: &'static str,
+    flows: usize,
+    events: usize,
+    cold_wall_s: f64,
+    warm_wall_s: f64,
+    cold_oracle_calls: u64,
+    stats: SessionStats,
+    verdicts_match: bool,
+}
+
+impl ScenarioResult {
+    fn speedup(&self) -> f64 {
+        if self.warm_wall_s > 0.0 {
+            self.cold_wall_s / self.warm_wall_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// VoIP flows from spread-out sources toward the gateway `NodeId(0)`.
+fn gateway_flows(topo: &MeshTopology, n: usize) -> Vec<FlowSpec> {
+    let nodes = topo.node_count() as u32;
+    (0..n as u32)
+        .map(|i| {
+            // Stride through the node set so sources cover the whole
+            // grid; skip the gateway itself.
+            let src = 1 + (i * 7) % (nodes - 1);
+            FlowSpec::voip(i, NodeId(src), NodeId(0), VoipCodec::G729)
+        })
+        .collect()
+}
+
+/// Builds the event trace: admit all flows, then `rounds` cycles of
+/// releasing one active flow and re-admitting it.
+fn churn_trace(flows: &[FlowSpec], rounds: usize) -> Vec<Event> {
+    let mut events: Vec<Event> = flows.iter().cloned().map(Event::Admit).collect();
+    for r in 0..rounds {
+        let victim = &flows[r % flows.len()];
+        events.push(Event::Release(victim.id));
+        events.push(Event::Admit(victim.clone()));
+    }
+    events
+}
+
+/// Reads one counter out of an observability snapshot (0 when absent).
+fn counter(snapshot: &wimesh_obs::metrics::MetricsSnapshot, name: &str) -> u64 {
+    snapshot
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+/// Runs one churn trace both ways and checks the verdicts agree.
+fn run_scenario(
+    name: &'static str,
+    mesh: &MeshQos,
+    policy: OrderPolicy,
+    flows: &[FlowSpec],
+    rounds: usize,
+) -> Result<ScenarioResult, BenchError> {
+    let events = churn_trace(flows, rounds);
+
+    // Cold baseline: a stateless controller re-admits the full active
+    // set after every event. Oracle calls are visible through the
+    // `admission.search.iterations` counter, so diff snapshots around
+    // the phase.
+    let cold_before = counter(
+        &wimesh_obs::metrics::snapshot(),
+        "admission.search.iterations",
+    );
+    let cold_start = Instant::now();
+    let mut active: Vec<FlowSpec> = Vec::new();
+    let mut cold_outcomes = Vec::with_capacity(events.len());
+    for event in &events {
+        match event {
+            Event::Admit(spec) => active.push(spec.clone()),
+            Event::Release(id) => active.retain(|f| f.id != *id),
+        }
+        cold_outcomes.push(mesh.admit(&active, policy)?);
+    }
+    let cold_wall_s = cold_start.elapsed().as_secs_f64();
+    let cold_oracle_calls = counter(
+        &wimesh_obs::metrics::snapshot(),
+        "admission.search.iterations",
+    ) - cold_before;
+
+    // Warm path: one session absorbs the same trace incrementally.
+    let warm_start = Instant::now();
+    let mut session = mesh.session(policy);
+    let mut warm_snapshots = Vec::with_capacity(events.len());
+    for event in &events {
+        match event {
+            Event::Admit(spec) => {
+                session.admit(spec)?;
+            }
+            Event::Release(id) => {
+                session.release(*id)?;
+            }
+        }
+        let snap = session.snapshot();
+        let mut ids: Vec<FlowId> = snap.admitted().iter().map(|f| f.spec.id).collect();
+        ids.sort_unstable();
+        warm_snapshots.push((ids, snap.guaranteed_slots));
+    }
+    let warm_wall_s = warm_start.elapsed().as_secs_f64();
+    let stats = session.stats().clone();
+
+    // The session must agree with the stateless controller at every
+    // event: same admitted set and same guaranteed-slot reservation.
+    let verdicts_match =
+        cold_outcomes
+            .iter()
+            .zip(&warm_snapshots)
+            .all(|(cold, (warm_ids, warm_slots))| {
+                let mut cold_ids: Vec<FlowId> = cold.admitted().iter().map(|f| f.spec.id).collect();
+                cold_ids.sort_unstable();
+                cold_ids == *warm_ids && cold.guaranteed_slots == *warm_slots
+            });
+    if !verdicts_match {
+        return Err(BenchError::Other(format!(
+            "{name}: warm session diverged from the cold batch controller"
+        )));
+    }
+
+    Ok(ScenarioResult {
+        name,
+        flows: flows.len(),
+        events: events.len(),
+        cold_wall_s,
+        warm_wall_s,
+        cold_oracle_calls,
+        stats,
+        verdicts_match,
+    })
+}
+
+/// Serialises the acceptance artifact
+/// (`results/BENCH_admission_churn.json`).
+fn artifact_json(results: &[ScenarioResult], quick: bool) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"experiment\":\"admission_churn\",\"quick\":");
+    out.push_str(if quick { "true" } else { "false" });
+    out.push_str(",\"scenarios\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        wimesh_obs::json::push_str_value(&mut out, r.name);
+        out.push_str(&format!(
+            ",\"flows\":{},\"events\":{},\"cold_wall_s\":",
+            r.flows, r.events
+        ));
+        wimesh_obs::json::push_f64(&mut out, r.cold_wall_s);
+        out.push_str(",\"warm_wall_s\":");
+        wimesh_obs::json::push_f64(&mut out, r.warm_wall_s);
+        out.push_str(",\"speedup\":");
+        wimesh_obs::json::push_f64(&mut out, r.speedup());
+        out.push_str(&format!(
+            ",\"cold_oracle_calls\":{},\"warm_oracle_calls\":{},\
+             \"warm_oracle_calls_saved\":{},\"warm_order_hits\":{},\
+             \"incremental_updates\":{},\"graph_rebuilds\":{},\
+             \"verdicts_match\":{}}}",
+            r.cold_oracle_calls,
+            r.stats.oracle_calls,
+            r.stats.oracle_calls_saved,
+            r.stats.warm_order_hits,
+            r.stats.incremental_updates,
+            r.stats.graph_rebuilds,
+            r.verdicts_match
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Runs the churn comparison.
+///
+/// # Errors
+///
+/// Propagates admission failures, a warm/cold verdict divergence, and
+/// CSV/artifact write failures.
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    // Counters are no-ops without a sink; the cold oracle-call count
+    // comes from the metrics registry, so make sure recording is on.
+    if !wimesh_obs::is_enabled() {
+        wimesh_obs::install(Arc::new(NoopSink));
+    }
+
+    let (grid_side, grid_flows, grid_rounds) = if ctx.quick { (4, 8, 4) } else { (5, 20, 10) };
+    let (chain_nodes, chain_flows, chain_rounds) = if ctx.quick { (4, 3, 2) } else { (6, 5, 4) };
+
+    let grid = generators::grid(grid_side, grid_side);
+    let grid_mesh = MeshQos::builder(grid.clone()).build()?;
+    let grid_result = run_scenario(
+        "grid/hop-order",
+        &grid_mesh,
+        OrderPolicy::HopOrder,
+        &gateway_flows(&grid, grid_flows),
+        grid_rounds,
+    )?;
+
+    let chain = generators::chain(chain_nodes);
+    let chain_mesh = MeshQos::builder(chain.clone()).build()?;
+    let chain_result = run_scenario(
+        "chain/exact-milp",
+        &chain_mesh,
+        OrderPolicy::ExactMilp,
+        &gateway_flows(&chain, chain_flows),
+        chain_rounds,
+    )?;
+
+    let results = [grid_result, chain_result];
+    let mut table = Table::new(
+        "Churn: warm QosSession vs repeated cold batch admission",
+        &[
+            "scenario",
+            "flows",
+            "events",
+            "cold_ms",
+            "warm_ms",
+            "speedup",
+            "cold_oracle",
+            "warm_oracle",
+            "saved",
+            "warm_hits",
+        ],
+    );
+    for r in &results {
+        table.row_strings(vec![
+            r.name.to_string(),
+            r.flows.to_string(),
+            r.events.to_string(),
+            format!("{:.3}", r.cold_wall_s * 1e3),
+            format!("{:.3}", r.warm_wall_s * 1e3),
+            format!("{:.2}x", r.speedup()),
+            r.cold_oracle_calls.to_string(),
+            r.stats.oracle_calls.to_string(),
+            r.stats.oracle_calls_saved.to_string(),
+            r.stats.warm_order_hits.to_string(),
+        ]);
+    }
+    table.print();
+    ctx.write_csv("churn", &table)?;
+
+    // The exact-oracle scenario must show the warm search doing
+    // measurably less oracle work than the cold linear scans.
+    let exact = &results[1];
+    if exact.stats.oracle_calls >= exact.cold_oracle_calls {
+        return Err(BenchError::Other(format!(
+            "warm session made {} oracle calls vs {} cold — warm start saved nothing",
+            exact.stats.oracle_calls, exact.cold_oracle_calls
+        )));
+    }
+
+    std::fs::create_dir_all(&ctx.out_dir)?;
+    let artifact = ctx.out_dir.join("BENCH_admission_churn.json");
+    std::fs::write(&artifact, artifact_json(&results, ctx.quick))?;
+    println!("  -> {}", artifact.display());
+    Ok(())
+}

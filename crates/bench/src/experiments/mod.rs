@@ -2,6 +2,7 @@
 
 pub(crate) mod common;
 
+pub mod churn;
 pub mod e1;
 pub mod e10;
 pub mod e11;

@@ -116,6 +116,7 @@ impl Ctx {
 /// All experiment ids in run order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "t10", "e10", "e11", "e12", "e13", "e14",
+    "churn",
 ];
 
 /// Runs one experiment by id.
@@ -140,6 +141,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Result<(), BenchError> {
         "e13" => experiments::e13::run(ctx),
         "e14" => experiments::e14::run(ctx),
         "t10" => experiments::t10::run(ctx),
+        "churn" => experiments::churn::run(ctx),
         other => Err(BenchError::Other(format!("unknown experiment id: {other}"))),
     }
 }

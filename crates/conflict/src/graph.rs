@@ -176,6 +176,106 @@ impl ConflictGraph {
             .enumerate()
             .flat_map(|(i, nbrs)| nbrs.iter().filter(move |&&j| i < j).map(move |&j| (i, j)))
     }
+
+    /// Adds `link` as a new vertex, computing its conflicts against the
+    /// existing vertices only — `O(V)` conflict checks plus (for the
+    /// protocol model) two bounded BFS runs, instead of the `O(V^2)`
+    /// full rebuild.
+    ///
+    /// The new vertex gets the highest dense index. Returns `false`
+    /// (leaving the graph untouched) when `link` is already a vertex.
+    ///
+    /// `topo` and `model` must be the same the graph was built with;
+    /// mixing models yields a graph neither model describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is not in `topo`.
+    pub fn insert_vertex(
+        &mut self,
+        topo: &MeshTopology,
+        link: LinkId,
+        model: InterferenceModel,
+    ) -> bool {
+        if self.index.contains_key(&link) {
+            return false;
+        }
+        let new = *topo.link(link).expect("link not in topology");
+        // For the protocol model the conflict test needs
+        // `hop_distance(a.tx, b.rx)` both ways; BFS from the new link's
+        // endpoints answers every pairing with an existing link.
+        let dist = match model {
+            InterferenceModel::Protocol { hops } => Some((
+                hop_distance_from(topo, new.tx, hops + 1),
+                hop_distance_from(topo, new.rx, hops + 1),
+            )),
+            _ => None,
+        };
+        let i = self.links.len();
+        let mut nbrs = Vec::new();
+        for (j, &lj) in self.links.iter().enumerate() {
+            let other = *topo.link(lj).expect("existing vertices stay valid");
+            let conflict = if new.shares_endpoint(&other) {
+                true
+            } else {
+                match model {
+                    InterferenceModel::PrimaryOnly => false,
+                    InterferenceModel::Protocol { hops } => {
+                        let (from_tx, from_rx) = dist.as_ref().expect("computed above");
+                        from_tx[other.rx.index()] <= hops || from_rx[other.tx.index()] <= hops
+                    }
+                    InterferenceModel::Distance { range_m } => {
+                        let node =
+                            |id: NodeId| *topo.node(id).expect("links reference valid nodes");
+                        node(new.tx).distance_to(&node(other.rx)) <= range_m
+                            || node(other.tx).distance_to(&node(new.rx)) <= range_m
+                    }
+                }
+            };
+            if conflict {
+                self.adj[j].push(i); // i is the largest index: stays sorted
+                nbrs.push(j);
+                self.edge_count += 1;
+            }
+        }
+        self.links.push(link);
+        self.index.insert(link, i);
+        self.adj.push(nbrs); // ascending by construction
+        true
+    }
+
+    /// Removes the vertex for `link` (swap-remove: the last vertex takes
+    /// over the freed dense index, so indices of other vertices may
+    /// change). Returns `false` when `link` is not a vertex.
+    pub fn remove_vertex(&mut self, link: LinkId) -> bool {
+        let Some(i) = self.index.remove(&link) else {
+            return false;
+        };
+        let last = self.links.len() - 1;
+        // Drop edges incident to i.
+        let nbrs = std::mem::take(&mut self.adj[i]);
+        self.edge_count -= nbrs.len();
+        for j in nbrs {
+            let pos = self.adj[j].binary_search(&i).expect("symmetric edge");
+            self.adj[j].remove(pos);
+        }
+        // Move the last vertex into slot i and relabel `last` -> `i` in
+        // every adjacency list it appears in.
+        self.links.swap_remove(i);
+        let moved = self.adj.swap_remove(last);
+        if i != last {
+            self.adj[i] = moved;
+            self.index.insert(self.links[i], i);
+            for &j in self.adj[i].clone().iter() {
+                let pos = self.adj[j].binary_search(&last).expect("symmetric edge");
+                self.adj[j].remove(pos);
+                let ins = self.adj[j].binary_search(&i).expect_err("irreflexive");
+                self.adj[j].insert(ins, i);
+            }
+            self.adj[i].sort_unstable();
+        }
+        true
+    }
 }
 
 /// Decides whether two distinct links conflict under `model`.
@@ -202,6 +302,27 @@ fn conflicts(
                 || node(b.tx).distance_to(&node(a.rx)) <= range_m
         }
     }
+}
+
+/// BFS hop distances from one source, truncated at `cap` (distances
+/// greater than `cap` are reported as `cap + 1`).
+fn hop_distance_from(topo: &MeshTopology, src: NodeId, cap: usize) -> Vec<usize> {
+    let mut row = vec![cap + 1; topo.node_count()];
+    row[src.index()] = 0;
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        let d = row[u.index()];
+        if d == cap {
+            continue;
+        }
+        for v in topo.neighbors(u) {
+            if row[v.index()] > d + 1 {
+                row[v.index()] = d + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    row
 }
 
 /// BFS hop distances between all node pairs, truncated at `cap` (distances
@@ -358,6 +479,94 @@ mod tests {
         // Leaf-to-leaf "parallel" transmissions 1->0 and 0->2 share node 0.
         let l02 = link(&topo, 0, 2);
         assert!(cg.are_in_conflict(l10, l02));
+    }
+
+    /// Two graphs are the same up to vertex relabelling when they have the
+    /// same vertex set and the same conflicting link pairs.
+    fn same_conflicts(a: &ConflictGraph, b: &ConflictGraph) -> bool {
+        let mut la: Vec<LinkId> = a.links().to_vec();
+        let mut lb: Vec<LinkId> = b.links().to_vec();
+        la.sort_unstable();
+        lb.sort_unstable();
+        if la != lb || a.edge_count() != b.edge_count() {
+            return false;
+        }
+        a.edges()
+            .all(|(i, j)| b.are_in_conflict(a.link_at(i), a.link_at(j)))
+    }
+
+    #[test]
+    fn insert_vertex_matches_full_rebuild() {
+        for model in [
+            InterferenceModel::PrimaryOnly,
+            InterferenceModel::protocol_default(),
+            InterferenceModel::Protocol { hops: 2 },
+        ] {
+            let topo = generators::grid(3, 3);
+            let all: Vec<LinkId> = topo.link_ids().collect();
+            // Grow incrementally from the first link, in an order different
+            // from id order.
+            let mut cg = ConflictGraph::build_for_links(&topo, vec![all[0]], model);
+            for &l in all.iter().skip(1).rev() {
+                assert!(cg.insert_vertex(&topo, l, model));
+            }
+            let full = ConflictGraph::build(&topo, model);
+            assert!(same_conflicts(&cg, &full), "model {model:?} diverged");
+        }
+    }
+
+    #[test]
+    fn insert_existing_vertex_is_noop() {
+        let topo = generators::chain(3);
+        let l01 = link(&topo, 0, 1);
+        let mut cg = ConflictGraph::build(&topo, InterferenceModel::protocol_default());
+        let edges = cg.edge_count();
+        assert!(!cg.insert_vertex(&topo, l01, InterferenceModel::protocol_default()));
+        assert_eq!(cg.edge_count(), edges);
+    }
+
+    #[test]
+    fn remove_vertex_matches_restricted_rebuild() {
+        let topo = generators::grid(3, 3);
+        let model = InterferenceModel::protocol_default();
+        let mut cg = ConflictGraph::build(&topo, model);
+        let all: Vec<LinkId> = topo.link_ids().collect();
+        // Remove a third of the links, scattered through the index range.
+        let removed: Vec<LinkId> = all.iter().copied().step_by(3).collect();
+        for &l in &removed {
+            assert!(cg.remove_vertex(l));
+            assert!(!cg.remove_vertex(l), "double remove must be a no-op");
+        }
+        let kept: Vec<LinkId> = all
+            .iter()
+            .copied()
+            .filter(|l| !removed.contains(l))
+            .collect();
+        let full = ConflictGraph::build_for_links(&topo, kept, model);
+        assert!(same_conflicts(&cg, &full));
+        // Dense indices stay consistent after the swap-removes.
+        for (i, &l) in cg.links().to_vec().iter().enumerate() {
+            assert_eq!(cg.index_of(l), Some(i));
+            assert_eq!(cg.link_at(i), l);
+        }
+        for i in 0..cg.vertex_count() {
+            for &j in cg.neighbors(i) {
+                assert!(j < cg.vertex_count(), "dangling index after remove");
+                assert!(cg.neighbors(j).contains(&i), "asymmetry after remove");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_after_remove_round_trips() {
+        let topo = generators::chain(5);
+        let model = InterferenceModel::protocol_default();
+        let mut cg = ConflictGraph::build(&topo, model);
+        let l = link(&topo, 2, 3);
+        assert!(cg.remove_vertex(l));
+        assert!(cg.insert_vertex(&topo, l, model));
+        let full = ConflictGraph::build(&topo, model);
+        assert!(same_conflicts(&cg, &full));
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! The validated builder for [`MeshQos`].
+//!
+//! [`MeshQos`] grew construction knobs one constructor at a time (`new`,
+//! `with_interference`, `with_rate_policy`, plus post-construction
+//! setters). The builder replaces that ladder with a single entry point
+//! whose defaults match [`MeshQos::new`] exactly, and whose validation
+//! happens once, in [`MeshQosBuilder::build`] — invalid loss
+//! provisioning becomes an error instead of a panic.
+
+use wimesh_conflict::InterferenceModel;
+use wimesh_emu::EmulationParams;
+use wimesh_milp::SolverConfig;
+use wimesh_topology::MeshTopology;
+
+use crate::{MeshQos, QosError, RatePolicy};
+
+/// Builds a [`MeshQos`] with validated defaults.
+///
+/// Defaults: [`EmulationParams::default`], the 1-hop protocol
+/// interference model, [`RatePolicy::Uniform`], no loss provisioning and
+/// [`SolverConfig::default`] — identical to what [`MeshQos::new`]
+/// produces.
+///
+/// # Example
+///
+/// ```
+/// use wimesh::{MeshQos, OrderPolicy};
+/// use wimesh_topology::generators;
+///
+/// let mesh = MeshQos::builder(generators::chain(4))
+///     .loss_provisioning(0.1)
+///     .build()?;
+/// let session = mesh.session(OrderPolicy::HopOrder);
+/// assert_eq!(session.snapshot().admitted().len(), 0);
+/// # Ok::<(), wimesh::QosError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeshQosBuilder {
+    topo: MeshTopology,
+    params: EmulationParams,
+    interference: InterferenceModel,
+    rates: RatePolicy,
+    solver: SolverConfig,
+    loss_provisioning: f64,
+}
+
+impl MeshQosBuilder {
+    pub(crate) fn new(topo: MeshTopology) -> Self {
+        Self {
+            topo,
+            params: EmulationParams::default(),
+            interference: InterferenceModel::protocol_default(),
+            rates: RatePolicy::Uniform,
+            solver: SolverConfig::default(),
+            loss_provisioning: 0.0,
+        }
+    }
+
+    /// Sets the emulation parameters (frame layout, guard times, PHY
+    /// rate).
+    pub fn params(mut self, params: EmulationParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the interference model used for conflict graphs.
+    pub fn interference(mut self, model: InterferenceModel) -> Self {
+        self.interference = model;
+        self
+    }
+
+    /// Sets the per-link PHY rate policy.
+    pub fn rate_policy(mut self, rates: RatePolicy) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    /// Overrides the MILP solver configuration (node limits etc.).
+    pub fn solver_config(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Over-provisions reservations for an expected per-transmission
+    /// channel loss `p` in `[0, 0.9]` (validated at [`build`]).
+    ///
+    /// [`build`]: MeshQosBuilder::build
+    pub fn loss_provisioning(mut self, p: f64) -> Self {
+        self.loss_provisioning = p;
+        self
+    }
+
+    /// Validates the configuration and builds the mesh.
+    ///
+    /// # Errors
+    ///
+    /// [`QosError::Config`] for an out-of-range loss provisioning, plus
+    /// every error [`MeshQos::with_rate_policy`] can produce.
+    pub fn build(self) -> Result<MeshQos, QosError> {
+        if !(0.0..=0.9).contains(&self.loss_provisioning) {
+            return Err(QosError::Config(format!(
+                "loss provisioning must be in [0, 0.9], got {}",
+                self.loss_provisioning
+            )));
+        }
+        let mut mesh =
+            MeshQos::with_rate_policy(self.topo, self.params, self.interference, self.rates)?;
+        if self.loss_provisioning > 0.0 {
+            mesh.set_loss_provisioning(self.loss_provisioning);
+        }
+        mesh.set_solver_config(self.solver);
+        Ok(mesh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowSpec, OrderPolicy};
+    use wimesh_sim::traffic::VoipCodec;
+    use wimesh_topology::generators;
+    use wimesh_topology::NodeId;
+
+    #[test]
+    fn builder_defaults_match_new() {
+        let topo = generators::chain(4);
+        let built = MeshQos::builder(topo.clone()).build().unwrap();
+        let legacy = MeshQos::new(topo, EmulationParams::default()).unwrap();
+        assert_eq!(built.interference(), legacy.interference());
+        assert_eq!(
+            built.model().slot_payload_bytes(),
+            legacy.model().slot_payload_bytes()
+        );
+        // Same admission behaviour.
+        let flows = vec![FlowSpec::voip(0, NodeId(3), NodeId(0), VoipCodec::G711)];
+        let a = built.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        let b = legacy.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        assert_eq!(a.admitted.len(), b.admitted.len());
+        assert_eq!(a.guaranteed_slots, b.guaranteed_slots);
+    }
+
+    #[test]
+    fn builder_rejects_bad_loss_provisioning() {
+        let err = MeshQos::builder(generators::chain(3))
+            .loss_provisioning(0.95)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, QosError::Config(_)));
+        assert!(err.to_string().contains("loss provisioning"));
+    }
+
+    #[test]
+    fn builder_loss_provisioning_buys_headroom() {
+        let topo = generators::chain(4);
+        let provisioned = MeshQos::builder(topo.clone())
+            .loss_provisioning(0.2)
+            .build()
+            .unwrap();
+        let plain = MeshQos::builder(topo).build().unwrap();
+        let flows = vec![FlowSpec::guaranteed(
+            0,
+            NodeId(3),
+            NodeId(0),
+            1_200_000.0,
+            std::time::Duration::from_millis(200),
+        )];
+        let a = provisioned.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        let b = plain.admit(&flows, OrderPolicy::HopOrder).unwrap();
+        assert!(a.guaranteed_slots > b.guaranteed_slots);
+    }
+
+    #[test]
+    fn builder_rate_policy_and_interference() {
+        use wimesh_phy80211::{PhyStandard, RateTable};
+        let table = RateTable::new(PhyStandard::Dot11a, 350.0, 3.0);
+        let mesh = MeshQos::builder(generators::chain(4))
+            .interference(InterferenceModel::PrimaryOnly)
+            .rate_policy(RatePolicy::DistanceAdaptive(table))
+            .build()
+            .unwrap();
+        assert_eq!(mesh.interference(), InterferenceModel::PrimaryOnly);
+    }
+}

@@ -28,6 +28,8 @@ pub enum QosError {
         /// The offending link.
         link: wimesh_topology::LinkId,
     },
+    /// An invalid builder configuration (see [`crate::MeshQosBuilder`]).
+    Config(String),
 }
 
 impl fmt::Display for QosError {
@@ -42,6 +44,7 @@ impl fmt::Display for QosError {
             QosError::LinkBeyondRange { link } => {
                 write!(f, "link {link} is beyond every PHY rate's range")
             }
+            QosError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -54,6 +57,7 @@ impl Error for QosError {
             QosError::Schedule(e) => Some(e),
             QosError::InvalidRate { .. } => None,
             QosError::LinkBeyondRange { .. } => None,
+            QosError::Config(_) => None,
         }
     }
 }

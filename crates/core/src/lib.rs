@@ -31,43 +31,55 @@
 //!
 //! ```
 //! use wimesh::{FlowSpec, MeshQos, OrderPolicy};
-//! use wimesh_emu::EmulationParams;
 //! use wimesh_sim::traffic::VoipCodec;
 //! use wimesh_topology::generators;
 //!
 //! // A 5-router chain with node 0 as the gateway.
 //! let topo = generators::chain(5);
-//! let mesh = MeshQos::new(topo, EmulationParams::default())?;
+//! let mesh = MeshQos::builder(topo).build()?;
 //!
-//! // Two VoIP calls from the edge to the gateway.
-//! let flows = vec![
+//! // Two VoIP calls from the edge to the gateway, admitted one at a
+//! // time through a stateful session (incremental conflict-graph
+//! // updates, warm-started feasibility search).
+//! let mut session = mesh.session(OrderPolicy::HopOrder);
+//! for spec in [
 //!     FlowSpec::voip(0, 4.into(), 0.into(), VoipCodec::G711),
 //!     FlowSpec::voip(1, 3.into(), 0.into(), VoipCodec::G711),
-//! ];
-//! let outcome = mesh.admit(&flows, OrderPolicy::HopOrder)?;
-//! assert_eq!(outcome.admitted.len(), 2);
+//! ] {
+//!     assert!(session.admit(&spec)?.is_admitted());
+//! }
+//! let outcome = session.snapshot();
+//! assert_eq!(outcome.admitted().len(), 2);
 //! // Every admitted flow has a hard worst-case delay.
-//! for f in &outcome.admitted {
+//! for f in outcome.admitted() {
 //!     assert!(f.worst_case_delay <= f.spec.deadline.unwrap());
 //! }
 //! # Ok::<(), wimesh::QosError>(())
 //! ```
+//!
+//! Batch admission over a whole flow set is [`MeshQos::admit`];
+//! [`QosSession::release`] and [`QosSession::rebalance`] complete the
+//! churn lifecycle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod admission;
+mod builder;
 mod error;
 mod flow;
 mod network;
+mod session;
 
 pub mod best_effort;
 pub mod multipath;
 
 pub use admission::{AdmissionOutcome, AdmittedFlow, OrderPolicy, RejectReason};
+pub use builder::MeshQosBuilder;
 pub use error::QosError;
 pub use flow::FlowSpec;
 pub use network::{MeshQos, RatePolicy};
+pub use session::{FlowAdmission, QosSession, SessionStats};
 
 // Re-export the workspace crates so downstream users need one dependency.
 pub use wimesh_conflict as conflict;

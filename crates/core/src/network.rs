@@ -15,6 +15,7 @@ use wimesh_topology::routing::{shortest_path, Path};
 use wimesh_topology::{MeshTopology, NodeId};
 
 use crate::admission::{self, AdmissionOutcome, OrderPolicy};
+use crate::builder::MeshQosBuilder;
 use crate::{FlowSpec, QosError};
 
 /// How per-link PHY rates (and thus per-minislot capacities) are chosen.
@@ -51,8 +52,27 @@ pub struct MeshQos {
 }
 
 impl MeshQos {
+    /// Starts a [`MeshQosBuilder`] for `topo` with validated defaults —
+    /// the preferred way to construct a [`MeshQos`].
+    pub fn builder(topo: MeshTopology) -> MeshQosBuilder {
+        MeshQosBuilder::new(topo)
+    }
+
+    /// Opens a stateful [`QosSession`](crate::QosSession) over this mesh:
+    /// incremental admission with a cached conflict graph and a
+    /// warm-started feasibility search. The session clones the mesh
+    /// configuration; later changes to `self` do not affect it.
+    pub fn session(&self, policy: OrderPolicy) -> crate::QosSession {
+        crate::QosSession::new(self.clone(), policy)
+    }
+
     /// Builds the mesh with the default 1-hop protocol interference
     /// model.
+    ///
+    /// **Deprecated in favour of [`MeshQos::builder`]**, which exposes
+    /// every knob (interference, rate policy, loss provisioning, solver
+    /// limits) through one validated entry point. `new` remains as a
+    /// forwarding shim and will keep working.
     ///
     /// # Errors
     ///
@@ -158,6 +178,21 @@ impl MeshQos {
     /// The interference model used for conflict graphs.
     pub fn interference(&self) -> InterferenceModel {
         self.interference
+    }
+
+    /// Per-link minislot payloads, indexed by `LinkId` (internal).
+    pub(crate) fn link_payloads(&self) -> &[u32] {
+        &self.link_payloads
+    }
+
+    /// The configured loss over-provisioning factor (internal).
+    pub(crate) fn loss_provisioning(&self) -> f64 {
+        self.loss_provisioning
+    }
+
+    /// The MILP solver configuration (internal).
+    pub(crate) fn solver_config(&self) -> &SolverConfig {
+        &self.solver
     }
 
     /// Runs admission control over `flows` (in order) under `policy`.

@@ -1,0 +1,844 @@
+//! Stateful incremental admission: [`QosSession`].
+//!
+//! [`crate::MeshQos::admit`] is a *batch* API: every call rebuilds the
+//! conflict graph, re-derives a transmission order from nothing and — for
+//! [`OrderPolicy::ExactMilp`] — walks the minislot search linearly from
+//! the clique lower bound, paying one MILP solve per probed value. Under
+//! churn (flows arriving and departing one at a time, each decision
+//! re-examining all currently-admitted flows) almost all of that work
+//! repeats verbatim.
+//!
+//! A [`QosSession`] keeps the state between decisions:
+//!
+//! * the **conflict graph** is cached and updated incrementally — vertex
+//!   insertion when a new flow brings new links, removal when a release
+//!   drains a link's demand — instead of rebuilt from scratch;
+//! * the **last feasible transmission order** is persisted as
+//!   graph-independent link pairs and replayed as a warm start: a
+//!   Bellman–Ford validation pass
+//!   ([`wimesh_tdma::milp::validate_order_within`]) often certifies
+//!   feasibility outright, skipping the MILP oracle;
+//! * the exact minislot search is a **binary search** seeded by the warm
+//!   order's makespan instead of a linear scan — sound because oracle
+//!   feasibility is monotone in the probed slot count (see
+//!   `admission.rs`), and any feasible solution with makespan `m` stays
+//!   feasible for every horizon `>= m`, which turns each "yes" answer
+//!   into an immediate upper-bound jump.
+//!
+//! The session's verdicts are identical to the cold batch path: the fast
+//! paths only ever *certify* feasibility (a validated order is a real
+//! schedule), never declare infeasibility — that verdict still requires
+//! the exact oracle. The property tests in `tests/session_equivalence.rs`
+//! pin this.
+
+use wimesh_conflict::ConflictGraph;
+use wimesh_emu::EmulationModel;
+use wimesh_milp::SolverConfig;
+use wimesh_sim::FlowId;
+use wimesh_tdma::milp::{feasible_order_within, validate_order_within, OrderSolution};
+use wimesh_tdma::{order, Demands, Schedule, ScheduleError, TransmissionOrder};
+use wimesh_topology::routing::{shortest_path, Path};
+use wimesh_topology::LinkId;
+
+use crate::admission::{self, Accepted, AdmissionOutcome, AdmittedFlow, OrderPolicy, RejectReason};
+use crate::{FlowSpec, MeshQos, QosError};
+
+/// The verdict of a single [`QosSession::admit`] call.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum FlowAdmission {
+    /// The flow was admitted; its reservation and delay bound. Bounds of
+    /// previously admitted flows may have changed too — see
+    /// [`QosSession::snapshot`].
+    Admitted(AdmittedFlow),
+    /// The flow was rejected; the session state is unchanged.
+    Rejected(RejectReason),
+}
+
+impl FlowAdmission {
+    /// True when the flow was admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, FlowAdmission::Admitted(_))
+    }
+
+    /// The admitted flow, if any.
+    pub fn admitted(&self) -> Option<&AdmittedFlow> {
+        match self {
+            FlowAdmission::Admitted(f) => Some(f),
+            FlowAdmission::Rejected(_) => None,
+        }
+    }
+
+    /// The rejection reason, if any.
+    pub fn rejected(&self) -> Option<&RejectReason> {
+        match self {
+            FlowAdmission::Admitted(_) => None,
+            FlowAdmission::Rejected(r) => Some(r),
+        }
+    }
+}
+
+/// Work counters of a [`QosSession`] — what the warm state saved.
+///
+/// The same figures are emitted as `session.*` counters through
+/// `wimesh-obs` when instrumentation is enabled.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct SessionStats {
+    /// [`QosSession::admit`] calls.
+    pub admits: u64,
+    /// Successful [`QosSession::release`] calls.
+    pub releases: u64,
+    /// MILP feasibility-oracle invocations.
+    pub oracle_calls: u64,
+    /// Search probes answered without the MILP (warm-order validation or
+    /// makespan reuse) — each one is an oracle call the cold linear
+    /// search would have paid for.
+    pub oracle_calls_saved: u64,
+    /// Times the persisted warm order validated as-is.
+    pub warm_order_hits: u64,
+    /// Total slot-search probes (binary-search iterations plus the
+    /// upper-bound probe).
+    pub search_iterations: u64,
+    /// Incremental conflict-graph vertex insertions/removals.
+    pub incremental_updates: u64,
+    /// Full conflict-graph rebuilds ([`QosSession::rebalance`]).
+    pub graph_rebuilds: u64,
+}
+
+/// The last feasible order, persisted independently of the graph's dense
+/// indexing (which shifts under incremental vertex insertion/removal).
+///
+/// No slot count is stored alongside: replaying the order through one
+/// Bellman–Ford pass re-derives its makespan, which seeds the binary
+/// search more tightly than the previously-used slot count could.
+#[derive(Debug, Clone)]
+struct WarmOrder {
+    pairs: Vec<(LinkId, LinkId)>,
+}
+
+/// A stateful admission session over a [`MeshQos`].
+///
+/// Admit and release flows one at a time; the session maintains a
+/// consistent [`AdmissionOutcome`] ([`QosSession::snapshot`]) for the
+/// currently-admitted set, reusing its cached conflict graph and warm
+/// transmission order across decisions. Decisions are identical to the
+/// cold batch path — admitting `f1..fn` through a fresh session equals
+/// `MeshQos::admit(&[f1..fn])`.
+///
+/// # Example
+///
+/// ```
+/// use wimesh::{FlowSpec, MeshQos, OrderPolicy};
+/// use wimesh_sim::traffic::VoipCodec;
+/// use wimesh_topology::generators;
+///
+/// let mesh = MeshQos::builder(generators::chain(5)).build()?;
+/// let mut session = mesh.session(OrderPolicy::HopOrder);
+///
+/// let call = FlowSpec::voip(0, 4.into(), 0.into(), VoipCodec::G711);
+/// assert!(session.admit(&call)?.is_admitted());
+/// assert_eq!(session.snapshot().admitted().len(), 1);
+///
+/// session.release(call.id)?;
+/// assert_eq!(session.snapshot().admitted().len(), 0);
+/// # Ok::<(), wimesh::QosError>(())
+/// ```
+#[derive(Debug)]
+pub struct QosSession {
+    mesh: MeshQos,
+    policy: OrderPolicy,
+    accepted: Vec<Accepted>,
+    /// Cached conflict graph; invariant: its vertex set equals the links
+    /// carrying demand from `accepted`.
+    graph: ConflictGraph,
+    warm: Option<WarmOrder>,
+    outcome: AdmissionOutcome,
+    stats: SessionStats,
+}
+
+impl QosSession {
+    pub(crate) fn new(mesh: MeshQos, policy: OrderPolicy) -> Self {
+        let graph =
+            ConflictGraph::build_for_links(mesh.topology(), Vec::new(), mesh.interference());
+        let outcome = empty_outcome(mesh.model());
+        Self {
+            mesh,
+            policy,
+            accepted: Vec::new(),
+            graph,
+            warm: None,
+            outcome,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The current admission state: all admitted flows with their (up to
+    /// date) delay bounds, the schedule and order realising them, and
+    /// every rejection recorded over the session's lifetime.
+    pub fn snapshot(&self) -> &AdmissionOutcome {
+        &self.outcome
+    }
+
+    /// The session's work counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The order policy this session admits under.
+    pub fn policy(&self) -> OrderPolicy {
+        self.policy
+    }
+
+    /// The mesh this session admits onto (the session owns a clone of
+    /// the [`MeshQos`] it was created from).
+    pub fn mesh(&self) -> &MeshQos {
+        &self.mesh
+    }
+
+    /// Tries to admit one flow on its shortest-hop route.
+    ///
+    /// On admission the schedule is recomputed for the whole accepted
+    /// set (existing bounds can change — consult
+    /// [`QosSession::snapshot`]); on rejection the session state is
+    /// untouched apart from the rejection log.
+    ///
+    /// # Errors
+    ///
+    /// [`QosError::InvalidRate`] for non-positive rates; scheduling and
+    /// solver failures other than plain infeasibility (which is a
+    /// [`FlowAdmission::Rejected`] verdict, not an error).
+    pub fn admit(&mut self, spec: &FlowSpec) -> Result<FlowAdmission, QosError> {
+        let _span = wimesh_obs::span!("session.admit");
+        self.stats.admits += 1;
+        let path = shortest_path(self.mesh.topology(), spec.src, spec.dst).ok();
+        let candidate = match admission::vet_flow(
+            self.mesh.model(),
+            self.mesh.link_payloads(),
+            self.mesh.loss_provisioning(),
+            spec,
+            path.as_ref(),
+        )? {
+            Ok(c) => c,
+            Err(reason) => {
+                self.outcome.rejected.push((spec.clone(), reason.clone()));
+                return Ok(FlowAdmission::Rejected(reason));
+            }
+        };
+
+        let demands = {
+            let trial: Vec<&Accepted> = self
+                .accepted
+                .iter()
+                .chain(std::iter::once(&candidate))
+                .collect();
+            admission::aggregate_demands(
+                self.mesh.model(),
+                self.mesh.link_payloads(),
+                self.mesh.loss_provisioning(),
+                &trial,
+            )
+        };
+        let inserted = self.grow_graph(&demands);
+
+        let result = {
+            let trial: Vec<&Accepted> = self
+                .accepted
+                .iter()
+                .chain(std::iter::once(&candidate))
+                .collect();
+            solve_session(
+                &self.mesh,
+                &self.graph,
+                &demands,
+                &trial,
+                self.policy,
+                self.warm.as_ref(),
+                &mut self.stats,
+            )
+        };
+        match result {
+            Ok((schedule, ord, used)) => {
+                self.warm = Some(WarmOrder {
+                    pairs: ord.link_pairs(&self.graph),
+                });
+                self.accepted.push(candidate);
+                self.refresh_outcome(schedule, ord, used);
+                let admitted = self
+                    .outcome
+                    .admitted
+                    .last()
+                    .expect("candidate was just accepted")
+                    .clone();
+                Ok(FlowAdmission::Admitted(admitted))
+            }
+            Err(e) => {
+                // Roll the graph back to exactly the accepted set's links.
+                for l in inserted {
+                    self.graph.remove_vertex(l);
+                    self.stats.incremental_updates += 1;
+                    wimesh_obs::counter_inc("session.graph.incremental");
+                }
+                let reason = match e {
+                    ScheduleError::Infeasible
+                    | ScheduleError::FrameTooShort { .. }
+                    | ScheduleError::OrderCycle { .. } => RejectReason::Infeasible,
+                    ScheduleError::SolverFailed(msg) => RejectReason::SolverLimit(msg),
+                    other => return Err(other.into()),
+                };
+                self.outcome.rejected.push((spec.clone(), reason.clone()));
+                Ok(FlowAdmission::Rejected(reason))
+            }
+        }
+    }
+
+    /// Releases an admitted flow and recomputes the schedule for the
+    /// remaining set. Returns `Ok(false)` when no admitted flow has this
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// Rescheduling the remaining flows can only fail for the heuristic
+    /// order policies (a subset can rank differently and, pathologically,
+    /// miss a deadline the superset met; under
+    /// [`OrderPolicy::ExactMilp`] a subset of a feasible set is always
+    /// feasible). On error the session is left unchanged — the flow stays
+    /// admitted; [`QosSession::rebalance`] with an exact policy is the
+    /// recovery path.
+    pub fn release(&mut self, flow: FlowId) -> Result<bool, QosError> {
+        let Some(pos) = self.accepted.iter().position(|a| a.spec.id == flow) else {
+            return Ok(false);
+        };
+        let _span = wimesh_obs::span!("session.release");
+        let removed = self.accepted.remove(pos);
+
+        let demands = {
+            let trial: Vec<&Accepted> = self.accepted.iter().collect();
+            admission::aggregate_demands(
+                self.mesh.model(),
+                self.mesh.link_payloads(),
+                self.mesh.loss_provisioning(),
+                &trial,
+            )
+        };
+        // Shrink the cached graph: links whose demand drained lose their
+        // vertex.
+        let stale: Vec<LinkId> = self
+            .graph
+            .links()
+            .iter()
+            .copied()
+            .filter(|&l| demands.get(l) == 0)
+            .collect();
+        for &l in &stale {
+            self.graph.remove_vertex(l);
+            self.stats.incremental_updates += 1;
+            wimesh_obs::counter_inc("session.graph.incremental");
+        }
+
+        if self.accepted.is_empty() {
+            self.warm = None;
+            self.stats.releases += 1;
+            wimesh_obs::counter_inc("session.releases");
+            self.refresh_outcome(
+                empty_outcome(self.mesh.model()).schedule,
+                TransmissionOrder::new(),
+                0,
+            );
+            return Ok(true);
+        }
+
+        let result = {
+            let trial: Vec<&Accepted> = self.accepted.iter().collect();
+            solve_session(
+                &self.mesh,
+                &self.graph,
+                &demands,
+                &trial,
+                self.policy,
+                self.warm.as_ref(),
+                &mut self.stats,
+            )
+        };
+        match result {
+            Ok((schedule, ord, used)) => {
+                self.warm = Some(WarmOrder {
+                    pairs: ord.link_pairs(&self.graph),
+                });
+                self.stats.releases += 1;
+                wimesh_obs::counter_inc("session.releases");
+                self.refresh_outcome(schedule, ord, used);
+                Ok(true)
+            }
+            Err(e) => {
+                // Restore the graph and the flow; the old schedule is
+                // still valid.
+                for l in stale {
+                    self.graph
+                        .insert_vertex(self.mesh.topology(), l, self.mesh.interference());
+                    self.stats.incremental_updates += 1;
+                }
+                self.accepted.insert(pos, removed);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Recomputes everything from scratch: rebuilds the conflict graph,
+    /// re-admits the current flows through the cold batch path and
+    /// resets the warm state from the result.
+    ///
+    /// This restores the exact state a fresh batch
+    /// [`MeshQos::admit_routed`] over the admitted flows (same routes,
+    /// same admission order) would produce — the reference point the
+    /// warm paths are tested against — and is the recovery path when a
+    /// heuristic [`QosSession::release`] fails.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MeshQos::admit_routed`].
+    pub fn rebalance(&mut self) -> Result<&AdmissionOutcome, QosError> {
+        let _span = wimesh_obs::span!("session.rebalance");
+        self.stats.graph_rebuilds += 1;
+        wimesh_obs::counter_inc("session.graph.rebuilds");
+        let routed: Vec<(FlowSpec, Option<Path>)> = self
+            .accepted
+            .iter()
+            .map(|a| (a.spec.clone(), Some(a.path.clone())))
+            .collect();
+        let outcome = self.mesh.admit_routed(&routed, self.policy)?;
+
+        self.accepted = outcome
+            .admitted
+            .iter()
+            .map(|f| Accepted {
+                spec: f.spec.clone(),
+                path: f.path.clone(),
+                slots_per_link: f.slots_per_link,
+            })
+            .collect();
+        let demands = {
+            let trial: Vec<&Accepted> = self.accepted.iter().collect();
+            admission::aggregate_demands(
+                self.mesh.model(),
+                self.mesh.link_payloads(),
+                self.mesh.loss_provisioning(),
+                &trial,
+            )
+        };
+        // Rebuilt over the demand links in ascending id order — the same
+        // construction the batch path used, so the outcome's order maps
+        // onto identical dense indices.
+        self.graph = ConflictGraph::build_for_links(
+            self.mesh.topology(),
+            demands.links().collect(),
+            self.mesh.interference(),
+        );
+        self.warm = if outcome.admitted.is_empty() {
+            None
+        } else {
+            Some(WarmOrder {
+                pairs: outcome.order.link_pairs(&self.graph),
+            })
+        };
+        // Rejections recorded before the rebalance stay in the log.
+        let mut rejected = std::mem::take(&mut self.outcome.rejected);
+        rejected.extend(outcome.rejected.iter().cloned());
+        self.outcome = outcome;
+        self.outcome.rejected = rejected;
+        Ok(&self.outcome)
+    }
+
+    /// Grows the cached graph to cover every demanded link, returning the
+    /// links inserted (for rollback).
+    fn grow_graph(&mut self, demands: &Demands) -> Vec<LinkId> {
+        let mut inserted = Vec::new();
+        for l in demands.links() {
+            if self
+                .graph
+                .insert_vertex(self.mesh.topology(), l, self.mesh.interference())
+            {
+                inserted.push(l);
+                self.stats.incremental_updates += 1;
+                wimesh_obs::counter_inc("session.graph.incremental");
+            }
+        }
+        inserted
+    }
+
+    fn refresh_outcome(&mut self, schedule: Schedule, ord: TransmissionOrder, used: u32) {
+        self.outcome.admitted =
+            admission::finalize_admitted(self.mesh.model(), &schedule, &self.accepted);
+        self.outcome.schedule = schedule;
+        self.outcome.order = ord;
+        self.outcome.guaranteed_slots = used;
+    }
+}
+
+fn empty_outcome(model: &EmulationModel) -> AdmissionOutcome {
+    let schedule = Schedule::from_ranges(model.frame(), Default::default())
+        .expect("an empty schedule fits any frame");
+    AdmissionOutcome {
+        admitted: Vec::new(),
+        rejected: Vec::new(),
+        schedule,
+        order: TransmissionOrder::new(),
+        guaranteed_slots: 0,
+    }
+}
+
+/// One scheduling decision over the session's cached graph.
+fn solve_session(
+    mesh: &MeshQos,
+    graph: &ConflictGraph,
+    demands: &Demands,
+    flows: &[&Accepted],
+    policy: OrderPolicy,
+    warm: Option<&WarmOrder>,
+    stats: &mut SessionStats,
+) -> Result<(Schedule, TransmissionOrder, u32), ScheduleError> {
+    // Mirror the batch path: a demand-free flow set schedules trivially.
+    if demands.is_empty() {
+        let schedule = Schedule::from_ranges(mesh.model().frame(), Default::default())?;
+        return Ok((schedule, TransmissionOrder::new(), 0));
+    }
+    match policy {
+        // The heuristic policies recompute their (cheap) order from the
+        // current flow set, exactly as the batch path does — only the
+        // conflict-graph construction is saved.
+        OrderPolicy::HopOrder | OrderPolicy::TreeOrder { .. } => admission::solve_demands_on_graph(
+            mesh.topology(),
+            mesh.model(),
+            graph,
+            demands,
+            flows,
+            policy,
+            mesh.solver_config(),
+        ),
+        OrderPolicy::ExactMilp => exact_search_warm(
+            mesh.model(),
+            graph,
+            demands,
+            flows,
+            mesh.solver_config(),
+            warm,
+            stats,
+        ),
+    }
+}
+
+/// The warm-started exact minislot search: binary instead of linear,
+/// seeded by the persisted order.
+///
+/// Correctness rests on two facts proved at the call sites they mirror:
+///
+/// 1. **Monotonicity** (see the linear search in `admission.rs`): oracle
+///    feasibility at `used` implies feasibility at every larger value,
+///    so binary search over `[lower bound, frame]` finds the same
+///    minimal feasible count the linear scan does.
+/// 2. **Makespan reuse**: a feasible solution whose schedule occupies
+///    `m` minislots satisfies every constraint of the oracle at any
+///    horizon `>= m` (start times are unchanged; shrinking the horizon
+///    to `m` only tightens big-M terms that the witness satisfies
+///    directly). Each "yes" answer therefore drops the upper bound to
+///    its makespan at no extra cost.
+///
+/// The warm order only ever *adds* a feasibility certificate (its
+/// validated schedule is real); an infeasibility verdict still requires
+/// MILP answers for every value below the returned minimum, so verdicts
+/// match the cold path exactly.
+fn exact_search_warm(
+    model: &EmulationModel,
+    graph: &ConflictGraph,
+    demands: &Demands,
+    flows: &[&Accepted],
+    solver: &SolverConfig,
+    warm: Option<&WarmOrder>,
+    stats: &mut SessionStats,
+) -> Result<(Schedule, TransmissionOrder, u32), ScheduleError> {
+    let _span = wimesh_obs::span!("session.search");
+    let frame = model.frame();
+    let total = frame.slots();
+    let reqs = admission::path_requirements(model, flows);
+    let mut lo = admission::clique_lower_bound(graph, demands);
+    if lo > total {
+        return Err(ScheduleError::Infeasible);
+    }
+
+    // The candidate order: the persisted warm order (replayed through
+    // link pairs, so graph reindexing cannot corrupt it), with conflict
+    // edges it does not decide — new links, typically — filled in from
+    // the hop heuristic over the current paths.
+    let paths: Vec<Path> = flows.iter().map(|f| f.path.clone()).collect();
+    let hop = order::hop_order(graph, &paths);
+    let candidate = match warm {
+        Some(w) => {
+            let mut o = TransmissionOrder::from_link_pairs(graph, &w.pairs);
+            for (i, j) in graph.edges() {
+                if o.before(i, j).is_none() {
+                    if let Some(b) = hop.before(i, j) {
+                        o.set(i, j, b);
+                    }
+                }
+            }
+            o
+        }
+        None => hop,
+    };
+
+    // Upper bound: Bellman–Ford validation of the candidate order. A hit
+    // is a real schedule — it bounds the answer by its makespan without
+    // touching the MILP. A miss proves nothing; fall back to one oracle
+    // call at the full frame to settle feasibility at all.
+    let oracle = |used: u32, stats: &mut SessionStats| {
+        stats.oracle_calls += 1;
+        wimesh_obs::counter_inc("session.oracle.calls");
+        let started = std::time::Instant::now();
+        let step = feasible_order_within(graph, demands, &reqs, frame, used, solver);
+        wimesh_obs::record_duration("session.search.step", started.elapsed());
+        step
+    };
+
+    stats.search_iterations += 1;
+    let mut best: OrderSolution;
+    match validate_order_within(graph, demands, &reqs, frame, total, &candidate) {
+        Some(sol) => {
+            stats.oracle_calls_saved += 1;
+            wimesh_obs::counter_inc("session.oracle.saved");
+            if warm.is_some() {
+                stats.warm_order_hits += 1;
+                wimesh_obs::counter_inc("session.warm.hits");
+            }
+            best = sol;
+        }
+        None => match oracle(total, stats) {
+            Ok(sol) => best = sol,
+            Err(e) => return Err(e),
+        },
+    }
+    let mut hi = best.schedule.makespan().max(1);
+    debug_assert!(hi >= lo, "a feasible makespan cannot beat the lower bound");
+
+    // Invariants: `best` realises `hi`; every value below `lo` is
+    // infeasible (by the clique bound, then by oracle "no" answers).
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        stats.search_iterations += 1;
+        match oracle(mid, stats) {
+            Ok(sol) => {
+                hi = sol.schedule.makespan().max(1);
+                debug_assert!(hi <= mid);
+                best = sol;
+            }
+            Err(ScheduleError::Infeasible) => lo = mid + 1,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((best.schedule, best.order, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimesh_emu::EmulationParams;
+    use wimesh_sim::traffic::VoipCodec;
+    use wimesh_topology::generators;
+    use wimesh_topology::NodeId;
+
+    fn mesh(n: usize) -> MeshQos {
+        MeshQos::new(generators::chain(n), EmulationParams::default()).unwrap()
+    }
+
+    fn gateway_calls(n: u32, far: u32) -> Vec<FlowSpec> {
+        (0..n)
+            .map(|i| FlowSpec::voip(i, NodeId(far - (i % 2)), NodeId(0), VoipCodec::G729))
+            .collect()
+    }
+
+    #[test]
+    fn incremental_admits_equal_batch_hop_order() {
+        let mesh = mesh(5);
+        let flows = gateway_calls(3, 4);
+        let batch = mesh.admit(&flows, OrderPolicy::HopOrder).unwrap();
+
+        let mut session = mesh.session(OrderPolicy::HopOrder);
+        for f in &flows {
+            session.admit(f).unwrap();
+        }
+        let snap = session.snapshot();
+        assert_eq!(snap.admitted.len(), batch.admitted.len());
+        assert_eq!(snap.rejected.len(), batch.rejected.len());
+        assert_eq!(snap.guaranteed_slots, batch.guaranteed_slots);
+        // Heuristic orders are deterministic: bit-identical schedules.
+        for (a, b) in snap.admitted.iter().zip(&batch.admitted) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.slots_per_link, b.slots_per_link);
+            assert_eq!(a.worst_case_delay, b.worst_case_delay);
+        }
+        let links_a: Vec<_> = snap.schedule.links().collect();
+        let links_b: Vec<_> = batch.schedule.links().collect();
+        assert_eq!(links_a, links_b);
+        for l in links_a {
+            assert_eq!(snap.schedule.slot_range(l), batch.schedule.slot_range(l));
+        }
+    }
+
+    #[test]
+    fn incremental_admits_equal_batch_exact_milp() {
+        let mesh = mesh(5);
+        let flows = gateway_calls(3, 4);
+        let batch = mesh.admit(&flows, OrderPolicy::ExactMilp).unwrap();
+
+        let mut session = mesh.session(OrderPolicy::ExactMilp);
+        for f in &flows {
+            session.admit(f).unwrap();
+        }
+        let snap = session.snapshot();
+        // Verdicts and the minimal guaranteed region must match the cold
+        // linear search exactly (schedules may be alternate optima).
+        assert_eq!(snap.admitted.len(), batch.admitted.len());
+        assert_eq!(snap.rejected.len(), batch.rejected.len());
+        assert_eq!(snap.guaranteed_slots, batch.guaranteed_slots);
+        snap.schedule
+            .validate(&ConflictGraph::build_for_links(
+                mesh.topology(),
+                snap.schedule.links().collect(),
+                mesh.interference(),
+            ))
+            .expect("session schedule must be conflict-free");
+        for f in &snap.admitted {
+            assert!(f.worst_case_delay <= f.spec.deadline.unwrap());
+        }
+    }
+
+    #[test]
+    fn churn_reuses_warm_state() {
+        let mesh = mesh(5);
+        let flows = gateway_calls(3, 4);
+        let mut session = mesh.session(OrderPolicy::ExactMilp);
+        for f in &flows {
+            assert!(session.admit(f).unwrap().is_admitted());
+        }
+        let calls_after_admits = session.stats().oracle_calls;
+        // Release one flow: the restricted warm order certifies the
+        // remaining set through Bellman-Ford, and the binary search only
+        // spends oracle calls proving minimality below the makespan.
+        assert!(session.release(flows[1].id).unwrap());
+        assert!(session.stats().warm_order_hits >= 1);
+        assert!(session.stats().oracle_calls_saved >= 1);
+        // Re-admit: again warm-startable.
+        assert!(session.admit(&flows[1]).unwrap().is_admitted());
+        let stats = session.stats();
+        assert_eq!(stats.admits, 4);
+        assert_eq!(stats.releases, 1);
+        assert!(stats.incremental_updates > 0, "graph must update in place");
+        assert_eq!(stats.graph_rebuilds, 0);
+        assert!(
+            stats.oracle_calls > calls_after_admits - 1 || stats.oracle_calls_saved >= 2,
+            "churn must be answered by warm state or few oracle calls"
+        );
+        // Final state matches a cold batch over the same sequence
+        // outcome: all still admitted.
+        assert_eq!(session.snapshot().admitted.len(), 3);
+    }
+
+    #[test]
+    fn rejection_rolls_the_graph_back() {
+        let mesh = mesh(3);
+        let mut session = mesh.session(OrderPolicy::HopOrder);
+        // Saturate: 2 Mbit/s flows until one rejects.
+        let mut rejected_at = None;
+        for i in 0..12 {
+            let f = FlowSpec::guaranteed(
+                i,
+                NodeId(2),
+                NodeId(0),
+                2_000_000.0,
+                std::time::Duration::from_millis(200),
+            );
+            if !session.admit(&f).unwrap().is_admitted() {
+                rejected_at = Some(i);
+                break;
+            }
+        }
+        let rejected_at = rejected_at.expect("overload must reject");
+        let admitted = session.snapshot().admitted.len();
+        assert_eq!(admitted as u32, rejected_at);
+        // The schedule is still the last feasible one and further admits
+        // still work (graph rollback left a consistent state).
+        let small = FlowSpec::voip(99, NodeId(2), NodeId(0), VoipCodec::G729);
+        let verdict = session.admit(&small).unwrap();
+        // Whatever the verdict, the snapshot stays consistent.
+        let snap = session.snapshot();
+        assert!(snap.guaranteed_slots <= snap.frame_slots());
+        if verdict.is_admitted() {
+            assert_eq!(snap.admitted.len(), admitted + 1);
+        }
+    }
+
+    #[test]
+    fn release_unknown_flow_is_noop() {
+        let mesh = mesh(4);
+        let mut session = mesh.session(OrderPolicy::HopOrder);
+        assert!(!session.release(FlowId(7)).unwrap());
+        let f = FlowSpec::voip(0, NodeId(3), NodeId(0), VoipCodec::G711);
+        session.admit(&f).unwrap();
+        assert!(!session.release(FlowId(7)).unwrap());
+        assert_eq!(session.snapshot().admitted.len(), 1);
+        assert!(session.release(FlowId(0)).unwrap());
+        assert!(session.snapshot().admitted.is_empty());
+        assert_eq!(session.snapshot().guaranteed_slots, 0);
+    }
+
+    #[test]
+    fn rebalance_restores_cold_state() {
+        let mesh = mesh(5);
+        let flows = gateway_calls(4, 4);
+        let mut session = mesh.session(OrderPolicy::HopOrder);
+        for f in &flows {
+            session.admit(f).unwrap();
+        }
+        session.release(flows[0].id).unwrap();
+        let before = session.snapshot().guaranteed_slots;
+        session.rebalance().unwrap();
+        assert_eq!(session.stats().graph_rebuilds, 1);
+        let snap = session.snapshot();
+        assert_eq!(snap.admitted.len(), 3);
+        assert_eq!(
+            snap.guaranteed_slots, before,
+            "rebalance of a clean session is stable"
+        );
+        // Matches a cold batch admission of the remaining flows.
+        let batch = mesh.admit(&flows[1..], OrderPolicy::HopOrder).unwrap();
+        assert_eq!(snap.guaranteed_slots, batch.guaranteed_slots);
+        assert_eq!(snap.admitted.len(), batch.admitted.len());
+        // The session keeps working after the rebuild.
+        assert!(session.admit(&flows[0]).unwrap().is_admitted());
+    }
+
+    #[test]
+    fn session_rejects_unroutable_and_tight_deadlines() {
+        let mut topo = generators::chain(3);
+        let isolated = topo.add_node();
+        let mesh = MeshQos::new(topo, EmulationParams::default()).unwrap();
+        let mut session = mesh.session(OrderPolicy::HopOrder);
+        let unroutable = FlowSpec::voip(0, isolated, NodeId(0), VoipCodec::G729);
+        assert!(matches!(
+            session.admit(&unroutable).unwrap().rejected(),
+            Some(RejectReason::NoRoute)
+        ));
+        let tight = FlowSpec::guaranteed(
+            1,
+            NodeId(2),
+            NodeId(0),
+            64_000.0,
+            std::time::Duration::from_millis(1),
+        );
+        assert!(matches!(
+            session.admit(&tight).unwrap().rejected(),
+            Some(RejectReason::DeadlineTooTight)
+        ));
+        assert_eq!(session.snapshot().rejected.len(), 2);
+        assert!(session.snapshot().admitted.is_empty());
+    }
+}

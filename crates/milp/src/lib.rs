@@ -46,4 +46,4 @@ mod simplex;
 
 pub use branch::SolverConfig;
 pub use expr::{LinExpr, VarId};
-pub use model::{CmpOp, Model, Sense, Solution, SolveError, VarKind};
+pub use model::{CmpOp, Model, Sense, Solution, SolveError, VarKind, WarmStart};

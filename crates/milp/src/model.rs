@@ -152,6 +152,51 @@ impl Solution {
     }
 }
 
+/// An opaque simplex basis captured from a relaxation solve, reusable to
+/// warm-start the next *structurally identical* relaxation (same bound
+/// finiteness pattern, hence the same standard-form shape).
+///
+/// Staleness is detected by dimension checks at use time; a mismatched
+/// basis is silently ignored, so reuse never affects correctness.
+#[derive(Debug, Clone)]
+pub(crate) struct LpBasis {
+    rows: usize,
+    width: usize,
+    cols: Vec<usize>,
+}
+
+/// A warm-start hint for [`Model::solve_with_warm_start`].
+///
+/// Currently carries an optional *incumbent*: a complete variable
+/// assignment believed to be feasible. A valid incumbent hands branch &
+/// bound an immediate pruning bound, often collapsing the search to a
+/// handful of nodes; an invalid or stale one is checked and dropped, so
+/// hints can speed a solve up but never change its verdict.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    incumbent: Option<Vec<f64>>,
+}
+
+impl WarmStart {
+    /// An empty hint, equivalent to a cold solve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A hint seeding branch & bound with `values` (indexed by
+    /// [`VarId::index`]) as the starting incumbent.
+    pub fn with_incumbent(values: Vec<f64>) -> Self {
+        Self {
+            incumbent: Some(values),
+        }
+    }
+
+    /// The incumbent assignment, if any.
+    pub fn incumbent(&self) -> Option<&[f64]> {
+        self.incumbent.as_deref()
+    }
+}
+
 /// A mixed-integer linear program.
 ///
 /// See the [crate documentation](crate) for a worked example.
@@ -283,6 +328,33 @@ impl Model {
     ///
     /// See [`SolveError`].
     pub fn solve_with(&self, config: &SolverConfig) -> Result<Solution, SolveError> {
+        self.solve_inner(config, None)
+    }
+
+    /// Solves with an explicit configuration and a [`WarmStart`] hint.
+    ///
+    /// Hints are validated before use and silently dropped when stale, so
+    /// the result always has the same verdict (optimal / infeasible /
+    /// unbounded) and objective value as a cold [`Model::solve_with`]; only
+    /// the work spent getting there changes. With alternate optima the
+    /// returned *assignment* may differ from the cold one.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`].
+    pub fn solve_with_warm_start(
+        &self,
+        config: &SolverConfig,
+        warm: &WarmStart,
+    ) -> Result<Solution, SolveError> {
+        self.solve_inner(config, Some(warm))
+    }
+
+    fn solve_inner(
+        &self,
+        config: &SolverConfig,
+        warm: Option<&WarmStart>,
+    ) -> Result<Solution, SolveError> {
         for (i, v) in self.vars.iter().enumerate() {
             if v.lb > v.ub {
                 return Err(SolveError::BadBounds { var: VarId(i) });
@@ -297,7 +369,7 @@ impl Model {
                 bound_gap_open: false,
             })
         } else {
-            branch::branch_and_bound(self, config)
+            branch::branch_and_bound(self, config, warm)
         }
     }
 
@@ -316,6 +388,21 @@ impl Model {
         &self,
         bounds_override: Option<&[(f64, f64)]>,
     ) -> Result<(Vec<f64>, f64), SolveError> {
+        self.solve_relaxation_seeded(bounds_override, None)
+            .map(|(values, obj, _)| (values, obj))
+    }
+
+    /// Like [`Model::solve_relaxation`], optionally warm-started from the
+    /// basis of a previous structurally identical relaxation, and returning
+    /// this solve's final basis for the next one.
+    ///
+    /// A basis whose dimensions no longer match (e.g. branching turned an
+    /// infinite bound finite, changing the standard-form shape) is ignored.
+    pub(crate) fn solve_relaxation_seeded(
+        &self,
+        bounds_override: Option<&[(f64, f64)]>,
+        warm: Option<&LpBasis>,
+    ) -> Result<(Vec<f64>, f64, Option<LpBasis>), SolveError> {
         let n = self.vars.len();
         let bounds: Vec<(f64, f64)> = match bounds_override {
             Some(b) => b.to_vec(),
@@ -494,14 +581,18 @@ impl Model {
 
         let mut cfull = vec![0.0; width];
         cfull[..ncols].copy_from_slice(&c);
+        let nrows = a.len();
         let lp = StandardLp {
             a,
             b,
             c: cfull,
             basis_seed,
         };
-        match simplex::solve(&lp) {
-            SimplexOutcome::Optimal { x, objective } => {
+        let seed = warm
+            .filter(|w| w.rows == nrows && w.width == width)
+            .map(|w| w.cols.as_slice());
+        match simplex::solve_seeded(&lp, seed) {
+            (SimplexOutcome::Optimal { x, objective }, final_basis) => {
                 let mut values = vec![0.0; n];
                 for (i, map) in col_map.iter().enumerate() {
                     values[i] = match *map {
@@ -512,11 +603,16 @@ impl Model {
                 }
                 // Undo the internal minimize sign and add constants.
                 let obj = sign * objective + obj_const;
-                Ok((values, obj))
+                let basis = final_basis.map(|cols| LpBasis {
+                    rows: nrows,
+                    width,
+                    cols,
+                });
+                Ok((values, obj, basis))
             }
-            SimplexOutcome::Infeasible => Err(SolveError::Infeasible),
-            SimplexOutcome::Unbounded => Err(SolveError::Unbounded),
-            SimplexOutcome::IterationLimit => Err(SolveError::IterationLimit),
+            (SimplexOutcome::Infeasible, _) => Err(SolveError::Infeasible),
+            (SimplexOutcome::Unbounded, _) => Err(SolveError::Unbounded),
+            (SimplexOutcome::IterationLimit, _) => Err(SolveError::IterationLimit),
         }
     }
 

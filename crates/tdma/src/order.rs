@@ -112,6 +112,42 @@ impl TransmissionOrder {
     pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), bool)> + '_ {
         self.bits.iter().map(|(&k, &v)| (k, v))
     }
+
+    /// Extracts the decided pairs as `(earlier, later)` link ids — a form
+    /// independent of `graph`'s dense indexing, which survives incremental
+    /// vertex insertion/removal (and the resulting reindexing) where the
+    /// raw `(i, j)` bits would silently refer to different links.
+    ///
+    /// Round-trips through [`TransmissionOrder::from_link_pairs`].
+    pub fn link_pairs(&self, graph: &ConflictGraph) -> Vec<(LinkId, LinkId)> {
+        self.bits
+            .iter()
+            .map(|(&(i, j), &before)| {
+                let (li, lj) = (graph.link_at(i), graph.link_at(j));
+                if before {
+                    (li, lj)
+                } else {
+                    (lj, li)
+                }
+            })
+            .collect()
+    }
+
+    /// Rebuilds an order from [`TransmissionOrder::link_pairs`] output
+    /// against a (possibly reindexed) graph.
+    ///
+    /// Pairs whose links are no longer both vertices of `graph` are
+    /// dropped; conflict edges of `graph` not covered by `pairs` stay
+    /// undecided — check [`TransmissionOrder::covers`] before scheduling.
+    pub fn from_link_pairs(graph: &ConflictGraph, pairs: &[(LinkId, LinkId)]) -> Self {
+        let mut order = Self::new();
+        for &(earlier, later) in pairs {
+            if let (Some(i), Some(j)) = (graph.index_of(earlier), graph.index_of(later)) {
+                order.set(i, j, true);
+            }
+        }
+        order
+    }
 }
 
 /// Random-permutation baseline: a uniformly random total order of the
@@ -280,6 +316,41 @@ mod tests {
         let l10 = topo.link_between(NodeId(1), NodeId(0)).unwrap();
         let l02 = topo.link_between(NodeId(0), NodeId(2)).unwrap();
         assert_eq!(order.link_before(&cg, l10, l02), Some(true));
+    }
+
+    #[test]
+    fn link_pairs_round_trip_survives_reindexing() {
+        let (topo, cg) = chain_graph(6);
+        let path = shortest_path(&topo, NodeId(0), NodeId(5)).unwrap();
+        let order = hop_order(&cg, std::slice::from_ref(&path));
+        let pairs = order.link_pairs(&cg);
+        assert_eq!(pairs.len(), order.decided_count());
+
+        // A graph over the same links built in reverse order: every dense
+        // index changes, but the link-level order must be preserved.
+        let mut rev: Vec<LinkId> = cg.links().to_vec();
+        rev.reverse();
+        let cg2 = ConflictGraph::build_for_links(&topo, rev, InterferenceModel::protocol_default());
+        let restored = TransmissionOrder::from_link_pairs(&cg2, &pairs);
+        assert!(restored.covers(&cg2, |_| true));
+        for (i, j) in cg.edges() {
+            let (a, b) = (cg.link_at(i), cg.link_at(j));
+            assert_eq!(
+                order.link_before(&cg, a, b),
+                restored.link_before(&cg2, a, b),
+                "order flipped for {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_link_pairs_drops_unknown_links() {
+        let (topo, cg) = chain_graph(4);
+        let l01 = topo.link_between(NodeId(0), NodeId(1)).unwrap();
+        let l12 = topo.link_between(NodeId(1), NodeId(2)).unwrap();
+        let order = TransmissionOrder::from_link_pairs(&cg, &[(l01, l12), (LinkId(999), l01)]);
+        assert_eq!(order.decided_count(), 1);
+        assert_eq!(order.link_before(&cg, l01, l12), Some(true));
     }
 
     #[test]

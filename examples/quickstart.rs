@@ -1,5 +1,5 @@
-//! Quickstart: admit VoIP calls on a chain mesh and verify the delay
-//! guarantee in packet simulation.
+//! Quickstart: admit VoIP calls on a chain mesh through a stateful
+//! `QosSession` and verify the delay guarantee in packet simulation.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -10,14 +10,13 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wimesh::{FlowSpec, MeshQos, OrderPolicy};
-use wimesh_emu::EmulationParams;
 use wimesh_sim::traffic::{TrafficSource, VoipCodec, VoipSource};
 use wimesh_topology::generators;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 5-router chain; node 0 is the Internet gateway.
     let topo = generators::chain(5);
-    let mesh = MeshQos::new(topo, EmulationParams::default())?;
+    let mesh = MeshQos::builder(topo).build()?;
     println!(
         "mesh: {} nodes, frame = {}, minislot payload = {} B, efficiency = {:.1}%",
         mesh.topology().node_count(),
@@ -26,22 +25,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mesh.model().efficiency() * 100.0
     );
 
-    // Three VoIP calls toward the gateway.
+    // Three VoIP calls toward the gateway, arriving one at a time at a
+    // long-lived admission session.
     let flows = vec![
         FlowSpec::voip(0, 4.into(), 0.into(), VoipCodec::G711),
         FlowSpec::voip(1, 3.into(), 0.into(), VoipCodec::G711),
         FlowSpec::voip(2, 2.into(), 0.into(), VoipCodec::G729),
     ];
+    let mut session = mesh.session(OrderPolicy::HopOrder);
+    for spec in &flows {
+        let verdict = session.admit(spec)?;
+        match verdict.rejected() {
+            None => println!("  flow {} admitted", spec.id),
+            Some(reason) => println!("  flow {} rejected: {reason:?}", spec.id),
+        }
+    }
 
-    let outcome = mesh.admit(&flows, OrderPolicy::HopOrder)?;
+    // Churn: the middle call hangs up and redials. The session updates
+    // its cached conflict graph incrementally and revalidates the last
+    // feasible transmission order instead of re-solving from scratch.
+    session.release(flows[1].id)?;
+    session.admit(&flows[1])?;
+    let stats = session.stats();
     println!(
-        "\nadmitted {} / {} flows; guaranteed region = {} minislots, best effort keeps {}",
-        outcome.admitted.len(),
+        "\nchurn: {} admits / {} releases handled with {} incremental graph updates \
+         ({} full rebuilds)",
+        stats.admits, stats.releases, stats.incremental_updates, stats.graph_rebuilds
+    );
+
+    let outcome = session.snapshot();
+    println!(
+        "admitted {} / {} flows; guaranteed region = {} minislots, best effort keeps {}",
+        outcome.admitted().len(),
         flows.len(),
         outcome.guaranteed_slots,
         outcome.best_effort_slots()
     );
-    for f in &outcome.admitted {
+    for f in outcome.admitted() {
         println!(
             "  flow {}: {} hops, {} minislots/link, worst-case delay {:.2} ms (deadline {:.0} ms)",
             f.spec.id,
@@ -62,16 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         Box::new(VoipSource::new(codec))
     };
-    let stats = mesh.simulate_tdma(
-        &outcome,
-        make_source,
-        Duration::from_secs(60),
-        200,
-        &mut rng,
-    )?;
+    let stats = mesh.simulate_tdma(outcome, make_source, Duration::from_secs(60), 200, &mut rng)?;
 
     println!("\n60 s packet simulation over the emulated TDMA MAC:");
-    for (f, s) in outcome.admitted.iter().zip(&stats) {
+    for (f, s) in outcome.admitted().iter().zip(&stats) {
         println!(
             "  flow {}: {} pkts, loss {:.2}%, mean delay {:.2} ms, max {:.2} ms (bound {:.2} ms)",
             f.spec.id,

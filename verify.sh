@@ -8,4 +8,6 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
+# API docs must build warning-clean (covers the vendored stand-ins too).
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "verify: all checks passed"
