@@ -38,6 +38,7 @@ fn span_name(id: &str) -> &'static str {
         "e14" => "bench.e14",
         "t10" => "bench.t10",
         "churn" => "bench.churn",
+        "runtime_faults" => "bench.runtime_faults",
         _ => "bench.experiment",
     }
 }
@@ -110,6 +111,7 @@ fn main() -> ExitCode {
     for id in ids {
         println!("\n########## experiment {id} ##########");
         let start = std::time::Instant::now();
+        let started_at = std::time::SystemTime::now();
         let ok = {
             let _span = wimesh_obs::span!(span_name(id));
             match run_experiment(id, &ctx) {
@@ -126,7 +128,17 @@ fn main() -> ExitCode {
         } else {
             failed = true;
         }
-        write_artifact(&ctx, id, ok, wall_s);
+        // Experiments may emit their own richer `BENCH_<id>.json`
+        // (e.g. runtime_faults); don't clobber it with the generic
+        // timing artifact.
+        let own_artifact = ctx.out_dir.join(format!("BENCH_{id}.json"));
+        let wrote_own = std::fs::metadata(&own_artifact)
+            .and_then(|m| m.modified())
+            .map(|t| t >= started_at)
+            .unwrap_or(false);
+        if !wrote_own {
+            write_artifact(&ctx, id, ok, wall_s);
+        }
         if summary {
             println!("{}", wimesh_obs::summary());
         }

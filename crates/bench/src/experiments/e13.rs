@@ -88,7 +88,9 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
                 source: Box::new(VoipSource::new(VoipCodec::G711)),
             })
             .collect();
-        let mut sim = TdmaSimulation::new(*model, &outcome.schedule, tdma_flows, 200)?.with_loss(p);
+        let mut sim = TdmaSimulation::new(*model, &outcome.schedule, tdma_flows, 200)?
+            .with_loss(p)
+            .map_err(|e| BenchError::Other(e.to_string()))?;
         sim.run(sim_time, &mut StdRng::seed_from_u64(13));
         let (mut sent, mut delivered) = (0u64, 0u64);
         let mut p99 = Duration::ZERO;

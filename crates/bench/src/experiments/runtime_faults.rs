@@ -1,0 +1,311 @@
+//! Runtime faults — the distributed per-node runtime under loss,
+//! crash and restart.
+//!
+//! Every other experiment measures the system from the omniscient
+//! solver's seat. This one drops to ground level: `wimesh-node` runs
+//! one actor per router over a fault-injecting message fabric, and the
+//! whole control plane — beacon-flood clock sync, MSH-DSCH slot
+//! negotiation, silence-based failure detection, QoS-session schedule
+//! repair — happens over lossy radio messages. Per loss rate the
+//! scenario plays four phases:
+//!
+//! 1. **cold start** — nodes beacon-sync and reserve slots for the
+//!    admitted flows; measures time-to-sync and time-to-converge;
+//! 2. **crash** — a relay an admitted flow transits dies; measures the
+//!    gateway's detection latency and the schedule-repair latency
+//!    (release + detour re-admission + over-the-air re-reservation);
+//! 3. **steady state** — the repaired schedule must show **zero**
+//!    collisions while the surviving nodes' mutual clock error stays
+//!    within the guard time (the paper's central invariant);
+//! 4. **restart** — the relay returns, resyncs and is folded back in.
+//!
+//! Writes `results/runtime_faults.csv` and the acceptance artifact
+//! `results/BENCH_runtime_faults.json`. Counters flow through
+//! `wimesh-obs` under the `node.*` namespace.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wimesh::sim::traffic::VoipCodec;
+use wimesh::{FlowSpec, MeshQos, OrderPolicy};
+use wimesh_emu::{EmulationModel, EmulationParams};
+use wimesh_node::{
+    FabricConfig, LossModel, MeshRuntime, RepairController, RuntimeConfig, SegmentReport,
+};
+use wimesh_obs::sink::NoopSink;
+use wimesh_topology::{generators, NodeId};
+
+use crate::{BenchError, Ctx, Table};
+
+/// Everything one loss-rate scenario produces.
+struct ScenarioResult {
+    loss: f64,
+    cold: SegmentReport,
+    crash: SegmentReport,
+    steady: SegmentReport,
+    restartd: SegmentReport,
+    repaired_flows: u64,
+}
+
+fn ms(d: Option<Duration>) -> f64 {
+    d.map_or(f64::NAN, |d| d.as_secs_f64() * 1e3)
+}
+
+/// Plays the four-phase fault scenario at one loss rate.
+fn run_scenario(
+    loss: f64,
+    seed: u64,
+    quick: bool,
+    model: &EmulationModel,
+) -> Result<ScenarioResult, BenchError> {
+    let side = if quick { 3 } else { 4 };
+    let topo = generators::grid(side, side);
+
+    // The gateway admits VoIP flows from the far corners inward.
+    let mesh = MeshQos::builder(topo.clone()).build()?;
+    let mut controller = RepairController::new(mesh.session(OrderPolicy::HopOrder));
+    let n = topo.node_count() as u32;
+    let sources = [n - 1, n - side as u32];
+    for (i, src) in sources.into_iter().enumerate() {
+        let spec = FlowSpec::voip(i as u32, NodeId(src), NodeId(0), VoipCodec::G729);
+        if !controller.session_mut().admit(&spec)?.is_admitted() {
+            return Err(BenchError::Other(format!(
+                "seed flow {src}->0 was rejected on the {side}x{side} grid"
+            )));
+        }
+    }
+
+    let loss_model = if loss > 0.0 {
+        LossModel::Bernoulli { p: loss }
+    } else {
+        LossModel::None
+    };
+    let config = RuntimeConfig {
+        fabric: FabricConfig {
+            default_loss: loss_model,
+            ..FabricConfig::default()
+        },
+        seed,
+        ..RuntimeConfig::default()
+    };
+    let mut rt =
+        MeshRuntime::new(topo, *model, config).map_err(|e| BenchError::Other(e.to_string()))?;
+    rt.attach_controller(controller);
+
+    let (warmup, react, steady_dur) = if quick {
+        (
+            Duration::from_secs(5),
+            Duration::from_secs(10),
+            Duration::from_secs(3),
+        )
+    } else {
+        (
+            Duration::from_secs(10),
+            Duration::from_secs(15),
+            Duration::from_secs(5),
+        )
+    };
+
+    // Phase 1: cold start.
+    let cold = rt.run_for(warmup);
+    if !cold.converged {
+        return Err(BenchError::Other(format!(
+            "cold start did not converge at loss {loss}"
+        )));
+    }
+
+    // Phase 2: crash a relay an admitted flow actually transits.
+    let relay = rt
+        .controller()
+        .expect("attached")
+        .session()
+        .snapshot()
+        .admitted()[0]
+        .path
+        .nodes()[1];
+    rt.crash(relay);
+    let crash = rt.run_for(react);
+
+    // Phase 3: steady state after repair.
+    let steady = rt.run_for(steady_dur);
+
+    // Phase 4: the relay returns.
+    rt.restart(relay);
+    let restartd = rt.run_for(react);
+
+    let repaired_flows = crash.reservations_repaired + restartd.reservations_repaired;
+    Ok(ScenarioResult {
+        loss,
+        cold,
+        crash,
+        steady,
+        restartd,
+        repaired_flows,
+    })
+}
+
+/// Serialises the acceptance artifact
+/// (`results/BENCH_runtime_faults.json`).
+fn artifact_json(results: &[ScenarioResult], guard: Duration, quick: bool) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\"experiment\":\"runtime_faults\",\"ok\":true,\"quick\":");
+    out.push_str(if quick { "true" } else { "false" });
+    out.push_str(",\"guard_time_us\":");
+    wimesh_obs::json::push_f64(&mut out, guard.as_secs_f64() * 1e6);
+    out.push_str(",\"scenarios\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"loss\":");
+        wimesh_obs::json::push_f64(&mut out, r.loss);
+        out.push_str(",\"time_to_sync_ms\":");
+        wimesh_obs::json::push_f64(&mut out, ms(r.cold.time_to_sync));
+        out.push_str(",\"time_to_converge_ms\":");
+        wimesh_obs::json::push_f64(&mut out, ms(r.cold.time_to_converge));
+        out.push_str(",\"detection_latency_ms\":");
+        wimesh_obs::json::push_f64(&mut out, ms(r.crash.detection_latency));
+        out.push_str(",\"repair_converge_ms\":");
+        wimesh_obs::json::push_f64(&mut out, ms(r.crash.time_to_converge));
+        out.push_str(",\"resync_after_restart_ms\":");
+        wimesh_obs::json::push_f64(&mut out, ms(r.restartd.time_to_sync));
+        out.push_str(&format!(
+            ",\"reservations_repaired\":{},\"beacons_sent\":{},\"beacons_lost\":{},\
+             \"dsch_sent\":{},\"dsch_lost\":{},\"rerequests\":{}",
+            r.repaired_flows,
+            r.cold.beacons_sent
+                + r.crash.beacons_sent
+                + r.steady.beacons_sent
+                + r.restartd.beacons_sent,
+            r.cold.beacons_lost
+                + r.crash.beacons_lost
+                + r.steady.beacons_lost
+                + r.restartd.beacons_lost,
+            r.cold.dsch_sent + r.crash.dsch_sent + r.steady.dsch_sent + r.restartd.dsch_sent,
+            r.cold.dsch_lost + r.crash.dsch_lost + r.steady.dsch_lost + r.restartd.dsch_lost,
+            r.cold.rerequests + r.crash.rerequests + r.steady.rerequests + r.restartd.rerequests,
+        ));
+        out.push_str(&format!(
+            ",\"collisions_cold\":{},\"collisions_steady\":{},\"collisions_total\":{}",
+            r.cold.collisions,
+            r.steady.collisions,
+            r.cold.collisions + r.crash.collisions + r.steady.collisions + r.restartd.collisions,
+        ));
+        out.push_str(",\"max_mutual_error_us\":");
+        let max_err = r
+            .cold
+            .max_mutual_error
+            .max(r.crash.max_mutual_error)
+            .max(r.steady.max_mutual_error)
+            .max(r.restartd.max_mutual_error);
+        wimesh_obs::json::push_f64(&mut out, max_err.as_secs_f64() * 1e6);
+        out.push_str(&format!(
+            ",\"within_guard\":{},\"reconverged\":{}}}",
+            max_err <= guard,
+            r.steady.converged && r.restartd.converged,
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Runs the fault-injection sweep.
+///
+/// # Errors
+///
+/// Propagates admission/runtime failures, a convergence failure, any
+/// collision while mutual clock error stayed within the guard time, and
+/// artifact write failures.
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    if !wimesh_obs::is_enabled() {
+        wimesh_obs::install(Arc::new(NoopSink));
+    }
+
+    let model = EmulationModel::new(EmulationParams::default())?;
+    let guard = model.guard_time();
+    let losses: &[f64] = if ctx.quick {
+        &[0.0, 0.05]
+    } else {
+        &[0.0, 0.05, 0.10]
+    };
+
+    let mut results = Vec::with_capacity(losses.len());
+    for (i, &loss) in losses.iter().enumerate() {
+        results.push(run_scenario(loss, 100 + i as u64, ctx.quick, &model)?);
+    }
+
+    let mut table = Table::new(
+        "Runtime faults: detection, repair and collision-freedom vs loss",
+        &[
+            "loss",
+            "sync_ms",
+            "converge_ms",
+            "detect_ms",
+            "repair_ms",
+            "repaired",
+            "collisions",
+            "max_err_us",
+            "guard_us",
+        ],
+    );
+    for r in &results {
+        let max_err = r
+            .cold
+            .max_mutual_error
+            .max(r.crash.max_mutual_error)
+            .max(r.steady.max_mutual_error)
+            .max(r.restartd.max_mutual_error);
+        table.row_strings(vec![
+            format!("{:.0}%", r.loss * 100.0),
+            format!("{:.1}", ms(r.cold.time_to_sync)),
+            format!("{:.1}", ms(r.cold.time_to_converge)),
+            format!("{:.1}", ms(r.crash.detection_latency)),
+            format!("{:.1}", ms(r.crash.time_to_converge)),
+            r.repaired_flows.to_string(),
+            (r.cold.collisions + r.crash.collisions + r.steady.collisions + r.restartd.collisions)
+                .to_string(),
+            format!("{:.2}", max_err.as_secs_f64() * 1e6),
+            format!("{:.2}", guard.as_secs_f64() * 1e6),
+        ]);
+    }
+    table.print();
+    ctx.write_csv("runtime_faults", &table)?;
+
+    // The paper's invariant: while every pair of transmitters is
+    // mutually synchronised within the guard time, the TDMA schedule
+    // must be collision-free — fault injection or not.
+    for r in &results {
+        let max_err = r
+            .cold
+            .max_mutual_error
+            .max(r.crash.max_mutual_error)
+            .max(r.steady.max_mutual_error)
+            .max(r.restartd.max_mutual_error);
+        let collisions =
+            r.cold.collisions + r.crash.collisions + r.steady.collisions + r.restartd.collisions;
+        if max_err <= guard && collisions != 0 {
+            return Err(BenchError::Other(format!(
+                "loss {}: {collisions} collisions despite mutual error {:?} <= guard {:?}",
+                r.loss, max_err, guard
+            )));
+        }
+        if r.crash.detection_latency.is_none() {
+            return Err(BenchError::Other(format!(
+                "loss {}: the gateway never detected the crash",
+                r.loss
+            )));
+        }
+        if r.repaired_flows == 0 {
+            return Err(BenchError::Other(format!(
+                "loss {}: no reservations were repaired after the crash",
+                r.loss
+            )));
+        }
+    }
+
+    std::fs::create_dir_all(&ctx.out_dir)?;
+    let artifact = ctx.out_dir.join("BENCH_runtime_faults.json");
+    std::fs::write(&artifact, artifact_json(&results, guard, ctx.quick))?;
+    println!("  -> {}", artifact.display());
+    Ok(())
+}

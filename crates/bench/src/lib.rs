@@ -115,8 +115,23 @@ impl Ctx {
 
 /// All experiment ids in run order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "t10", "e10", "e11", "e12", "e13", "e14",
+    "e1",
+    "e2",
+    "e3",
+    "e4",
+    "e5",
+    "e6",
+    "e7",
+    "e8",
+    "e9",
+    "t10",
+    "e10",
+    "e11",
+    "e12",
+    "e13",
+    "e14",
     "churn",
+    "runtime_faults",
 ];
 
 /// Runs one experiment by id.
@@ -142,6 +157,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Result<(), BenchError> {
         "e14" => experiments::e14::run(ctx),
         "t10" => experiments::t10::run(ctx),
         "churn" => experiments::churn::run(ctx),
+        "runtime_faults" => experiments::runtime_faults::run(ctx),
         other => Err(BenchError::Other(format!("unknown experiment id: {other}"))),
     }
 }

@@ -209,9 +209,41 @@ impl QosSession {
     /// solver failures other than plain infeasibility (which is a
     /// [`FlowAdmission::Rejected`] verdict, not an error).
     pub fn admit(&mut self, spec: &FlowSpec) -> Result<FlowAdmission, QosError> {
+        let path = shortest_path(self.mesh.topology(), spec.src, spec.dst).ok();
+        self.admit_on(spec, path)
+    }
+
+    /// Tries to admit one flow on an explicitly chosen route instead of
+    /// the shortest-hop one — the repair path: when part of the mesh is
+    /// down, the caller routes around it and admits the detour, while
+    /// [`QosSession::admit`] would still happily route through the dead
+    /// zone (the session's topology is the full mesh).
+    ///
+    /// The path must run from `spec.src` to `spec.dst`; admission
+    /// semantics are otherwise identical to [`QosSession::admit`].
+    ///
+    /// # Errors
+    ///
+    /// [`QosError::Config`] when the path's endpoints do not match the
+    /// flow; otherwise as for [`QosSession::admit`].
+    pub fn admit_via(&mut self, spec: &FlowSpec, path: Path) -> Result<FlowAdmission, QosError> {
+        let nodes = path.nodes();
+        if nodes.first() != Some(&spec.src) || nodes.last() != Some(&spec.dst) {
+            return Err(QosError::Config(format!(
+                "path endpoints do not match flow {}: path runs {:?} -> {:?}, flow {} -> {}",
+                spec.id,
+                nodes.first(),
+                nodes.last(),
+                spec.src,
+                spec.dst
+            )));
+        }
+        self.admit_on(spec, Some(path))
+    }
+
+    fn admit_on(&mut self, spec: &FlowSpec, path: Option<Path>) -> Result<FlowAdmission, QosError> {
         let _span = wimesh_obs::span!("session.admit");
         self.stats.admits += 1;
-        let path = shortest_path(self.mesh.topology(), spec.src, spec.dst).ok();
         let candidate = match admission::vet_flow(
             self.mesh.model(),
             self.mesh.link_payloads(),

@@ -113,4 +113,46 @@ mod tests {
         let b = DriftClock::error_bound(Duration::ZERO, -20.0, Duration::from_secs(2));
         assert_eq!(b, Duration::from_micros(40));
     }
+
+    #[test]
+    fn error_bound_at_zero_drift_is_the_residual() {
+        // With a perfect oscillator the only error is the sync residual,
+        // no matter how long the node goes without a beacon.
+        let residual = Duration::from_micros(3);
+        for secs in [0, 1, 3600] {
+            assert_eq!(
+                DriftClock::error_bound(residual, 0.0, Duration::from_secs(secs)),
+                residual
+            );
+        }
+        assert_eq!(
+            DriftClock::error_bound(Duration::ZERO, 0.0, Duration::from_secs(10)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn resync_after_long_outage_recovers() {
+        // A node that missed beacons for a long stretch accumulates error
+        // way past the usual bound, but a single successful sync snaps it
+        // back to the residual — the property the runtime's
+        // failure-detection path depends on.
+        let mut c = DriftClock::new(20.0);
+        let outage_end = SimTime::from_secs(120); // 240 missed 500 ms beacons
+        let drifted = c.error_at(outage_end).abs();
+        assert!(
+            drifted > 2_000_000.0,
+            "2 min at 20 ppm = 2.4 ms, got {drifted}"
+        );
+        // The error never exceeds the bound parameterised by the outage.
+        let bound = DriftClock::error_bound(Duration::ZERO, 20.0, Duration::from_secs(120));
+        assert!(Duration::from_nanos(drifted.ceil() as u64) <= bound);
+
+        c.sync_at(outage_end, 2_000.0);
+        assert!((c.error_at(outage_end) - 2_000.0).abs() < 1.0);
+        // Drift then re-accumulates from the fresh origin at the usual rate.
+        let next = outage_end + Duration::from_millis(500);
+        let err = c.error_at(next);
+        assert!((err - (2_000.0 + 10_000.0)).abs() < 5.0, "err {err}");
+    }
 }

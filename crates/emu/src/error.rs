@@ -28,6 +28,9 @@ pub enum EmuError {
     },
     /// A flow's path uses a link absent from the schedule.
     UnscheduledLink,
+    /// An invalid simulation or fabric configuration (e.g. a loss
+    /// probability outside `[0, 1]`).
+    Config(String),
 }
 
 impl fmt::Display for EmuError {
@@ -45,6 +48,7 @@ impl fmt::Display for EmuError {
             EmuError::UnscheduledLink => {
                 write!(f, "a flow path uses a link with no scheduled slots")
             }
+            EmuError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

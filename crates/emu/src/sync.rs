@@ -194,6 +194,57 @@ mod tests {
     }
 
     #[test]
+    fn depth_zero_bounds_degrade_to_one_hop() {
+        // Depth 0 is the gateway itself (or an unreachable node): the
+        // bound still charges one hop of stamping error so it never
+        // reports an impossible zero for a node that does sync over the
+        // air. It must match depth 1 exactly and double into the mutual
+        // bound.
+        let p = params(20.0, 500);
+        assert_eq!(node_error_bound(&p, 0), node_error_bound(&p, 1));
+        assert_eq!(mutual_error_bound(&p, 0), 2 * node_error_bound(&p, 0));
+        assert!(node_error_bound(&p, 0) > Duration::ZERO);
+        // Even with a perfect oscillator the stamping error remains.
+        let perfect = ClockParams {
+            drift_ppm: 0.0,
+            ..params(0.0, 500)
+        };
+        assert_eq!(node_error_bound(&perfect, 0), perfect.timestamp_error);
+    }
+
+    #[test]
+    fn resync_after_long_outage_stays_within_outage_bound() {
+        // Model a beacon outage as one very long resync interval: the
+        // observed error right before the late beacon must respect the
+        // bound parameterised by the outage length, and the next sample
+        // after the beacon must be back inside the normal bound.
+        let topo = generators::chain(4);
+        let routing = GatewayRouting::new(&topo, NodeId(0)).unwrap();
+        let outage = params(30.0, 10_000); // 10 s without beacons
+        let late = simulate(
+            &topo,
+            &routing,
+            &outage,
+            Duration::from_secs(10),
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert!(late.max_mutual_error <= mutual_error_bound(&outage, 3));
+        // The outage error dwarfs the normal-interval bound...
+        let normal = params(30.0, 200);
+        assert!(late.max_mutual_error > mutual_error_bound(&normal, 3));
+        // ...but once beacons flow at the normal cadence again the error
+        // returns inside the normal bound (same drift draws: same seed).
+        let recovered = simulate(
+            &topo,
+            &routing,
+            &normal,
+            Duration::from_secs(10),
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert!(recovered.max_mutual_error <= mutual_error_bound(&normal, 3));
+    }
+
+    #[test]
     fn perfect_clocks_zero_error() {
         let topo = generators::chain(4);
         let routing = GatewayRouting::new(&topo, NodeId(0)).unwrap();

@@ -168,16 +168,19 @@ impl TdmaSimulation {
     /// the simulation (builder style). A corrupted transmission keeps the
     /// packet at the head of its queue for the next minislot.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `p` is not within `[0, 1)`.
-    pub fn with_loss(mut self, p: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&p),
-            "loss probability must be in [0, 1)"
-        );
+    /// [`EmuError::Config`] if `p` is not a finite probability in
+    /// `[0, 1)` (a loss probability of exactly 1 would starve every
+    /// queue forever — reject it rather than simulate a dead channel).
+    pub fn with_loss(mut self, p: f64) -> Result<Self, EmuError> {
+        if !p.is_finite() || !(0.0..1.0).contains(&p) {
+            return Err(EmuError::Config(format!(
+                "loss probability must be in [0, 1), got {p}"
+            )));
+        }
         self.loss_probability = p;
-        self
+        Ok(self)
     }
 
     /// Reserved minislots that went unused across all runs so far: the
@@ -515,7 +518,7 @@ mod tests {
         };
         let lossy = {
             let (sim, _) = chain_sim(4, 2);
-            let mut sim = sim.with_loss(0.10);
+            let mut sim = sim.with_loss(0.10).unwrap();
             sim.run(Duration::from_secs(20), &mut StdRng::seed_from_u64(8));
             (
                 sim.flow_stats(0).delivered(),
@@ -527,10 +530,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "loss probability")]
     fn invalid_loss_probability_rejected() {
-        let (sim, _) = chain_sim(3, 1);
-        let _ = sim.with_loss(1.5);
+        for bad in [1.5, -0.1, 1.0, f64::NAN, f64::INFINITY] {
+            let (sim, _) = chain_sim(3, 1);
+            let err = match sim.with_loss(bad) {
+                Ok(_) => panic!("loss probability {bad} accepted"),
+                Err(e) => e,
+            };
+            assert!(
+                matches!(&err, EmuError::Config(msg) if msg.contains("loss probability")),
+                "expected Config error for {bad}, got {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * **Distributed coordinated scheduling** ([`reservation`]): the
 //!   three-way MSH-DSCH handshake (request → grant → grant-confirm) that
 //!   reserves data minislots hop by hop and converges to a conflict-free
-//!   TDMA schedule without a central scheduler.
+//!   TDMA schedule without a central scheduler. The per-node protocol
+//!   endpoint it drives, [`protocol::DschNode`], is public so runtimes
+//!   with real message loss (`wimesh-node`) can run the same state
+//!   machines over their own fabric.
 //! * **Centralized coordinated scheduling** ([`csch`]): the MSH-CSCH
 //!   request/grant cycle over the routing tree, with the schedule derived
 //!   deterministically at every node.
@@ -27,6 +30,7 @@
 pub mod csch;
 pub mod election;
 pub mod entry;
+pub mod protocol;
 pub mod reservation;
 
 mod dsch;

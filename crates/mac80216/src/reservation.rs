@@ -19,14 +19,20 @@
 //! deterministically — the lower link id keeps the slots, the other side
 //! broadcasts a **cancel** and its transmitter re-requests. Experiment E8
 //! measures how often this happens and how fast the protocol converges.
+//!
+//! The per-node state machine lives in [`crate::protocol::DschNode`];
+//! [`run_distributed`] is a lossless synchronous driver over one
+//! `DschNode` per router (every broadcast reaches every radio neighbour
+//! in the same opportunity). The `wimesh-node` runtime drives the same
+//! endpoints through a lossy, delayed message fabric.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
-use wimesh_tdma::{Demands, FrameConfig, Schedule, ScheduleError, SlotRange};
-use wimesh_topology::{Link, LinkId, MeshTopology, NodeId};
+use wimesh_tdma::{Demands, FrameConfig, Schedule, ScheduleError};
+use wimesh_topology::{MeshTopology, NodeId};
 
-use crate::dsch::{DschMessage, GrantFix, Request};
 use crate::election::MeshElection;
+use crate::protocol::DschNode;
 
 /// Parameters of a distributed scheduling run.
 #[derive(Debug, Clone, Copy)]
@@ -62,75 +68,6 @@ pub struct ReservationOutcome {
     pub messages_sent: u64,
     /// Handshakes that restarted (stale grants or slot collisions).
     pub retries: u64,
-}
-
-#[derive(Debug, Default)]
-struct NodeState {
-    /// Demands this node must reserve (it is the links' transmitter).
-    my_demands: BTreeMap<LinkId, u32>,
-    /// Confirmed reservations of this node's own links.
-    confirmed: BTreeMap<LinkId, SlotRange>,
-    /// Every reservation (tentative or confirmed) this node knows about.
-    known: BTreeMap<LinkId, SlotRange>,
-    /// Outgoing information elements awaiting a won opportunity.
-    pending: DschMessage,
-    /// Requests this node could not grant yet for lack of free slots.
-    waiting_grants: VecDeque<Request>,
-}
-
-impl NodeState {
-    fn busy_ranges(&self) -> Vec<SlotRange> {
-        self.known.values().copied().collect()
-    }
-
-    fn is_range_free(&self, range: SlotRange, except: LinkId) -> bool {
-        self.known
-            .iter()
-            .all(|(&l, r)| l == except || !r.overlaps(&range))
-    }
-
-    /// First-fit free range of `len` slots within `slots`, avoiding both
-    /// this node's known reservations (except `link`'s own) and the
-    /// `extra` busy list from the requester's availability IE.
-    fn first_fit(
-        &self,
-        len: u32,
-        slots: u32,
-        link: LinkId,
-        extra: &[SlotRange],
-    ) -> Option<SlotRange> {
-        if len == 0 || len > slots {
-            return None;
-        }
-        let mut start = 0u32;
-        'outer: while start + len <= slots {
-            let candidate = SlotRange::new(start, len);
-            for (&l, r) in &self.known {
-                if l != link && r.overlaps(&candidate) {
-                    start = r.end();
-                    continue 'outer;
-                }
-            }
-            for r in extra {
-                if r.overlaps(&candidate) {
-                    start = r.end();
-                    continue 'outer;
-                }
-            }
-            return Some(candidate);
-        }
-        None
-    }
-
-    fn enqueue_request(&mut self, link: LinkId, demand: u32) {
-        // One outstanding request per link: a duplicate would provoke a
-        // second grant and pointless churn.
-        if self.pending.requests.iter().any(|r| r.link == link) {
-            return;
-        }
-        let busy = self.busy_ranges();
-        self.pending.requests.push(Request { link, demand, busy });
-    }
 }
 
 /// Runs the distributed three-way-handshake protocol until every demanded
@@ -178,24 +115,25 @@ pub fn run_distributed(
     }
 
     let election = MeshElection::new(topo);
-    let mut nodes: Vec<NodeState> = (0..topo.node_count())
-        .map(|_| NodeState::default())
+    let mut nodes: Vec<DschNode> = (0..topo.node_count())
+        .map(|i| DschNode::new(NodeId(i as u32)))
         .collect();
     for (link, d) in demands.iter() {
+        if d == 0 {
+            continue;
+        }
         let tx = topo.link(link).expect("checked").tx;
-        nodes[tx.index()].my_demands.insert(link, d);
-        nodes[tx.index()].enqueue_request(link, d);
+        nodes[tx.index()].set_demand(topo, link, d);
     }
 
     let mut messages_sent = 0u64;
-    let mut retries = 0u64;
     let mut opportunity = 0u32;
     let budget = config
         .max_frames
         .saturating_mul(config.opportunities_per_frame);
 
     let converged = loop {
-        if all_confirmed(&nodes) {
+        if nodes.iter().all(DschNode::is_satisfied) {
             break true;
         }
         if opportunity >= budget {
@@ -204,17 +142,12 @@ pub fn run_distributed(
         let winners: Vec<NodeId> = election
             .winners(opportunity)
             .into_iter()
-            .filter(|n| {
-                let st = &nodes[n.index()];
-                !st.pending.is_empty() || !st.waiting_grants.is_empty()
-            })
+            .filter(|n| nodes[n.index()].has_pending_traffic())
             .collect();
         for &sender in &winners {
-            retry_waiting_grants(topo, &mut nodes[sender.index()], slots);
-            let msg = std::mem::take(&mut nodes[sender.index()].pending);
-            if msg.is_empty() {
+            let Some(msg) = nodes[sender.index()].poll(topo, slots) else {
                 continue;
-            }
+            };
             messages_sent += 1;
             #[cfg(test)]
             if std::env::var("WIMESH_TRACE").is_ok() {
@@ -222,7 +155,7 @@ pub fn run_distributed(
             }
             let hearers: Vec<NodeId> = topo.neighbors(sender).collect();
             for w in hearers {
-                process_message(topo, &mut nodes, w, &msg, slots, &mut retries);
+                nodes[w.index()].receive(topo, &msg, slots);
             }
         }
         opportunity += 1;
@@ -230,7 +163,7 @@ pub fn run_distributed(
 
     let mut ranges = BTreeMap::new();
     for st in &nodes {
-        for (&link, &range) in &st.confirmed {
+        for (&link, &range) in st.confirmed() {
             ranges.insert(link, range);
         }
     }
@@ -241,188 +174,8 @@ pub fn run_distributed(
         converged,
         frames_elapsed,
         messages_sent,
-        retries,
+        retries: nodes.iter().map(DschNode::retries).sum(),
     })
-}
-
-/// Converged means every demand is confirmed *and* no corrective or
-/// handshake messages are still waiting to be broadcast — a pending cancel
-/// can revoke an apparently complete schedule.
-fn all_confirmed(nodes: &[NodeState]) -> bool {
-    nodes.iter().all(|st| {
-        st.pending.is_empty() && st.my_demands.keys().all(|l| st.confirmed.contains_key(l))
-    })
-}
-
-fn retry_waiting_grants(topo: &MeshTopology, st: &mut NodeState, slots: u32) {
-    let waiting = std::mem::take(&mut st.waiting_grants);
-    for req in waiting {
-        // A link that got reserved through a retried handshake no longer
-        // needs this deferred grant.
-        if st.known.contains_key(&req.link) {
-            continue;
-        }
-        match st.first_fit(req.demand, slots, req.link, &req.busy) {
-            Some(range) => {
-                st.known.insert(req.link, range);
-                let l = topo.link(req.link).expect("validated");
-                st.pending.grants.push(GrantFix {
-                    link: req.link,
-                    tx: l.tx,
-                    rx: l.rx,
-                    range,
-                });
-            }
-            None => st.waiting_grants.push_back(req),
-        }
-    }
-}
-
-fn process_message(
-    topo: &MeshTopology,
-    nodes: &mut [NodeState],
-    me: NodeId,
-    msg: &DschMessage,
-    slots: u32,
-    retries: &mut u64,
-) {
-    // Cancels first: a cancel and a fresh request for the same link may
-    // share a message, and the cancel refers to the older reservation.
-    for c in &msg.cancels {
-        let st = &mut nodes[me.index()];
-        if st.known.get(&c.link) == Some(&c.range) {
-            st.known.remove(&c.link);
-        }
-        // Drop any queued grant/confirm for the cancelled reservation.
-        st.pending
-            .grants
-            .retain(|g| !(g.link == c.link && g.range == c.range));
-        st.pending
-            .confirms
-            .retain(|x| !(x.link == c.link && x.range == c.range));
-        if c.tx == me {
-            if st.confirmed.get(&c.link) == Some(&c.range) {
-                st.confirmed.remove(&c.link);
-            }
-            // Whether the cancel killed a confirmed reservation or a
-            // handshake that never completed (its grant was purged before
-            // broadcast), the transmitter must start over.
-            if !st.confirmed.contains_key(&c.link) {
-                if let Some(&d) = st.my_demands.get(&c.link) {
-                    *retries += 1;
-                    st.enqueue_request(c.link, d);
-                }
-            }
-        }
-    }
-    // Requests: grant if I am the link's receiver.
-    for req in &msg.requests {
-        let l = *topo.link(req.link).expect("validated");
-        if l.rx != me {
-            continue;
-        }
-        let st = &mut nodes[me.index()];
-        match st.first_fit(req.demand, slots, req.link, &req.busy) {
-            Some(range) => {
-                st.known.insert(req.link, range);
-                st.pending.grants.push(GrantFix {
-                    link: req.link,
-                    tx: l.tx,
-                    rx: l.rx,
-                    range,
-                });
-            }
-            None => st.waiting_grants.push_back(req.clone()),
-        }
-    }
-    // Grants: accept if I am the requester, otherwise record.
-    for g in &msg.grants {
-        if g.tx == me {
-            let st = &mut nodes[me.index()];
-            if st.is_range_free(g.range, g.link) {
-                st.known.insert(g.link, g.range);
-                st.confirmed.insert(g.link, g.range);
-                st.pending.confirms.push(*g);
-            } else {
-                // Stale grant: restart with fresh availability.
-                *retries += 1;
-                if let Some(&d) = st.my_demands.get(&g.link) {
-                    st.enqueue_request(g.link, d);
-                }
-            }
-        } else {
-            hear_reservation(topo, nodes, me, g.link, g.range, retries);
-        }
-    }
-    // Confirms from others: record.
-    for c in &msg.confirms {
-        if c.tx != me {
-            hear_reservation(topo, nodes, me, c.link, c.range, retries);
-        }
-    }
-}
-
-/// Whether two links cannot share minislots under the 1-hop protocol
-/// interference model.
-fn links_conflict(topo: &MeshTopology, a: &Link, b: &Link) -> bool {
-    a.shares_endpoint(b) || within_one_hop(topo, a.tx, b.rx) || within_one_hop(topo, b.tx, a.rx)
-}
-
-/// Records a reservation heard from a neighbour and resolves collisions
-/// with reservations this node is an endpoint of (lower link id wins).
-fn hear_reservation(
-    topo: &MeshTopology,
-    nodes: &mut [NodeState],
-    me: NodeId,
-    link: LinkId,
-    range: SlotRange,
-    retries: &mut u64,
-) {
-    let st = &mut nodes[me.index()];
-    st.known.insert(link, range);
-    let incoming = *topo.link(link).expect("validated");
-    let colliding: Vec<(LinkId, SlotRange)> = st
-        .known
-        .iter()
-        .map(|(&l, &r)| (l, r))
-        .filter(|&(l, r)| l != link && r.overlaps(&range))
-        .collect();
-    for (l, r) in colliding {
-        let mine = *topo.link(l).expect("validated");
-        if !links_conflict(topo, &mine, &incoming) {
-            continue;
-        }
-        // Only an endpoint of `l` has the authority (and the knowledge)
-        // to revoke it; bystanders merely record both.
-        let i_am_endpoint = mine.tx == me || mine.rx == me;
-        if !i_am_endpoint {
-            continue;
-        }
-        if u32::from(l) > u32::from(link) {
-            // Our reservation yields. Purge any not-yet-broadcast grant or
-            // confirm for it — a stale grant leaving this queue *after*
-            // the cancel would resurrect the collision.
-            st.known.remove(&l);
-            st.pending.grants.retain(|g| g.link != l);
-            st.pending.confirms.retain(|c| c.link != l);
-            st.pending.cancels.push(GrantFix {
-                link: l,
-                tx: mine.tx,
-                rx: mine.rx,
-                range: r,
-            });
-            if mine.tx == me && st.confirmed.remove(&l).is_some() {
-                *retries += 1;
-                if let Some(&d) = st.my_demands.get(&l) {
-                    st.enqueue_request(l, d);
-                }
-            }
-        }
-    }
-}
-
-fn within_one_hop(topo: &MeshTopology, a: NodeId, b: NodeId) -> bool {
-    a == b || topo.link_between(a, b).is_some()
 }
 
 #[cfg(test)]

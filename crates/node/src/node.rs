@@ -1,0 +1,109 @@
+//! One mesh router: clock, control-plane endpoint and neighbour watch.
+//!
+//! A [`MeshNode`] owns everything a real node would keep in RAM — its
+//! drifting oscillator ([`DriftClock`]), its MSH-DSCH protocol endpoint
+//! ([`DschNode`]), the last beacon it accepted, and a liveness watch
+//! over its radio neighbours. It never reads another node's state; the
+//! [`crate::MeshRuntime`] only feeds it frames that actually survived
+//! the fabric.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wimesh_emu::DriftClock;
+use wimesh_mac80216::protocol::DschNode;
+use wimesh_sim::SimTime;
+use wimesh_topology::NodeId;
+
+/// Per-router state of the distributed runtime.
+#[derive(Debug, Clone)]
+pub struct MeshNode {
+    id: NodeId,
+    /// The node's local oscillator.
+    pub(crate) clock: DriftClock,
+    /// The node's MSH-DSCH reservation endpoint.
+    pub(crate) dsch: DschNode,
+    /// False while crashed: a dead node neither sends nor receives.
+    pub(crate) alive: bool,
+    /// Last beacon round this node accepted (cleared by a crash).
+    pub(crate) synced_round: Option<u64>,
+    /// Tree depth carried by the last accepted beacon.
+    pub(crate) sync_depth: u32,
+    /// Reference instant at which each neighbour was last heard at all
+    /// (any frame counts, not only beacons).
+    pub(crate) heard: BTreeMap<NodeId, SimTime>,
+    /// Neighbours this node currently believes dead (own detections and
+    /// flooded reports).
+    pub(crate) known_dead: BTreeSet<NodeId>,
+    /// Beacons accepted over this node's lifetime.
+    pub(crate) resyncs: u64,
+}
+
+impl MeshNode {
+    pub(crate) fn new(id: NodeId, drift_ppm: f64) -> Self {
+        Self {
+            id,
+            clock: DriftClock::new(drift_ppm),
+            dsch: DschNode::new(id),
+            alive: true,
+            synced_round: None,
+            sync_depth: 0,
+            heard: BTreeMap::new(),
+            known_dead: BTreeSet::new(),
+            resyncs: 0,
+        }
+    }
+
+    /// The router's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether the node is currently up.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// The node's current signed clock error vs the reference, at
+    /// reference time `now`.
+    pub fn clock_error_ns(&self, now: SimTime) -> f64 {
+        self.clock.error_at(now)
+    }
+
+    /// Last beacon round this node accepted, if any since (re)start.
+    pub fn synced_round(&self) -> Option<u64> {
+        self.synced_round
+    }
+
+    /// Beacons accepted over the node's lifetime.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// The node's reservation endpoint (read-only).
+    pub fn dsch(&self) -> &DschNode {
+        &self.dsch
+    }
+
+    /// Neighbours this node currently believes dead.
+    pub fn known_dead(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.known_dead.iter().copied()
+    }
+
+    /// Crash: all volatile state is lost; the oscillator keeps running
+    /// (hardware clocks do not stop) but its sync correction is gone
+    /// with the OS.
+    pub(crate) fn crash(&mut self) {
+        self.alive = false;
+        self.dsch.reset();
+        self.synced_round = None;
+        self.sync_depth = 0;
+        self.heard.clear();
+        self.known_dead.clear();
+    }
+
+    /// Restart after a crash: the node boots with empty state and must
+    /// reacquire sync from the next beacon it hears.
+    pub(crate) fn restart(&mut self) {
+        self.alive = true;
+    }
+}

@@ -40,13 +40,20 @@ impl<E> Ord for Entry<E> {
 /// clock advances only through [`EventQueue::pop`].
 ///
 /// See the [crate documentation](crate) for an example.
-#[derive(Default)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     now: SimTime,
     next_seq: u64,
     processed: u64,
     depth_high_water: usize,
+}
+
+/// Manual impl: `derive(Default)` would demand `E: Default`, which an
+/// empty queue has no use for.
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<E> EventQueue<E> {

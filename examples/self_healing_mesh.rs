@@ -1,0 +1,95 @@
+//! A mesh that heals itself: crash a relay mid-run and watch the
+//! distributed runtime detect it, re-route the traffic and converge
+//! back to a collision-free schedule.
+//!
+//! ```text
+//! cargo run --example self_healing_mesh
+//! ```
+
+use std::time::Duration;
+
+use wimesh::sim::traffic::VoipCodec;
+use wimesh::{FlowSpec, MeshQos, OrderPolicy};
+use wimesh_emu::{EmulationModel, EmulationParams};
+use wimesh_node::{FabricConfig, LossModel, MeshRuntime, RepairController, RuntimeConfig};
+use wimesh_topology::{generators, NodeId};
+
+fn main() {
+    let topo = generators::grid(3, 3);
+    let model = EmulationModel::new(EmulationParams::default()).expect("default model");
+
+    // The gateway admits two VoIP flows crossing the grid.
+    let mesh = MeshQos::builder(topo.clone()).build().expect("mesh");
+    let mut controller = RepairController::new(mesh.session(OrderPolicy::HopOrder));
+    for (id, src) in [(0u32, NodeId(8)), (1, NodeId(6))] {
+        let spec = FlowSpec::voip(id, src, NodeId(0), VoipCodec::G729);
+        let outcome = controller
+            .session_mut()
+            .admit(&spec)
+            .expect("admission runs");
+        assert!(outcome.is_admitted(), "seed flows must be admittable");
+    }
+
+    // A mildly hostile radio: 5% of every frame copy is lost.
+    let config = RuntimeConfig {
+        fabric: FabricConfig {
+            default_loss: LossModel::Bernoulli { p: 0.05 },
+            ..FabricConfig::default()
+        },
+        seed: 7,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = MeshRuntime::new(topo, model, config).expect("runtime");
+    rt.attach_controller(controller);
+
+    // Phase 1: cold start. Nodes sync off the beacon flood, then the
+    // MSH-DSCH handshake reserves slots for both flows.
+    let seg = rt.run_for(Duration::from_secs(10));
+    println!("phase 1 — cold start under 5% loss");
+    println!("  time to sync        : {:?}", seg.time_to_sync);
+    println!("  time to converge    : {:?}", seg.time_to_converge);
+    println!(
+        "  beacons sent/lost   : {}/{}",
+        seg.beacons_sent, seg.beacons_lost
+    );
+    println!(
+        "  dsch sent/lost      : {}/{}",
+        seg.dsch_sent, seg.dsch_lost
+    );
+    println!("  collisions          : {}", seg.collisions);
+    assert!(seg.converged, "the handshake should converge in 10 s");
+
+    // Phase 2: kill a relay an admitted flow actually transits.
+    let relay = rt
+        .controller()
+        .expect("controller attached")
+        .session()
+        .snapshot()
+        .admitted()[0]
+        .path
+        .nodes()[1];
+    println!("\nphase 2 — crashing relay {relay}");
+    rt.crash(relay);
+    let seg = rt.run_for(Duration::from_secs(10));
+    println!("  detection latency   : {:?}", seg.detection_latency);
+    println!("  failures detected   : {}", seg.failures_detected);
+    println!("  flows repaired      : {}", seg.reservations_repaired);
+    println!("  collisions          : {}", seg.collisions);
+    println!("  converged again     : {}", seg.converged);
+
+    // Phase 3: the relay comes back and is folded into the mesh again.
+    println!("\nphase 3 — restarting relay {relay}");
+    rt.restart(relay);
+    let seg = rt.run_for(Duration::from_secs(10));
+    println!("  recoveries detected : {}", seg.recoveries_detected);
+    println!("  time to (re)sync    : {:?}", seg.time_to_sync);
+    println!("  converged           : {}", seg.converged);
+    println!("  max mutual error    : {:?}", seg.max_mutual_error);
+    println!("  guard time          : {:?}", rt.model().guard_time());
+
+    let stats = rt.fabric_stats();
+    println!(
+        "\nfabric: {} attempted, {} delivered, {} lost, {} blocked",
+        stats.attempted, stats.delivered, stats.lost, stats.blocked
+    );
+}

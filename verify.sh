@@ -5,7 +5,11 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
+cargo build --examples
 cargo test -q
+# The distributed-runtime scenario suite is the end-to-end gate for the
+# fault-handling stack; run it by name so a filter typo can't skip it.
+cargo test -q -p wimesh-node --test node_runtime
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 # API docs must build warning-clean (covers the vendored stand-ins too).
