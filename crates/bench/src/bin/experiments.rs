@@ -4,6 +4,7 @@
 //! cargo run -p wimesh-bench --release --bin experiments            # all
 //! cargo run -p wimesh-bench --release --bin experiments -- e4 e5  # some
 //! cargo run -p wimesh-bench --release --bin experiments -- --quick
+//! cargo run -p wimesh-bench --release --bin experiments -- --threads 4
 //! cargo run -p wimesh-bench --release --bin experiments -- e1 --trace e1.jsonl
 //! cargo run -p wimesh-bench --release --bin experiments -- e1 --summary
 //! ```
@@ -11,7 +12,10 @@
 //! CSV outputs land in `results/`, along with one `BENCH_<id>.json`
 //! timing artifact per experiment. `--trace <file>` streams spans and
 //! metric snapshots as JSONL via `wimesh-obs`; `--summary` prints a
-//! human-readable metrics digest after each experiment.
+//! human-readable metrics digest after each experiment. `--threads N`
+//! fans independent experiments out over `N` worker threads pulling
+//! from a shared queue (experiments stay internally deterministic —
+//! only the interleaving of their stdout lines changes).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -39,6 +43,7 @@ fn span_name(id: &str) -> &'static str {
         "t10" => "bench.t10",
         "churn" => "bench.churn",
         "runtime_faults" => "bench.runtime_faults",
+        "parallel_scaling" => "bench.parallel_scaling",
         _ => "bench.experiment",
     }
 }
@@ -65,10 +70,48 @@ fn write_artifact(ctx: &Ctx, id: &str, ok: bool, wall_s: f64) {
     }
 }
 
+/// Runs one experiment end to end: span, timing, artifact, optional
+/// summary. Returns `false` on failure.
+fn run_one(ctx: &Ctx, id: &str, summary: bool) -> bool {
+    println!("\n########## experiment {id} ##########");
+    let start = std::time::Instant::now();
+    let started_at = std::time::SystemTime::now();
+    let ok = {
+        let _span = wimesh_obs::span!(span_name(id));
+        match run_experiment(id, ctx) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}");
+                false
+            }
+        }
+    };
+    let wall_s = start.elapsed().as_secs_f64();
+    if ok {
+        println!("  ({id} finished in {wall_s:.1} s)");
+    }
+    // Experiments may emit their own richer `BENCH_<id>.json`
+    // (e.g. runtime_faults); don't clobber it with the generic
+    // timing artifact.
+    let own_artifact = ctx.out_dir.join(format!("BENCH_{id}.json"));
+    let wrote_own = std::fs::metadata(&own_artifact)
+        .and_then(|m| m.modified())
+        .map(|t| t >= started_at)
+        .unwrap_or(false);
+    if !wrote_own {
+        write_artifact(ctx, id, ok, wall_s);
+    }
+    if summary {
+        println!("{}", wimesh_obs::summary());
+    }
+    ok
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut summary = false;
+    let mut threads = 1usize;
     let mut trace: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -80,6 +123,13 @@ fn main() -> ExitCode {
                 Some(path) => trace = Some(path),
                 None => {
                     eprintln!("--trace requires a file path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match it.next().as_deref().map(str::parse::<usize>) {
+                Some(Ok(n)) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads requires a positive integer argument");
                     return ExitCode::FAILURE;
                 }
             },
@@ -106,43 +156,39 @@ fn main() -> ExitCode {
         wimesh_obs::install(Arc::new(NoopSink));
     }
 
-    let ctx = Ctx::new("results", quick);
-    let mut failed = false;
-    for id in ids {
-        println!("\n########## experiment {id} ##########");
-        let start = std::time::Instant::now();
-        let started_at = std::time::SystemTime::now();
-        let ok = {
-            let _span = wimesh_obs::span!(span_name(id));
-            match run_experiment(id, &ctx) {
-                Ok(()) => true,
-                Err(e) => {
-                    eprintln!("experiment {id} failed: {e}");
-                    false
-                }
+    let ctx = Ctx::new("results", quick).with_threads(threads);
+    let failed = if ctx.threads <= 1 || ids.len() <= 1 {
+        let mut failed = false;
+        for id in ids {
+            failed |= !run_one(&ctx, id, summary);
+        }
+        failed
+    } else {
+        // Fan experiments out over a shared work queue. Each experiment
+        // is internally deterministic; only stdout interleaving and the
+        // process-global metrics registry see concurrent writers (the
+        // registry is atomic, see `wimesh-obs`).
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        println!(
+            "running {} experiments over {} worker threads",
+            ids.len(),
+            ctx.threads
+        );
+        let next = AtomicUsize::new(0);
+        let any_failed = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..ctx.threads.min(ids.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(id) = ids.get(i) else { return };
+                    if !run_one(&ctx, id, summary) {
+                        any_failed.store(true, Ordering::Relaxed);
+                    }
+                });
             }
-        };
-        let wall_s = start.elapsed().as_secs_f64();
-        if ok {
-            println!("  ({id} finished in {wall_s:.1} s)");
-        } else {
-            failed = true;
-        }
-        // Experiments may emit their own richer `BENCH_<id>.json`
-        // (e.g. runtime_faults); don't clobber it with the generic
-        // timing artifact.
-        let own_artifact = ctx.out_dir.join(format!("BENCH_{id}.json"));
-        let wrote_own = std::fs::metadata(&own_artifact)
-            .and_then(|m| m.modified())
-            .map(|t| t >= started_at)
-            .unwrap_or(false);
-        if !wrote_own {
-            write_artifact(&ctx, id, ok, wall_s);
-        }
-        if summary {
-            println!("{}", wimesh_obs::summary());
-        }
-    }
+        });
+        any_failed.into_inner()
+    };
     if wimesh_obs::is_enabled() {
         wimesh_obs::finish();
     }

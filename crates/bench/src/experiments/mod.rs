@@ -17,5 +17,6 @@ pub mod e6;
 pub mod e7;
 pub mod e8;
 pub mod e9;
+pub mod parallel_scaling;
 pub mod runtime_faults;
 pub mod t10;

@@ -92,6 +92,9 @@ pub struct Ctx {
     pub out_dir: PathBuf,
     /// `true` shrinks sweeps for quick smoke runs (used by tests).
     pub quick: bool,
+    /// Worker threads the experiment runner fans experiments out over
+    /// (`1` = the classic sequential runner).
+    pub threads: usize,
 }
 
 impl Ctx {
@@ -100,7 +103,15 @@ impl Ctx {
         Self {
             out_dir: out_dir.into(),
             quick,
+            threads: 1,
         }
+    }
+
+    /// Sets the runner's worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Writes a finished table to `<out_dir>/<id>.csv`.
@@ -132,6 +143,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "e14",
     "churn",
     "runtime_faults",
+    "parallel_scaling",
 ];
 
 /// Runs one experiment by id.
@@ -158,6 +170,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Result<(), BenchError> {
         "t10" => experiments::t10::run(ctx),
         "churn" => experiments::churn::run(ctx),
         "runtime_faults" => experiments::runtime_faults::run(ctx),
+        "parallel_scaling" => experiments::parallel_scaling::run(ctx),
         other => Err(BenchError::Other(format!("unknown experiment id: {other}"))),
     }
 }

@@ -37,20 +37,210 @@ impl InterferenceModel {
     }
 }
 
+/// One vertex's slice of the shared adjacency pool.
+#[derive(Debug, Clone, Copy)]
+struct AdjSpan {
+    /// First pool slot of this vertex's neighbor list.
+    start: usize,
+    /// Live neighbors (sorted ascending in `pool[start..start + len]`).
+    len: usize,
+    /// Reserved slots; `cap - len` is headroom for in-place growth.
+    cap: usize,
+}
+
+/// Pooled CSR adjacency: every neighbor list lives in one shared
+/// `pool` vector, addressed by a per-vertex [`AdjSpan`].
+///
+/// Compared to `Vec<Vec<usize>>` this keeps all adjacency data in one
+/// contiguous allocation — the Bellman–Ford relaxation and clique
+/// enumeration walk neighbor lists of consecutive vertices, which now
+/// hit one cache-friendly buffer instead of chasing a pointer per
+/// vertex. Lists stay sorted ascending so `binary_search`-based
+/// membership tests keep working unchanged.
+///
+/// Mutation support: a span that outgrows its capacity is relocated to
+/// the end of the pool and its old slots become *dead*; removing a
+/// vertex kills its whole span. Dead slots are counted and the pool is
+/// compacted (spans rewritten tightly, in vertex order) once more than
+/// half of it is dead, so long insert/remove churn cannot leak memory.
+#[derive(Debug, Clone, Default)]
+struct CsrPool {
+    pool: Vec<usize>,
+    spans: Vec<AdjSpan>,
+    dead: usize,
+}
+
+/// Pool slots below this size are never worth compacting.
+const COMPACT_MIN_POOL: usize = 64;
+
+impl CsrPool {
+    /// Builds the pool from an edge list with `i < j`, ordered by
+    /// ascending `i` then ascending `j` (the order the pairwise build
+    /// loop emits). Cursor-filling from that order leaves every
+    /// neighbor list sorted: vertex `v` first receives its smaller
+    /// neighbors `k < v` (while the outer loop is at `k`, ascending),
+    /// then its larger neighbors (ascending `j`) once the loop reaches
+    /// `v`.
+    fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(i, j) in edges {
+            degree[i] += 1;
+            degree[j] += 1;
+        }
+        let mut spans = Vec::with_capacity(n);
+        let mut start = 0;
+        for &d in &degree {
+            spans.push(AdjSpan {
+                start,
+                len: 0,
+                cap: d,
+            });
+            start += d;
+        }
+        let mut csr = Self {
+            pool: vec![usize::MAX; start],
+            spans,
+            dead: 0,
+        };
+        for &(i, j) in edges {
+            let s = csr.spans[i];
+            csr.pool[s.start + s.len] = j;
+            csr.spans[i].len += 1;
+            let s = csr.spans[j];
+            csr.pool[s.start + s.len] = i;
+            csr.spans[j].len += 1;
+        }
+        debug_assert!((0..n).all(|v| csr.neighbors(v).windows(2).all(|w| w[0] < w[1])));
+        csr
+    }
+
+    fn neighbors(&self, i: usize) -> &[usize] {
+        let s = self.spans[i];
+        &self.pool[s.start..s.start + s.len]
+    }
+
+    /// Appends `v` to span `j`. The caller guarantees `v` is larger than
+    /// every current element (true when `v` is a freshly inserted
+    /// vertex, which always takes the highest dense index), so the list
+    /// stays sorted without shifting.
+    fn append_max(&mut self, j: usize, v: usize) {
+        if self.spans[j].len == self.spans[j].cap {
+            self.relocate(j);
+        }
+        let s = self.spans[j];
+        debug_assert!(s.len == 0 || self.pool[s.start + s.len - 1] < v);
+        self.pool[s.start + s.len] = v;
+        self.spans[j].len += 1;
+    }
+
+    /// Moves span `j` to the end of the pool with doubled headroom,
+    /// marking its old slots dead.
+    fn relocate(&mut self, j: usize) {
+        let s = self.spans[j];
+        let cap = (s.len + 1).next_power_of_two().max(4);
+        let start = self.pool.len();
+        for k in 0..s.len {
+            let v = self.pool[s.start + k];
+            self.pool.push(v);
+        }
+        self.pool.resize(start + cap, usize::MAX);
+        self.dead += s.cap;
+        self.spans[j] = AdjSpan {
+            start,
+            len: s.len,
+            cap,
+        };
+    }
+
+    /// Removes value `v` from span `j`, shifting the tail left. The slot
+    /// freed inside the span is headroom, not dead space.
+    fn remove_value(&mut self, j: usize, v: usize) {
+        let s = self.spans[j];
+        let pos = self.pool[s.start..s.start + s.len]
+            .binary_search(&v)
+            .expect("symmetric edge");
+        for k in pos..s.len - 1 {
+            self.pool[s.start + k] = self.pool[s.start + k + 1];
+        }
+        self.spans[j].len -= 1;
+    }
+
+    /// Relabels `old` to `new` inside span `j`: removes `old`, inserts
+    /// `new` at its sorted position. Net length is unchanged, so the
+    /// span never grows.
+    fn replace_value(&mut self, j: usize, old: usize, new: usize) {
+        self.remove_value(j, old);
+        let s = self.spans[j];
+        let pos = self.pool[s.start..s.start + s.len]
+            .binary_search(&new)
+            .expect_err("irreflexive");
+        for k in (pos..s.len).rev() {
+            self.pool[s.start + k + 1] = self.pool[s.start + k];
+        }
+        self.pool[s.start + pos] = new;
+        self.spans[j].len += 1;
+    }
+
+    /// Appends a new span holding `list` (sorted) at the end of the pool.
+    fn push_span(&mut self, list: &[usize]) {
+        let cap = list.len().next_power_of_two().max(4);
+        let start = self.pool.len();
+        self.pool.extend_from_slice(list);
+        self.pool.resize(start + cap, usize::MAX);
+        self.spans.push(AdjSpan {
+            start,
+            len: list.len(),
+            cap,
+        });
+    }
+
+    /// Swap-removes span `i` (mirroring `Vec::swap_remove` on the
+    /// vertex set), killing its pool slots.
+    fn swap_remove_span(&mut self, i: usize) {
+        let s = self.spans.swap_remove(i);
+        self.dead += s.cap;
+    }
+
+    /// Rewrites the pool tightly (spans in vertex order, `cap == len`)
+    /// once more than half of it is dead.
+    fn maybe_compact(&mut self) {
+        if self.pool.len() < COMPACT_MIN_POOL || self.dead * 2 <= self.pool.len() {
+            return;
+        }
+        let mut pool = Vec::with_capacity(self.pool.len() - self.dead);
+        for s in &mut self.spans {
+            let start = pool.len();
+            pool.extend_from_slice(&self.pool[s.start..s.start + s.len]);
+            *s = AdjSpan {
+                start,
+                len: s.len,
+                cap: s.len,
+            };
+        }
+        self.pool = pool;
+        self.dead = 0;
+    }
+}
+
 /// The conflict graph over a set of directed links.
 ///
 /// Vertices are links (either all links of a topology, via
 /// [`ConflictGraph::build`], or an explicit active subset, via
 /// [`ConflictGraph::build_for_links`]); edges join links that cannot share
 /// a TDMA slot. The graph is symmetric and irreflexive by construction.
+///
+/// Adjacency is stored in a pooled CSR layout (`CsrPool`): one shared
+/// buffer, one span per vertex, lists sorted ascending. Scans over many
+/// vertices (Bellman–Ford, clique enumeration, coloring) walk contiguous
+/// memory instead of one heap allocation per vertex.
 #[derive(Debug, Clone)]
 pub struct ConflictGraph {
     /// The vertex set, in insertion order.
     links: Vec<LinkId>,
     /// Dense index of each link in `links`.
     index: HashMap<LinkId, usize>,
-    /// Adjacency lists over dense indices, each sorted ascending.
-    adj: Vec<Vec<usize>>,
+    /// Pooled adjacency over dense indices, each list sorted ascending.
+    adj: CsrPool,
     edge_count: usize,
 }
 
@@ -88,24 +278,22 @@ impl ConflictGraph {
             _ => None,
         };
         let n = links.len();
-        let mut adj = vec![Vec::new(); n];
-        let mut edge_count = 0;
+        let mut edges = Vec::new();
         for i in 0..n {
             let li = *topo.link(links[i]).expect("validated above");
-            for j in (i + 1)..n {
-                let lj = *topo.link(links[j]).expect("validated above");
+            for (j, &link_j) in links.iter().enumerate().skip(i + 1) {
+                let lj = *topo.link(link_j).expect("validated above");
                 if conflicts(topo, &li, &lj, model, hop_dist.as_deref()) {
-                    adj[i].push(j);
-                    adj[j].push(i);
-                    edge_count += 1;
+                    edges.push((i, j));
                 }
             }
         }
+        let adj = CsrPool::from_edges(n, &edges);
         Self {
             links,
             index,
             adj,
-            edge_count,
+            edge_count: edges.len(),
         }
     }
 
@@ -141,40 +329,51 @@ impl ConflictGraph {
     /// Links conflicting with `link` (empty if `link` is not a vertex).
     pub fn conflicts_of(&self, link: LinkId) -> Vec<LinkId> {
         match self.index_of(link) {
-            Some(i) => self.adj[i].iter().map(|&j| self.links[j]).collect(),
+            Some(i) => self
+                .adj
+                .neighbors(i)
+                .iter()
+                .map(|&j| self.links[j])
+                .collect(),
             None => Vec::new(),
         }
     }
 
     /// Adjacency (dense indices) of vertex `i`, sorted ascending.
     pub fn neighbors(&self, i: usize) -> &[usize] {
-        &self.adj[i]
+        self.adj.neighbors(i)
     }
 
     /// Whether two links conflict. Links not in the graph never conflict.
     pub fn are_in_conflict(&self, a: LinkId, b: LinkId) -> bool {
         match (self.index_of(a), self.index_of(b)) {
-            (Some(i), Some(j)) => self.adj[i].binary_search(&j).is_ok(),
+            (Some(i), Some(j)) => self.adj.neighbors(i).binary_search(&j).is_ok(),
             _ => false,
         }
     }
 
     /// Degree of vertex `i`.
     pub fn degree(&self, i: usize) -> usize {
-        self.adj[i].len()
+        self.adj.neighbors(i).len()
     }
 
     /// Maximum vertex degree (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.links.len())
+            .map(|i| self.adj.neighbors(i).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// All conflict edges as dense index pairs `(i, j)` with `i < j`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.adj
-            .iter()
-            .enumerate()
-            .flat_map(|(i, nbrs)| nbrs.iter().filter(move |&&j| i < j).map(move |&j| (i, j)))
+        (0..self.links.len()).flat_map(move |i| {
+            self.adj
+                .neighbors(i)
+                .iter()
+                .filter(move |&&j| i < j)
+                .map(move |&j| (i, j))
+        })
     }
 
     /// Adds `link` as a new vertex, computing its conflicts against the
@@ -233,14 +432,15 @@ impl ConflictGraph {
                 }
             };
             if conflict {
-                self.adj[j].push(i); // i is the largest index: stays sorted
+                self.adj.append_max(j, i); // i is the largest index: stays sorted
                 nbrs.push(j);
                 self.edge_count += 1;
             }
         }
         self.links.push(link);
         self.index.insert(link, i);
-        self.adj.push(nbrs); // ascending by construction
+        self.adj.push_span(&nbrs); // ascending by construction
+        self.adj.maybe_compact();
         true
     }
 
@@ -253,27 +453,22 @@ impl ConflictGraph {
         };
         let last = self.links.len() - 1;
         // Drop edges incident to i.
-        let nbrs = std::mem::take(&mut self.adj[i]);
+        let nbrs: Vec<usize> = self.adj.neighbors(i).to_vec();
         self.edge_count -= nbrs.len();
         for j in nbrs {
-            let pos = self.adj[j].binary_search(&i).expect("symmetric edge");
-            self.adj[j].remove(pos);
+            self.adj.remove_value(j, i);
         }
-        // Move the last vertex into slot i and relabel `last` -> `i` in
-        // every adjacency list it appears in.
+        // Move the last vertex into slot i (its span moves with it) and
+        // relabel `last` -> `i` in every adjacency list it appears in.
         self.links.swap_remove(i);
-        let moved = self.adj.swap_remove(last);
+        self.adj.swap_remove_span(i);
         if i != last {
-            self.adj[i] = moved;
             self.index.insert(self.links[i], i);
-            for &j in self.adj[i].clone().iter() {
-                let pos = self.adj[j].binary_search(&last).expect("symmetric edge");
-                self.adj[j].remove(pos);
-                let ins = self.adj[j].binary_search(&i).expect_err("irreflexive");
-                self.adj[j].insert(ins, i);
+            for j in self.adj.neighbors(i).to_vec() {
+                self.adj.replace_value(j, last, i);
             }
-            self.adj[i].sort_unstable();
         }
+        self.adj.maybe_compact();
         true
     }
 }
@@ -565,6 +760,69 @@ mod tests {
         let l = link(&topo, 2, 3);
         assert!(cg.remove_vertex(l));
         assert!(cg.insert_vertex(&topo, l, model));
+        let full = ConflictGraph::build(&topo, model);
+        assert!(same_conflicts(&cg, &full));
+    }
+
+    /// Exhaustive CSR pool invariants: spans in bounds, lists sorted,
+    /// symmetric, irreflexive, edge count consistent.
+    fn assert_pool_invariants(cg: &ConflictGraph) {
+        let n = cg.vertex_count();
+        let mut edges = 0;
+        for i in 0..n {
+            let nbrs = cg.neighbors(i);
+            assert!(
+                nbrs.windows(2).all(|w| w[0] < w[1]),
+                "unsorted neighbors at {i}: {nbrs:?}"
+            );
+            for &j in nbrs {
+                assert!(j < n, "dangling index {j} at vertex {i}");
+                assert_ne!(j, i, "self-loop at {i}");
+                assert!(cg.neighbors(j).binary_search(&i).is_ok(), "asymmetric edge");
+            }
+            edges += nbrs.len();
+        }
+        assert_eq!(edges, 2 * cg.edge_count(), "edge count drifted");
+        assert!(
+            cg.adj.pool.len() < COMPACT_MIN_POOL || cg.adj.dead * 2 <= cg.adj.pool.len(),
+            "compaction failed to bound dead slots: {} dead of {}",
+            cg.adj.dead,
+            cg.adj.pool.len()
+        );
+    }
+
+    #[test]
+    fn heavy_insert_remove_churn_keeps_pool_compact() {
+        let topo = generators::grid(4, 4);
+        let model = InterferenceModel::protocol_default();
+        let all: Vec<LinkId> = topo.link_ids().collect();
+        let mut cg = ConflictGraph::build(&topo, model);
+        // Deterministic LCG drives interleaved removals and re-inserts.
+        let mut state = 0x5eed_cafe_u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut absent: Vec<LinkId> = Vec::new();
+        for _ in 0..400 {
+            if absent.is_empty() || (rng() % 2 == 0 && cg.vertex_count() > 1) {
+                let l = cg.links()[rng() % cg.vertex_count()];
+                assert!(cg.remove_vertex(l));
+                absent.push(l);
+            } else {
+                let l = absent.swap_remove(rng() % absent.len());
+                assert!(cg.insert_vertex(&topo, l, model));
+            }
+            assert_pool_invariants(&cg);
+        }
+        // Restore everything and compare against a fresh rebuild.
+        for &l in &absent {
+            assert!(cg.insert_vertex(&topo, l, model));
+        }
+        assert_pool_invariants(&cg);
+        assert_eq!(cg.vertex_count(), all.len());
         let full = ConflictGraph::build(&topo, model);
         assert!(same_conflicts(&cg, &full));
     }

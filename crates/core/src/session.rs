@@ -35,8 +35,13 @@ use wimesh_conflict::ConflictGraph;
 use wimesh_emu::EmulationModel;
 use wimesh_milp::SolverConfig;
 use wimesh_sim::FlowId;
-use wimesh_tdma::milp::{feasible_order_within, validate_order_within, OrderSolution};
-use wimesh_tdma::{order, Demands, Schedule, ScheduleError, TransmissionOrder};
+use wimesh_tdma::milp::{
+    feasible_order_within, feasible_order_within_cancellable, validate_order_within, OrderSolution,
+    PathRequirement,
+};
+use wimesh_tdma::{
+    order, CancelToken, Demands, FrameConfig, Schedule, ScheduleError, TransmissionOrder,
+};
 use wimesh_topology::routing::{shortest_path, Path};
 use wimesh_topology::LinkId;
 
@@ -104,6 +109,14 @@ pub struct SessionStats {
     pub incremental_updates: u64,
     /// Full conflict-graph rebuilds ([`QosSession::rebalance`]).
     pub graph_rebuilds: u64,
+    /// Concurrent slot-count probes launched by the speculative search
+    /// (only with `SolverConfig::threads > 1`; each is also counted in
+    /// `oracle_calls`).
+    pub speculative_probes: u64,
+    /// Speculative probes cancelled after a sibling probe's answer made
+    /// them redundant — work the parallel search started but did not pay
+    /// for in full.
+    pub probes_cancelled: u64,
 }
 
 /// The last feasible order, persisted independently of the graph's dense
@@ -651,6 +664,16 @@ fn exact_search_warm(
     let mut hi = best.schedule.makespan().max(1);
     debug_assert!(hi >= lo, "a feasible makespan cannot beat the lower bound");
 
+    // With a thread budget, race 2–3 adjacent candidates per round and
+    // cancel the losers; the serial binary loop below is the exact
+    // `threads = 1` behavior.
+    let width = solver.effective_threads().min(3);
+    if width >= 2 {
+        return speculative_search(
+            graph, demands, &reqs, frame, solver, width, lo, hi, best, stats,
+        );
+    }
+
     // Invariants: `best` realises `hi`; every value below `lo` is
     // infeasible (by the clique bound, then by oracle "no" answers).
     while lo < hi {
@@ -665,6 +688,149 @@ fn exact_search_warm(
             Err(ScheduleError::Infeasible) => lo = mid + 1,
             Err(e) => return Err(e),
         }
+    }
+    Ok((best.schedule, best.order, hi))
+}
+
+/// The speculative slot-count descent: each round launches `width`
+/// concurrent feasibility probes splitting the open interval `[lo, hi)`
+/// evenly, then cancels probes whose answers a sibling's result made
+/// redundant.
+///
+/// Cancellation is driven by the same monotonicity facts as the binary
+/// search: a "feasible at `q`" answer implies feasibility everywhere above
+/// `q` (those probes are cancelled), and an "infeasible at `q`" answer
+/// implies infeasibility everywhere below `q` (those too). Results are
+/// folded *after* the round joins, in ascending probe order, so the fold
+/// is deterministic regardless of thread arrival order; a cancelled probe
+/// contributes nothing — [`ScheduleError::Cancelled`] is never read as a
+/// verdict.
+///
+/// The interval invariants of the serial search are preserved verbatim —
+/// `best` always realises `hi`, and every value below `lo` is proven
+/// infeasible — so the search terminates on the *same* minimal feasible
+/// slot count as the serial loop: each round strictly shrinks `[lo, hi)`
+/// because at least one probe (the first decisive one, which no sibling
+/// can cancel) returns a real verdict.
+#[allow(clippy::too_many_arguments)]
+fn speculative_search(
+    graph: &ConflictGraph,
+    demands: &Demands,
+    reqs: &[PathRequirement],
+    frame: FrameConfig,
+    solver: &SolverConfig,
+    width: usize,
+    mut lo: u32,
+    mut hi: u32,
+    mut best: OrderSolution,
+    stats: &mut SessionStats,
+) -> Result<(Schedule, TransmissionOrder, u32), ScheduleError> {
+    // The thread budget splits between probe-level and branch & bound
+    // parallelism: `width` probes of `threads / width` workers each.
+    let per_probe = (solver.effective_threads() / width).max(1);
+    let probe_cfg = SolverConfig {
+        threads: per_probe,
+        ..*solver
+    };
+
+    while lo < hi {
+        let span = hi - lo; // open candidates: [lo, hi)
+        let w = (width as u32).min(span);
+        // `w` probe points splitting [lo, hi) evenly ((w+1)-ary search;
+        // w = 1 degenerates to the binary-search midpoint).
+        let mut points: Vec<u32> = (1..=w).map(|k| lo + (span * k) / (w + 1)).collect();
+        points.dedup();
+        stats.search_iterations += 1;
+        stats.speculative_probes += points.len() as u64;
+        wimesh_obs::counter_add("session.probe.launched", points.len() as u64);
+
+        let tokens: Vec<CancelToken> = points.iter().map(|_| CancelToken::new()).collect();
+        let mut outcomes: Vec<Option<Result<OrderSolution, ScheduleError>>> =
+            (0..points.len()).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            for (k, &q) in points.iter().enumerate() {
+                let tx = tx.clone();
+                let token = tokens[k].clone();
+                let probe_cfg = &probe_cfg;
+                scope.spawn(move || {
+                    let started = std::time::Instant::now();
+                    let res = feasible_order_within_cancellable(
+                        graph, demands, reqs, frame, q, probe_cfg, &token,
+                    );
+                    wimesh_obs::record_duration("session.search.step", started.elapsed());
+                    let _ = tx.send((k, q, res));
+                });
+            }
+            drop(tx);
+            // Cancel redundant siblings as results arrive; the fold over
+            // `outcomes` happens after the scope joins.
+            for (k, q, res) in rx.iter() {
+                match &res {
+                    Ok(_) => {
+                        // Feasible at q: higher probes answer a question
+                        // monotonicity already settled.
+                        for (j, &p) in points.iter().enumerate() {
+                            if p > q {
+                                tokens[j].cancel();
+                            }
+                        }
+                    }
+                    Err(ScheduleError::Infeasible) => {
+                        // Infeasible at q: lower probes are implied
+                        // infeasible.
+                        for (j, &p) in points.iter().enumerate() {
+                            if p < q {
+                                tokens[j].cancel();
+                            }
+                        }
+                    }
+                    Err(ScheduleError::Cancelled) => {}
+                    Err(_) => {
+                        for t in &tokens {
+                            t.cancel();
+                        }
+                    }
+                }
+                outcomes[k] = Some(res);
+            }
+        });
+
+        // Deterministic fold in ascending probe order, independent of
+        // which thread finished first.
+        let (prev_lo, prev_hi) = (lo, hi);
+        let mut fatal: Option<ScheduleError> = None;
+        for (k, outcome) in outcomes.into_iter().enumerate() {
+            let res = outcome.expect("every probe reports exactly once");
+            let q = points[k];
+            stats.oracle_calls += 1;
+            wimesh_obs::counter_inc("session.oracle.calls");
+            match res {
+                Ok(sol) => {
+                    let makespan = sol.schedule.makespan().max(1);
+                    debug_assert!(makespan <= q);
+                    if makespan < hi {
+                        hi = makespan;
+                        best = sol;
+                    }
+                }
+                Err(ScheduleError::Infeasible) => lo = lo.max(q + 1),
+                Err(ScheduleError::Cancelled) => {
+                    stats.probes_cancelled += 1;
+                    wimesh_obs::counter_inc("session.probe.cancelled");
+                }
+                Err(e) => fatal = Some(e),
+            }
+        }
+        if let Some(e) = fatal {
+            return Err(e);
+        }
+        debug_assert!(
+            lo > prev_lo || hi < prev_hi,
+            "every round has at least one uncancelled decisive probe"
+        );
+        lo = lo.min(hi);
     }
     Ok((best.schedule, best.order, hi))
 }
@@ -741,6 +907,41 @@ mod tests {
         for f in &snap.admitted {
             assert!(f.worst_case_delay <= f.spec.deadline.unwrap());
         }
+    }
+
+    #[test]
+    fn speculative_probing_matches_serial_session() {
+        use wimesh_emu::EmulationParams;
+        let topo = generators::chain(5);
+        let serial_mesh = MeshQos::builder(topo.clone())
+            .params(EmulationParams::default())
+            .solver_config(SolverConfig::with_threads(1))
+            .build()
+            .unwrap();
+        let parallel_mesh = MeshQos::builder(topo)
+            .params(EmulationParams::default())
+            .solver_config(SolverConfig::with_threads(4))
+            .build()
+            .unwrap();
+        let flows = gateway_calls(4, 4);
+        let mut serial = serial_mesh.session(OrderPolicy::ExactMilp);
+        let mut parallel = parallel_mesh.session(OrderPolicy::ExactMilp);
+        for f in &flows {
+            let a = serial.admit(f).unwrap();
+            let b = parallel.admit(f).unwrap();
+            assert_eq!(a.is_admitted(), b.is_admitted());
+        }
+        let (s, p) = (serial.snapshot(), parallel.snapshot());
+        assert_eq!(s.admitted.len(), p.admitted.len());
+        assert_eq!(s.guaranteed_slots, p.guaranteed_slots);
+        // The parallel session must actually have speculated (this
+        // instance needs a real descent, not just warm validation) and
+        // the serial one must not have.
+        assert!(
+            parallel.stats().speculative_probes > 0,
+            "threads=4 session never launched a concurrent probe"
+        );
+        assert_eq!(serial.stats().speculative_probes, 0);
     }
 
     #[test]

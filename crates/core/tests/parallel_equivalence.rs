@@ -1,0 +1,183 @@
+//! Determinism regression: the parallel admission engine (work-sharing
+//! branch & bound plus speculative slot-count probing) must return the
+//! same *answers* as the serial one.
+//!
+//! Parallelism in this workspace is an optimisation, never a semantic
+//! change: pruning only ever discards bound-dominated B&B nodes, a
+//! cancelled probe is never read as a verdict, and the speculative
+//! descent preserves the binary search's interval invariants. These
+//! properties pin that contract across random topologies and flow sets:
+//! serial (`threads = 1`) and parallel (`threads = 4`) admission must
+//! agree on the admitted-flow set and the minimal guaranteed slot count,
+//! and the underlying MILP solver must agree on objective and verdict.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use wimesh::milp::SolverConfig;
+use wimesh::{AdmissionOutcome, FlowSpec, MeshQos, OrderPolicy};
+use wimesh_sim::FlowId;
+use wimesh_topology::{generators, MeshTopology, NodeId};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    topo: MeshTopology,
+    flows: Vec<FlowSpec>,
+}
+
+/// Random connected mesh (tree + chords) with random guaranteed /
+/// best-effort flows, mirroring `tests/session_equivalence.rs`.
+fn arb_scenario(max_nodes: usize, max_flows: usize) -> impl Strategy<Value = Scenario> {
+    (
+        3usize..max_nodes,
+        any::<u64>(),
+        0usize..4,
+        proptest::collection::vec((0u32..10, 0u32..10, 1u32..30, any::<bool>()), 1..max_flows),
+    )
+        .prop_map(|(n, seed, extra, flow_specs)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut topo = generators::random_tree(n, &mut rng);
+            use rand::Rng;
+            for _ in 0..extra {
+                let a = NodeId(rng.gen_range(0..n as u32));
+                let b = NodeId(rng.gen_range(0..n as u32));
+                if a != b && topo.link_between(a, b).is_none() {
+                    topo.add_bidirectional(a, b).expect("checked");
+                }
+            }
+            let mut flows: Vec<FlowSpec> = flow_specs
+                .into_iter()
+                .filter_map(|(a, b, rate_x10k, guaranteed)| {
+                    let (src, dst) = (NodeId(a % n as u32), NodeId(b % n as u32));
+                    if src == dst {
+                        return None;
+                    }
+                    let rate = rate_x10k as f64 * 10_000.0;
+                    Some(if guaranteed {
+                        FlowSpec::guaranteed(0, src, dst, rate, Duration::from_millis(150))
+                    } else {
+                        FlowSpec::best_effort(0, src, dst, rate)
+                    })
+                })
+                .collect();
+            for (i, f) in flows.iter_mut().enumerate() {
+                f.id = FlowId(i as u32);
+            }
+            Scenario { topo, flows }
+        })
+}
+
+fn admitted_ids(outcome: &AdmissionOutcome) -> Vec<u32> {
+    let mut ids: Vec<u32> = outcome.admitted().iter().map(|f| f.spec.id.0).collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn mesh_with_threads(topo: MeshTopology, threads: usize) -> Option<MeshQos> {
+    MeshQos::builder(topo)
+        .solver_config(SolverConfig::with_threads(threads))
+        .build()
+        .ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cold batch admission under the exact MILP policy: the 4-thread
+    /// engine (parallel B&B inside each oracle call, speculative probing
+    /// in the session path used by `admit`) must reproduce the serial
+    /// admitted set and minimal slot count exactly.
+    #[test]
+    fn batch_exact_milp_serial_equals_threads4(scenario in arb_scenario(7, 4)) {
+        let Some(serial_mesh) = mesh_with_threads(scenario.topo.clone(), 1) else {
+            return Ok(());
+        };
+        let Some(parallel_mesh) = mesh_with_threads(scenario.topo.clone(), 4) else {
+            return Ok(());
+        };
+        let serial = match serial_mesh.admit(&scenario.flows, OrderPolicy::ExactMilp) {
+            Ok(o) => o,
+            Err(_) => return Ok(()),
+        };
+        let parallel = parallel_mesh
+            .admit(&scenario.flows, OrderPolicy::ExactMilp)
+            .map_err(|e| TestCaseError::fail(format!("parallel admit failed: {e}")))?;
+        prop_assert_eq!(
+            admitted_ids(&serial),
+            admitted_ids(&parallel),
+            "admitted-flow sets diverged"
+        );
+        prop_assert_eq!(
+            serial.guaranteed_slots,
+            parallel.guaranteed_slots,
+            "minimal slot counts diverged"
+        );
+    }
+
+    /// Session churn (admit one by one) with speculative probing engaged:
+    /// same admitted set and slot count as the serial session.
+    #[test]
+    fn session_exact_milp_serial_equals_threads4(scenario in arb_scenario(6, 4)) {
+        let Some(serial_mesh) = mesh_with_threads(scenario.topo.clone(), 1) else {
+            return Ok(());
+        };
+        let Some(parallel_mesh) = mesh_with_threads(scenario.topo.clone(), 4) else {
+            return Ok(());
+        };
+        let mut serial = serial_mesh.session(OrderPolicy::ExactMilp);
+        let mut parallel = parallel_mesh.session(OrderPolicy::ExactMilp);
+        for f in &scenario.flows {
+            let a = serial
+                .admit(f)
+                .map_err(|e| TestCaseError::fail(format!("serial admit: {e}")))?;
+            let b = parallel
+                .admit(f)
+                .map_err(|e| TestCaseError::fail(format!("parallel admit: {e}")))?;
+            prop_assert_eq!(a.is_admitted(), b.is_admitted(), "per-flow verdict diverged");
+        }
+        let (s, p) = (serial.snapshot(), parallel.snapshot());
+        prop_assert_eq!(admitted_ids(s), admitted_ids(p), "admitted sets diverged");
+        prop_assert_eq!(s.guaranteed_slots, p.guaranteed_slots, "slot counts diverged");
+    }
+
+    /// The raw solver layer: random small integer programs solved serial
+    /// vs 4-thread must agree on verdict and objective (and both
+    /// assignments must be feasible).
+    #[test]
+    fn solver_objective_and_verdict_match(
+        n in 3usize..7,
+        coeffs in proptest::collection::vec((0u32..10, 0u32..20), 3..7),
+        cap in 5u32..40,
+    ) {
+        use wimesh::milp::{LinExpr, Model, Sense};
+        let n = n.min(coeffs.len());
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..n).map(|i| m.add_binary_var(&format!("x{i}"))).collect();
+        let mut w = LinExpr::new();
+        let mut v = LinExpr::new();
+        for (i, &(weight, value)) in coeffs.iter().take(n).enumerate() {
+            w.add_term(vars[i], weight as f64);
+            v.add_term(vars[i], value as f64);
+        }
+        m.add_le(w, cap as f64);
+        m.set_objective(Sense::Maximize, v);
+        let serial = m.solve_with(&SolverConfig::default());
+        let parallel = m.solve_with(&SolverConfig::with_threads(4));
+        match (serial, parallel) {
+            (Ok(s), Ok(p)) => {
+                prop_assert!(
+                    (s.objective() - p.objective()).abs() < 1e-9,
+                    "objectives diverged: serial {} vs parallel {}",
+                    s.objective(),
+                    p.objective()
+                );
+                prop_assert!(m.is_feasible(p.values(), 1e-6));
+            }
+            (Err(se), Err(pe)) => prop_assert_eq!(se, pe, "error verdicts diverged"),
+            (s, p) => return Err(TestCaseError::fail(format!(
+                "verdict mismatch: serial {s:?} vs parallel {p:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Cooperative cancellation for long-running solves.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared stop flag for cooperative cancellation of a solve.
+///
+/// Clones share the same flag. The branch & bound node loop (and the
+/// Bellman–Ford revalidation passes in `wimesh-tdma`) poll the token
+/// between units of work; once [`CancelToken::cancel`] is called the
+/// solve returns [`crate::SolveError::Cancelled`] at the next check.
+///
+/// Cancellation is *advisory*: a solve that completes between the cancel
+/// call and its next poll still returns its (correct) result. Speculative
+/// callers — the admission slot-count prober launches several candidate
+/// solves and cancels the ones whose answers became redundant — therefore
+/// never observe a wrong verdict, only saved work.
+///
+/// ```
+/// use wimesh_milp::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let worker = token.clone();
+/// assert!(!worker.is_cancelled());
+/// token.cancel();
+/// assert!(worker.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the stop flag. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    ///
+    /// One relaxed atomic load — cheap enough for per-node polling.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        // Idempotent.
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

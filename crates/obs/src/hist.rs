@@ -53,6 +53,32 @@ impl FixedHistogram {
         self.max = self.max.max(value);
     }
 
+    /// Folds another histogram's samples into this one.
+    ///
+    /// Bin counts, overflow, totals and exact sum/max all combine, so
+    /// `a.merge(&b)` is indistinguishable from having recorded both
+    /// sample streams into one histogram. Used to fuse per-thread
+    /// metric snapshots after a parallel run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bin geometry.
+    pub fn merge(&mut self, other: &FixedHistogram) {
+        assert_eq!(self.bin_width, other.bin_width, "merge: bin width mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "merge: bin count mismatch"
+        );
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.total
@@ -191,5 +217,30 @@ mod tests {
     #[should_panic(expected = "bins")]
     fn zero_bins_rejected() {
         FixedHistogram::new(10, 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_both_streams() {
+        let mut a = FixedHistogram::new(10, 10);
+        let mut b = FixedHistogram::new(10, 10);
+        let mut both = FixedHistogram::new(10, 10);
+        for v in [3, 15, 200] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7, 15, 42] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn merge_rejects_different_geometry() {
+        let mut a = FixedHistogram::new(10, 10);
+        let b = FixedHistogram::new(20, 10);
+        a.merge(&b);
     }
 }

@@ -2,13 +2,20 @@
 //! histograms and per-span aggregates.
 //!
 //! Names are `&'static str` (dotted paths like `"milp.simplex.pivots"`)
-//! so recording never allocates. The registry sits behind one mutex;
-//! instrumented code keeps hot-loop tallies in locals and publishes once
-//! per call, so the lock is taken at call granularity, not iteration
-//! granularity.
+//! so recording never allocates. Counters and gauges are lock-free on
+//! the hot path: each name maps to an `Arc`'d atomic cell, and a
+//! recording call takes a brief read lock only to look the cell up
+//! (a write lock once, on first registration), then updates it with
+//! relaxed atomics. That makes concurrent recording from the parallel
+//! branch-and-bound workers and speculative probe threads scale without
+//! serializing on a registry mutex. Histograms and span aggregates
+//! mutate multiple words per record, so they stay behind a mutex;
+//! instrumented code keeps hot-loop tallies in locals and publishes
+//! once per call, so those locks are taken at call granularity.
 
 use std::collections::HashMap;
-use std::sync::{LazyLock, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, LazyLock, Mutex, RwLock};
 use std::time::Duration;
 
 use crate::hist::FixedHistogram;
@@ -26,6 +33,49 @@ pub struct GaugeState {
     pub last: f64,
     /// Largest value ever set.
     pub max: f64,
+}
+
+/// Live storage for one gauge: `f64` bit patterns in atomics so
+/// concurrent `gauge_set` calls need no lock. `last` is a plain store
+/// (whichever thread writes last wins — exactly the serial semantics
+/// under any interleaving); `max` is a compare-and-swap raise loop, so
+/// the high-water mark is exact regardless of write order.
+struct GaugeCell {
+    last: AtomicU64,
+    max: AtomicU64,
+}
+
+impl GaugeCell {
+    fn new(value: f64) -> Self {
+        let bits = value.to_bits();
+        Self {
+            last: AtomicU64::new(bits),
+            max: AtomicU64::new(bits),
+        }
+    }
+
+    fn set(&self, value: f64) {
+        self.last.store(value.to_bits(), Ordering::Relaxed);
+        let mut cur = self.max.load(Ordering::Relaxed);
+        while value > f64::from_bits(cur) {
+            match self.max.compare_exchange_weak(
+                cur,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    fn load(&self) -> GaugeState {
+        GaugeState {
+            last: f64::from_bits(self.last.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// Aggregate over all closed spans of one name.
@@ -61,46 +111,96 @@ impl MetricsSnapshot {
             && self.histograms.is_empty()
             && self.spans.is_empty()
     }
+
+    /// Folds `other` into `self`, name by name, preserving sorted order.
+    ///
+    /// Used by the parallel experiment runner to fuse the per-worker
+    /// snapshots captured at join into one report. Per section:
+    ///
+    /// * counters — summed;
+    /// * gauges — high-water marks take the max of both sides; `last`
+    ///   takes `other`'s value when the name appears there (merge order
+    ///   stands in for write order, which is unobservable across
+    ///   workers);
+    /// * histograms — bin-wise sums via [`FixedHistogram::merge`]
+    ///   (all registry histograms share one geometry);
+    /// * spans — counts and totals summed, max of maxima.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        fn fold<T: Clone>(
+            dst: &mut Vec<(String, T)>,
+            src: &[(String, T)],
+            combine: impl Fn(&mut T, &T),
+        ) {
+            for (name, rhs) in src {
+                match dst.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                    Ok(i) => combine(&mut dst[i].1, rhs),
+                    Err(i) => dst.insert(i, (name.clone(), rhs.clone())),
+                }
+            }
+        }
+        fold(&mut self.counters, &other.counters, |a, b| *a += b);
+        fold(&mut self.gauges, &other.gauges, |a, b| {
+            a.last = b.last;
+            a.max = a.max.max(b.max);
+        });
+        fold(&mut self.histograms, &other.histograms, |a, b| a.merge(b));
+        fold(&mut self.spans, &other.spans, |a, b| {
+            a.count += b.count;
+            a.total_ns = a.total_ns.saturating_add(b.total_ns);
+            a.max_ns = a.max_ns.max(b.max_ns);
+        });
+    }
 }
 
 #[derive(Default)]
 struct Registry {
-    counters: HashMap<&'static str, u64>,
-    gauges: HashMap<&'static str, GaugeState>,
-    histograms: HashMap<&'static str, FixedHistogram>,
-    spans: HashMap<&'static str, SpanAgg>,
+    counters: RwLock<HashMap<&'static str, Arc<AtomicU64>>>,
+    gauges: RwLock<HashMap<&'static str, Arc<GaugeCell>>>,
+    histograms: Mutex<HashMap<&'static str, FixedHistogram>>,
+    spans: Mutex<HashMap<&'static str, SpanAgg>>,
 }
 
-static REGISTRY: LazyLock<Mutex<Registry>> = LazyLock::new(Mutex::default);
+static REGISTRY: LazyLock<Registry> = LazyLock::new(Registry::default);
 
-fn registry() -> MutexGuard<'static, Registry> {
-    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+/// Looks up (or registers) the named cell in a `RwLock`'d map and
+/// returns a clone of its `Arc`, so the atomic update itself happens
+/// outside any lock.
+fn cell<T>(
+    map: &RwLock<HashMap<&'static str, Arc<T>>>,
+    name: &'static str,
+    init: impl FnOnce() -> T,
+) -> Arc<T> {
+    if let Some(c) = map
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(name)
+        .cloned()
+    {
+        return c;
+    }
+    map.write()
+        .unwrap_or_else(|e| e.into_inner())
+        .entry(name)
+        .or_insert_with(|| Arc::new(init()))
+        .clone()
 }
 
 pub(crate) fn counter_add(name: &'static str, delta: u64) {
-    *registry().counters.entry(name).or_insert(0) += delta;
+    cell(&REGISTRY.counters, name, || AtomicU64::new(0)).fetch_add(delta, Ordering::Relaxed);
 }
 
 pub(crate) fn gauge_set(name: &'static str, value: f64) {
-    registry()
-        .gauges
-        .entry(name)
-        .and_modify(|g| {
-            g.last = value;
-            if value > g.max {
-                g.max = value;
-            }
-        })
-        .or_insert(GaugeState {
-            last: value,
-            max: value,
-        });
+    // First registration records `value` as both last and max; the
+    // `set` after is then a no-op raise, keeping the fast path uniform.
+    cell(&REGISTRY.gauges, name, || GaugeCell::new(value)).set(value);
 }
 
 pub(crate) fn record_duration(name: &'static str, d: Duration) {
     let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
-    registry()
+    REGISTRY
         .histograms
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
         .entry(name)
         .or_insert_with(|| FixedHistogram::new(DURATION_BIN_WIDTH_NS, DURATION_BINS))
         .record(ns);
@@ -108,8 +208,8 @@ pub(crate) fn record_duration(name: &'static str, d: Duration) {
 
 pub(crate) fn span_closed(name: &'static str, dur: Duration) {
     let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
-    let mut reg = registry();
-    let agg = reg.spans.entry(name).or_default();
+    let mut spans = REGISTRY.spans.lock().unwrap_or_else(|e| e.into_inner());
+    let agg = spans.entry(name).or_default();
     agg.count += 1;
     agg.total_ns = agg.total_ns.saturating_add(ns);
     agg.max_ns = agg.max_ns.max(ns);
@@ -117,24 +217,35 @@ pub(crate) fn span_closed(name: &'static str, dur: Duration) {
 
 /// Copies the registry into a snapshot, sorted by name.
 pub fn snapshot() -> MetricsSnapshot {
-    let reg = registry();
     let mut snap = MetricsSnapshot {
-        counters: reg
+        counters: REGISTRY
             .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
-            .map(|(n, v)| (n.to_string(), *v))
+            .map(|(n, v)| (n.to_string(), v.load(Ordering::Relaxed)))
             .collect(),
-        gauges: reg
+        gauges: REGISTRY
             .gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
-            .map(|(n, g)| (n.to_string(), *g))
+            .map(|(n, g)| (n.to_string(), g.load()))
             .collect(),
-        histograms: reg
+        histograms: REGISTRY
             .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(n, h)| (n.to_string(), h.clone()))
             .collect(),
-        spans: reg.spans.iter().map(|(n, a)| (n.to_string(), *a)).collect(),
+        spans: REGISTRY
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(n, a)| (n.to_string(), *a))
+            .collect(),
     };
     snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
     snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
@@ -145,11 +256,26 @@ pub fn snapshot() -> MetricsSnapshot {
 
 /// Empties the registry.
 pub(crate) fn clear() {
-    let mut reg = registry();
-    reg.counters.clear();
-    reg.gauges.clear();
-    reg.histograms.clear();
-    reg.spans.clear();
+    REGISTRY
+        .counters
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+    REGISTRY
+        .gauges
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+    REGISTRY
+        .histograms
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+    REGISTRY
+        .spans
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
 }
 
 #[cfg(test)]
@@ -227,5 +353,106 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        counter_add("metrics.test.concurrent", 1);
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        let (_, v) = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "metrics.test.concurrent")
+            .expect("counter present");
+        assert_eq!(*v, THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn concurrent_gauge_high_water_is_exact() {
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                s.spawn(move || {
+                    for i in 0..1_000u32 {
+                        gauge_set("metrics.test.gauge.concurrent", f64::from(t * 1_000 + i));
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        let (_, g) = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "metrics.test.gauge.concurrent")
+            .expect("gauge present");
+        assert_eq!(g.max, 7_999.0);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_sections() {
+        let mut a = MetricsSnapshot {
+            counters: vec![("c.only_a".into(), 1), ("c.shared".into(), 10)],
+            gauges: vec![(
+                "g.shared".into(),
+                GaugeState {
+                    last: 3.0,
+                    max: 8.0,
+                },
+            )],
+            histograms: Vec::new(),
+            spans: vec![(
+                "s.shared".into(),
+                SpanAgg {
+                    count: 2,
+                    total_ns: 100,
+                    max_ns: 60,
+                },
+            )],
+        };
+        let mut h = FixedHistogram::new(10, 4);
+        h.record(5);
+        let b = MetricsSnapshot {
+            counters: vec![("c.only_b".into(), 7), ("c.shared".into(), 5)],
+            gauges: vec![(
+                "g.shared".into(),
+                GaugeState {
+                    last: 4.0,
+                    max: 6.0,
+                },
+            )],
+            histograms: vec![("h.only_b".into(), h)],
+            spans: vec![(
+                "s.shared".into(),
+                SpanAgg {
+                    count: 1,
+                    total_ns: 90,
+                    max_ns: 90,
+                },
+            )],
+        };
+        a.merge(&b);
+        assert_eq!(
+            a.counters,
+            vec![
+                ("c.only_a".to_string(), 1),
+                ("c.only_b".to_string(), 7),
+                ("c.shared".to_string(), 15),
+            ]
+        );
+        assert_eq!(a.gauges[0].1.last, 4.0);
+        assert_eq!(a.gauges[0].1.max, 8.0);
+        assert_eq!(a.histograms.len(), 1);
+        assert_eq!(a.histograms[0].1.count(), 1);
+        let s = a.spans[0].1;
+        assert_eq!((s.count, s.total_ns, s.max_ns), (3, 190, 90));
     }
 }

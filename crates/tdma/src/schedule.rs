@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 
 use wimesh_conflict::ConflictGraph;
+use wimesh_milp::CancelToken;
 use wimesh_topology::LinkId;
 
 use crate::{Demands, FrameConfig, ScheduleError, SlotRange, TransmissionOrder};
@@ -129,6 +130,7 @@ fn earliest_starts(
     graph: &ConflictGraph,
     demands: &Demands,
     order: &TransmissionOrder,
+    cancel: Option<&CancelToken>,
 ) -> Result<StartTimes, ScheduleError> {
     let n = graph.vertex_count();
     let demand_of = |i: usize| demands.get(graph.link_at(i)) as i64;
@@ -159,6 +161,12 @@ fn earliest_starts(
     let mut changed_vertex = None;
     let mut rounds = 0u64;
     for round in 0..=n {
+        // Cooperative stop flag: a cancelled revalidation pass (the
+        // speculative prober abandoning a redundant probe) bails between
+        // relaxation rounds rather than finishing an unwanted answer.
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(ScheduleError::Cancelled);
+        }
         rounds += 1;
         let mut changed = None;
         for &(u, v, w) in &edges {
@@ -220,7 +228,7 @@ pub fn min_slots_for_order(
     order: &TransmissionOrder,
 ) -> Result<u32, ScheduleError> {
     check_demands_in_graph(graph, demands)?;
-    let starts = earliest_starts(graph, demands, order)?;
+    let starts = earliest_starts(graph, demands, order, None)?;
     Ok(starts.makespan as u32)
 }
 
@@ -242,9 +250,36 @@ pub fn schedule_from_order(
     order: &TransmissionOrder,
     frame: FrameConfig,
 ) -> Result<Schedule, ScheduleError> {
+    schedule_from_order_inner(graph, demands, order, frame, None)
+}
+
+/// Like [`schedule_from_order`], with a cooperative stop flag polled
+/// between Bellman–Ford relaxation rounds.
+///
+/// # Errors
+///
+/// Same conditions as [`schedule_from_order`], plus
+/// [`ScheduleError::Cancelled`] once the token fires (no verdict).
+pub fn schedule_from_order_cancellable(
+    graph: &ConflictGraph,
+    demands: &Demands,
+    order: &TransmissionOrder,
+    frame: FrameConfig,
+    cancel: &CancelToken,
+) -> Result<Schedule, ScheduleError> {
+    schedule_from_order_inner(graph, demands, order, frame, Some(cancel))
+}
+
+fn schedule_from_order_inner(
+    graph: &ConflictGraph,
+    demands: &Demands,
+    order: &TransmissionOrder,
+    frame: FrameConfig,
+    cancel: Option<&CancelToken>,
+) -> Result<Schedule, ScheduleError> {
     let _span = wimesh_obs::span!("tdma.schedule.build");
     check_demands_in_graph(graph, demands)?;
-    let starts = earliest_starts(graph, demands, order)?;
+    let starts = earliest_starts(graph, demands, order, cancel)?;
     if starts.makespan > frame.slots() as i64 {
         return Err(ScheduleError::FrameTooShort {
             needed: starts.makespan as u32,

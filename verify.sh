@@ -10,6 +10,13 @@ cargo test -q
 # The distributed-runtime scenario suite is the end-to-end gate for the
 # fault-handling stack; run it by name so a filter typo can't skip it.
 cargo test -q -p wimesh-node --test node_runtime
+# Same for the parallel-engine determinism suite: serial and multi-thread
+# admission must agree on every verdict.
+cargo test -q -p wimesh --test parallel_equivalence
+# The parallel scaling benchmark end to end (quick sweep): exercises the
+# work-sharing B&B, speculative probing, the threaded runner queue and
+# the BENCH_parallel.json acceptance checks.
+cargo run -p wimesh-bench --release --bin experiments -- parallel_scaling --quick
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 # API docs must build warning-clean (covers the vendored stand-ins too).
