@@ -17,6 +17,8 @@
 //! from a shared queue (experiments stay internally deterministic —
 //! only the interleaving of their stdout lines changes).
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use std::sync::Arc;
 

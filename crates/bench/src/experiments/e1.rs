@@ -17,6 +17,8 @@ use wimesh_topology::{generators, NodeId};
 use crate::experiments::common;
 use crate::{BenchError, Ctx, Table};
 
+/// Runs the experiment: see the module documentation for what it
+/// measures and the figure it regenerates.
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let lengths: &[usize] = if ctx.quick {
         &[3, 5]

@@ -42,6 +42,8 @@ fn measure(topo: &MeshTopology, demands: &Demands, model: InterferenceModel) -> 
     )
 }
 
+/// Runs the experiment: see the module documentation for what it
+/// measures and the figure it regenerates.
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let mut table = Table::new(
         "E10: interference radius ablation — coloring makespan for 2-slot uplinks",

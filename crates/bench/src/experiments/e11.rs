@@ -20,6 +20,8 @@ use wimesh_topology::{generators, NodeId};
 
 use crate::{BenchError, Ctx, Table};
 
+/// Runs the experiment: see the module documentation for what it
+/// measures and the figure it regenerates.
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let depth = 3usize;
     let per_link = 2u32;

@@ -41,6 +41,8 @@ fn violations(
     Ok((outcome.admitted.len(), bad, outcome.guaranteed_slots))
 }
 
+/// Runs the experiment: see the module documentation for what it
+/// measures and the figure it regenerates.
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let offered: &[usize] = if ctx.quick {
         &[8, 16]

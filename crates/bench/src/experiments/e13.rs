@@ -31,6 +31,8 @@ use wimesh_topology::{generators, NodeId};
 use crate::experiments::common::ms;
 use crate::{BenchError, Ctx, Table};
 
+/// Runs the experiment: see the module documentation for what it
+/// measures and the figure it regenerates.
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let loss_rates: &[f64] = if ctx.quick {
         &[0.0, 0.05, 0.20]

@@ -22,6 +22,8 @@ use wimesh_topology::{generators, NodeId};
 use crate::experiments::common;
 use crate::{BenchError, Ctx, Table};
 
+/// Runs the experiment: see the module documentation for what it
+/// measures and the figure it regenerates.
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let seeds: &[u64] = if ctx.quick { &[1, 2] } else { &[1, 2, 3, 4, 5] };
     let calls = 40;

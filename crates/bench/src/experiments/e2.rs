@@ -19,6 +19,8 @@ use wimesh_topology::{generators, NodeId};
 use crate::experiments::common::ms;
 use crate::{BenchError, Ctx, Table};
 
+/// Runs the experiment: see the module documentation for what it
+/// measures and the figure it regenerates.
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let n = 7; // 6 hops
     let sim_time = if ctx.quick {

@@ -55,6 +55,8 @@ fn lower_bound(mesh: &MeshQos, outcome: &wimesh::AdmissionOutcome) -> u32 {
         .unwrap_or(0)
 }
 
+/// Runs the experiment: see the module documentation for what it
+/// measures and the figure it regenerates.
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let max_flows = if ctx.quick { 4 } else { 10 };
     let mut table = Table::new(

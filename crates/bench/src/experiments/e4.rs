@@ -21,6 +21,8 @@ use wimesh_topology::{generators, NodeId};
 
 use crate::{BenchError, Ctx, Table};
 
+/// Runs the experiment: see the module documentation for what it
+/// measures and the figure it regenerates.
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let hop_counts: &[usize] = if ctx.quick {
         &[2, 4, 6]

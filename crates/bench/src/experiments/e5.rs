@@ -15,6 +15,8 @@ use wimesh_topology::{generators, NodeId};
 
 use crate::{BenchError, Ctx, Table};
 
+/// Runs the experiment: see the module documentation for what it
+/// measures and the figure it regenerates.
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let frame_slots: &[u32] = if ctx.quick {
         &[16, 64, 128]

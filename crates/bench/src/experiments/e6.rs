@@ -28,6 +28,8 @@ fn try_model(phy: PhyStandard, rate: f64, slot_us: u64) -> Option<EmulationModel
     .ok()
 }
 
+/// Runs the experiment: see the module documentation for what it
+/// measures and the figure it regenerates.
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let mut table = Table::new(
         "E6: emulated minislot capacity and efficiency (20 ppm, 500 ms resync)",

@@ -21,6 +21,8 @@ use wimesh_topology::{generators, NodeId};
 
 use crate::{BenchError, Ctx, Table};
 
+/// Runs the experiment: see the module documentation for what it
+/// measures and the figure it regenerates.
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let resyncs_ms: &[u64] = if ctx.quick {
         &[100, 1000, 5000]

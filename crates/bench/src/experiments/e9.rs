@@ -37,6 +37,8 @@ fn instance(nodes: usize, k: usize) -> (MeshTopology, Vec<Path>, Demands) {
     (topo, paths, demands)
 }
 
+/// Runs the experiment: see the module documentation for what it
+/// measures and the figure it regenerates.
 pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     let cases: &[(usize, usize)] = if ctx.quick {
         &[(4, 1), (5, 2), (6, 2)]

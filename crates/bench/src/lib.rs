@@ -8,6 +8,7 @@
 //! `EXPERIMENTS.md` for recorded outcomes.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 mod table;

@@ -1,0 +1,551 @@
+//! A minimal handwritten Rust lexer for the workspace lint engine.
+//!
+//! This is deliberately **not** a full Rust parser. The lint rules only need
+//! a token stream with line numbers that is immune to the classic grep
+//! failure modes: string literals, comments, raw strings, char literals and
+//! lifetimes. The lexer produces identifiers, punctuation and opaque
+//! literals, records every comment (so `// check: allow(<rule>)` directives
+//! can be collected) and never panics on malformed input — unterminated
+//! constructs simply run to end of file.
+//!
+//! On top of the raw token stream, [`Lexed::test_mask`] computes which
+//! tokens belong to `#[cfg(test)]` items so rules can exempt test code
+//! without understanding the full grammar: after a `#[cfg(test)]` (or
+//! `#[cfg(any(.., test, ..))]`) attribute, everything up to the end of the
+//! next balanced `{ .. }` block or to the next top-level `;` is masked.
+
+/// One lexical token together with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based source line of the first character of the token.
+    pub line: u32,
+}
+
+/// The classes of token the lint rules distinguish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `pub`, `r#type`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `(`, `{`, `!`, ...).
+    Punct(char),
+    /// A string, char, number or byte literal (payload discarded).
+    Literal,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// A comment (line or block) with the line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the `//` or `/*` opener.
+    pub line: u32,
+    /// Comment text including the opener.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Lexes `source` into tokens and comments. Never fails: malformed
+    /// input degrades to opaque literals running to end of input.
+    pub fn lex(source: &str) -> Lexed {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            out: Lexed::default(),
+        }
+        .run()
+    }
+
+    /// Returns a per-token mask: `true` when the token is part of a
+    /// `#[cfg(test)]` item (the attribute itself, any stacked attributes
+    /// after it, and the item body up to the end of its balanced braces or
+    /// terminating semicolon).
+    pub fn test_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.tokens.len()];
+        let mut i = 0;
+        while i < self.tokens.len() {
+            if let Some(end) = self.cfg_test_attr_end(i) {
+                let item_end = self.item_end(end);
+                for m in mask.iter_mut().take(item_end).skip(i) {
+                    *m = true;
+                }
+                i = item_end;
+            } else {
+                i += 1;
+            }
+        }
+        mask
+    }
+
+    /// If tokens starting at `i` form a `#[cfg(..test..)]` attribute,
+    /// returns the index one past its closing `]`.
+    fn cfg_test_attr_end(&self, i: usize) -> Option<usize> {
+        if !self.is_punct(i, '#') || !self.is_punct(i + 1, '[') {
+            return None;
+        }
+        // Find the matching `]`, tracking nesting of all bracket kinds.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while j < self.tokens.len() {
+            match &self.tokens[j].kind {
+                TokenKind::Punct('[' | '(' | '{') => depth += 1,
+                TokenKind::Punct(']' | ')' | '}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Ident(name) => {
+                    if name == "cfg" {
+                        saw_cfg = true;
+                    } else if name == "test" {
+                        saw_test = true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if saw_cfg && saw_test {
+            Some(j + 1)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the index one past the end of the item starting at `i`:
+    /// skips any further `#[..]` attributes, then consumes up to and
+    /// including the first balanced `{ .. }` group or a `;` at bracket
+    /// depth zero, whichever comes first.
+    fn item_end(&self, mut i: usize) -> usize {
+        // Skip stacked attributes (`#[test]`, `#[allow(..)]`, ...).
+        while self.is_punct(i, '#') && self.is_punct(i + 1, '[') {
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < self.tokens.len() {
+                match &self.tokens[j].kind {
+                    TokenKind::Punct('[' | '(' | '{') => depth += 1,
+                    TokenKind::Punct(']' | ')' | '}') => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j + 1;
+        }
+        let mut depth = 0usize;
+        while i < self.tokens.len() {
+            match &self.tokens[i].kind {
+                TokenKind::Punct('{') => {
+                    depth += 1;
+                }
+                TokenKind::Punct('(' | '[') => depth += 1,
+                TokenKind::Punct(']' | ')') => depth = depth.saturating_sub(1),
+                TokenKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                TokenKind::Punct(';') if depth == 0 => return i + 1,
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        matches!(self.tokens.get(i), Some(t) if t.kind == TokenKind::Punct(c))
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                'b' if self.peek(1) == Some('\'') => {
+                    self.pos += 1;
+                    self.char_or_lifetime();
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.pos += 1;
+                    self.string_literal();
+                }
+                'r' | 'b' if self.raw_string_hashes().is_some() => {
+                    // `r"..."`, `r#"..."#`, `br#"..."#` and friends.
+                    let hashes = self.raw_string_hashes().unwrap_or(0);
+                    self.raw_string_literal(hashes);
+                }
+                c if c.is_ascii_digit() => self.number_literal(),
+                c if c == '_' || c.is_alphabetic() => self.ident(),
+                c => {
+                    self.out.tokens.push(Token {
+                        kind: TokenKind::Punct(c),
+                        line: self.line,
+                    });
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// If the cursor sits on a raw (byte) string opener, returns its hash
+    /// count. `r#ident` raw identifiers return `None`.
+    fn raw_string_hashes(&self) -> Option<usize> {
+        let mut i = self.pos;
+        if self.chars.get(i) == Some(&'b') {
+            i += 1;
+        }
+        if self.chars.get(i) != Some(&'r') {
+            return None;
+        }
+        i += 1;
+        let mut hashes = 0usize;
+        while self.chars.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if self.chars.get(i) == Some(&'"') {
+            Some(hashes)
+        } else {
+            None
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            line: start_line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.pos += 2;
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                text.push_str("*/");
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                text.push(c);
+                self.pos += 1;
+            }
+        }
+        self.out.comments.push(Comment {
+            line: start_line,
+            text,
+        });
+    }
+
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.pos += 2,
+                '"' => {
+                    self.pos += 1;
+                    break;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            line,
+        });
+    }
+
+    fn raw_string_literal(&mut self, hashes: usize) {
+        let line = self.line;
+        // Skip past optional `b`, the `r`, the hashes and the quote.
+        if self.peek(0) == Some('b') {
+            self.pos += 1;
+        }
+        self.pos += 1 + hashes + 1;
+        let closer: Vec<char> = std::iter::once('"')
+            .chain(std::iter::repeat_n('#', hashes))
+            .collect();
+        while self.pos < self.chars.len() {
+            if self.chars[self.pos] == '"' && self.chars[self.pos..].starts_with(closer.as_slice())
+            {
+                self.pos += closer.len();
+                break;
+            }
+            if self.chars[self.pos] == '\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            line,
+        });
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // A lifetime is `'` + ident char(s) not closed by another `'`.
+        // `'a'` is a char; `'a` is a lifetime; `'\n'` is a char.
+        let one = self.peek(1);
+        let two = self.peek(2);
+        let is_char = match one {
+            Some('\\') => true,
+            Some(c) if c != '\'' && two == Some('\'') => true,
+            _ => false,
+        };
+        if is_char {
+            self.pos += 1; // opening quote
+            while let Some(c) = self.peek(0) {
+                match c {
+                    '\\' => self.pos += 2,
+                    '\'' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => self.pos += 1,
+                }
+            }
+            self.out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                line,
+            });
+        } else {
+            self.pos += 1;
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            self.out.tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                line,
+            });
+        }
+    }
+
+    fn number_literal(&mut self) {
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.pos += 1;
+                // Exponent sign: `1e-6`, `2.5E+3`.
+                if (c == 'e' || c == 'E')
+                    && matches!(self.peek(0), Some('+' | '-'))
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                {
+                    self.pos += 1;
+                }
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                // Only consume `.` as part of the number when a digit
+                // follows, so `32.fits(..)` keeps its method call.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Literal,
+            line,
+        });
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        // Raw identifier `r#type`: skip the `r#` and keep the name.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.pos += 2;
+        }
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                name.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.out.tokens.push(Token {
+            kind: TokenKind::Ident(name),
+            line,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        Lexed::lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            let a = "x.unwrap() // not code";
+            // a real comment with .unwrap()
+            let b = r#"raw .unwrap() "quoted" body"#;
+            /* block .unwrap()
+               over lines */
+            let c = 'x';
+            let d: &'static str = "s";
+        "##;
+        let lexed = Lexed::lex(src);
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("real comment"));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let src = "let x = 32.max(1); let y = 2.5_f64; let z = 1e-6;";
+        let ids = idents(src);
+        assert!(ids.contains(&"max".to_string()));
+        assert!(!ids.contains(&"5_f64".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = \"line\n1\";\nfoo();";
+        let lexed = Lexed::lex(src);
+        let foo = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("foo".into()))
+            .expect("foo token");
+        assert_eq!(foo.line, 3);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = r#"
+            pub fn lib_code() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { y.unwrap(); }
+            }
+            pub fn more_lib() { z.unwrap(); }
+        "#;
+        let lexed = Lexed::lex(src);
+        let mask = lexed.test_mask();
+        let unwraps: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.kind == TokenKind::Ident("unwrap".into()))
+            .map(|(_, &m)| m)
+            .collect();
+        assert_eq!(unwraps, vec![false, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_statement_attribute_is_masked() {
+        let src = r#"
+            fn f() {
+                #[cfg(test)]
+                let probe = x.unwrap();
+                real_work();
+            }
+        "#;
+        let lexed = Lexed::lex(src);
+        let mask = lexed.test_mask();
+        let unwrap_masked = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .find(|(t, _)| t.kind == TokenKind::Ident("unwrap".into()))
+            .map(|(_, &m)| m);
+        assert_eq!(unwrap_masked, Some(true));
+        let real_masked = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .find(|(t, _)| t.kind == TokenKind::Ident("real_work".into()))
+            .map(|(_, &m)| m);
+        assert_eq!(real_masked, Some(false));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(feature = \"x\")] fn f() { a.unwrap(); }";
+        let lexed = Lexed::lex(src);
+        assert!(lexed.test_mask().iter().all(|&m| !m));
+    }
+}

@@ -1,0 +1,36 @@
+//! Static analysis and independent verification for the wimesh workspace.
+//!
+//! Two engines, one goal: the paper's *guaranteed* QoS must not rest on
+//! "the optimizer said so".
+//!
+//! * [`lint`] — a workspace lint built on a handwritten Rust lexer
+//!   ([`lexer`]) that enforces repo-specific rules generic tooling cannot
+//!   express: library code returns errors instead of unwrapping, no
+//!   wall-clock reads in deterministic model code, no printing from
+//!   library crates, `#![forbid(unsafe_code)]` on every crate root, and
+//!   public `*Error` types implementing `Display` + `std::error::Error`.
+//!   Run it with `cargo run -p wimesh-check -- lint --workspace`.
+//! * [`certify`] — a deliberately-simple re-verification of every schedule
+//!   the admission controller emits: conflict-freedom slot by slot, demand
+//!   satisfaction, per-flow delay bounds re-derived hop by hop, guard-time
+//!   sufficiency against the drift model, and a from-scratch Bellman–Ford
+//!   cross-check of the makespan. It shares no code with `crates/tdma`, so
+//!   the optimised solver and the oracle can only agree by both being
+//!   right. `wimesh` calls it behind the `checked` cargo feature on every
+//!   session admit/release/rebalance, and the integration suites gate on
+//!   it unconditionally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certify;
+pub mod error;
+pub mod lexer;
+pub mod lint;
+
+pub use certify::{
+    CertParams, Certificate, CertificateReport, CertifyError, DriftModel, FlowRequirement,
+    Violation,
+};
+pub use error::CheckError;
+pub use lint::{lint_crate, lint_workspace, Diagnostic, LintConfig, LintReport, Rule};

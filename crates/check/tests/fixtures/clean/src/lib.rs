@@ -1,0 +1,38 @@
+//! Fixture library that passes every rule: forbids unsafe, returns
+//! errors, implements the error traits, and suppresses one deliberate
+//! unwrap with an allow directive.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A well-behaved error type.
+#[derive(Debug)]
+pub enum CleanError {
+    /// The input was empty.
+    Empty,
+}
+
+impl fmt::Display for CleanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("empty input")
+    }
+}
+
+impl std::error::Error for CleanError {}
+
+/// Returns the first element or an error — no unwrap needed.
+pub fn first(xs: &[u32]) -> Result<u32, CleanError> {
+    xs.first().copied().ok_or(CleanError::Empty)
+}
+
+/// A justified, annotated unwrap: suppressed, not reported.
+pub fn annotated(xs: &[u32]) -> u32 {
+    // check: allow(no-unwrap-in-lib) fixture: slice is never empty here
+    xs.first().copied().unwrap()
+}
+
+/// Same-line directive form.
+pub fn same_line(x: Option<u32>) -> u32 {
+    x.unwrap() // check: allow(no-unwrap-in-lib) fixture: caller checked
+}

@@ -1,0 +1,50 @@
+//! Fixture library that violates every rule at least once. Line numbers
+//! matter: the self-tests assert exact `file:line` locations.
+
+// Missing #![forbid(unsafe_code)] → forbid-unsafe-everywhere at line 1.
+
+/// An error type with no Display / Error impls →
+/// error-enums-impl-error.
+pub enum FixtureError {
+    /// Something broke.
+    Broken,
+}
+
+/// Unwrap in library code → no-unwrap-in-lib (three findings).
+pub fn unwraps(x: Option<u32>, y: Result<u32, u32>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("fixture");
+    let c = y.expect_err("fixture");
+    a + b + c
+}
+
+/// Wall-clock reads → no-wallclock-in-deterministic (two findings).
+pub fn wallclock() -> std::time::Instant {
+    let _ = std::time::SystemTime::now();
+    std::time::Instant::now()
+}
+
+/// Printing from library code → no-println-in-lib (two findings).
+pub fn noisy() {
+    println!("fixture");
+    dbg!(42);
+}
+
+/// A string mentioning .unwrap() must NOT trip the lexer-based rule,
+/// and neither must an identifier merely named unwrap.
+pub fn decoys() -> &'static str {
+    let unwrap = 1;
+    let _ = unwrap + 1;
+    "call .unwrap() here"
+}
+
+#[cfg(test)]
+mod tests {
+    /// Unwraps inside #[cfg(test)] are exempt.
+    #[test]
+    fn test_code_is_exempt() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        println!("test output is fine");
+    }
+}

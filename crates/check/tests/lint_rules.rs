@@ -1,0 +1,129 @@
+//! Self-tests for the lint engine: every rule fires (with exact
+//! `file:line` locations) on the deliberately-broken fixture crate,
+//! stays silent on the clean one, and the production configuration
+//! holds over the real workspace tree.
+
+use std::path::{Path, PathBuf};
+
+use wimesh_check::{lint_crate, lint_workspace, Diagnostic, LintConfig, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Config that opts the fixture crates into every rule.
+fn fixture_config() -> LintConfig {
+    LintConfig {
+        unwrap_adopted: vec!["fixture-violations".into(), "fixture-clean".into()],
+        deterministic: vec!["fixture-violations".into(), "fixture-clean".into()],
+        println_exempt: vec![],
+        include_vendor: false,
+    }
+}
+
+fn lines_for(diags: &[Diagnostic], rule: Rule) -> Vec<u32> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn violations_fixture_trips_every_rule_at_the_right_lines() {
+    let report = lint_crate(&fixture("violations"), &fixture_config()).unwrap();
+    assert_eq!(report.crates_scanned, 1);
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.suppressed, 0);
+
+    let d = &report.diagnostics;
+    assert_eq!(lines_for(d, Rule::NoUnwrapInLib), vec![15, 16, 17]);
+    assert_eq!(lines_for(d, Rule::NoWallclockInDeterministic), vec![23, 24]);
+    assert_eq!(lines_for(d, Rule::NoPrintlnInLib), vec![29, 30]);
+    assert_eq!(lines_for(d, Rule::ForbidUnsafeEverywhere), vec![1]);
+    assert_eq!(lines_for(d, Rule::ErrorEnumsImplError), vec![8]);
+    assert_eq!(d.len(), 9, "unexpected extra diagnostics: {d:#?}");
+}
+
+#[test]
+fn violations_are_attributed_to_the_offending_file() {
+    let report = lint_crate(&fixture("violations"), &fixture_config()).unwrap();
+    for diag in &report.diagnostics {
+        assert!(
+            diag.path.ends_with("src/lib.rs"),
+            "diagnostic points at {}",
+            diag.path.display()
+        );
+        let rendered = diag.to_string();
+        assert!(
+            rendered.contains(&format!(":{}: [{}]", diag.line, diag.rule)),
+            "display format regressed: {rendered}"
+        );
+    }
+}
+
+#[test]
+fn decoys_do_not_trip_the_lexer_rules() {
+    // Strings mentioning `.unwrap()`, identifiers named `unwrap`,
+    // `Instant` in type position and `#[cfg(test)]` bodies are all in
+    // the violations fixture; none may produce extra findings beyond
+    // the nine asserted above.
+    let report = lint_crate(&fixture("violations"), &fixture_config()).unwrap();
+    assert!(
+        report.diagnostics.iter().all(|d| d.line <= 30),
+        "a decoy past line 30 was flagged: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean_and_allow_directives_suppress() {
+    let report = lint_crate(&fixture("clean"), &fixture_config()).unwrap();
+    assert!(
+        report.is_clean(),
+        "clean fixture flagged: {:#?}",
+        report.diagnostics
+    );
+    // One preceding-line and one same-line `// check: allow(..)`.
+    assert_eq!(report.suppressed, 2);
+}
+
+#[test]
+fn json_report_is_machine_readable() {
+    let report = lint_crate(&fixture("violations"), &fixture_config()).unwrap();
+    let json = report.to_json();
+    for rule in Rule::ALL {
+        assert!(
+            json.contains(&format!("\"rule\": \"{}\"", rule.name())),
+            "{} missing from JSON",
+            rule.name()
+        );
+    }
+    assert!(json.contains("\"suppressed\": 0"));
+    assert!(json.contains("\"files_scanned\": 1"));
+}
+
+#[test]
+fn production_config_holds_over_the_real_workspace() {
+    // The acceptance gate: the shipped tree lints clean under the
+    // default (production) configuration — same invocation verify.sh
+    // runs via the CLI.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let report = lint_workspace(root, &LintConfig::default()).unwrap();
+    assert!(
+        report.is_clean(),
+        "workspace lint regressed:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.crates_scanned >= 13);
+}

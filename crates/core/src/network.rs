@@ -115,7 +115,9 @@ impl MeshQos {
         let mut link_payloads = vec![model.slot_payload_bytes(); topo.link_count()];
         if let RatePolicy::DistanceAdaptive(table) = &rates {
             for link in topo.links() {
+                // check: allow(no-unwrap-in-lib) MeshTopology guarantees link endpoints are its own nodes
                 let a = topo.node(link.tx).expect("links reference valid nodes");
+                // check: allow(no-unwrap-in-lib) MeshTopology guarantees link endpoints are its own nodes
                 let b = topo.node(link.rx).expect("links reference valid nodes");
                 let d = a.distance_to(b);
                 let rate = table
@@ -178,6 +180,31 @@ impl MeshQos {
     /// The interference model used for conflict graphs.
     pub fn interference(&self) -> InterferenceModel {
         self.interference
+    }
+
+    /// Re-derives the aggregate per-link minislot demand a set of admitted
+    /// flows implies — the exact mapping admission uses (per-link loads
+    /// summed *before* rounding to slots, loss over-provisioning applied).
+    ///
+    /// Exposed so independent verifiers (the `wimesh-check` certifier) can
+    /// re-check a schedule against the same demand model the controller
+    /// promised to satisfy.
+    pub fn demands_for(&self, flows: &[admission::AdmittedFlow]) -> wimesh_tdma::Demands {
+        let accepted: Vec<admission::Accepted> = flows
+            .iter()
+            .map(|f| admission::Accepted {
+                spec: f.spec.clone(),
+                path: f.path.clone(),
+                slots_per_link: f.slots_per_link,
+            })
+            .collect();
+        let refs: Vec<&admission::Accepted> = accepted.iter().collect();
+        admission::aggregate_demands(
+            self.model(),
+            self.link_payloads(),
+            self.loss_provisioning(),
+            &refs,
+        )
     }
 
     /// Per-link minislot payloads, indexed by `LinkId` (internal).

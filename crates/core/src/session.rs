@@ -309,10 +309,12 @@ impl QosSession {
                 });
                 self.accepted.push(candidate);
                 self.refresh_outcome(schedule, ord, used);
+                self.certify("admit");
                 let admitted = self
                     .outcome
                     .admitted
                     .last()
+                    // check: allow(no-unwrap-in-lib) the candidate was pushed above, so admitted is non-empty
                     .expect("candidate was just accepted")
                     .clone();
                 Ok(FlowAdmission::Admitted(admitted))
@@ -390,6 +392,7 @@ impl QosSession {
                 TransmissionOrder::new(),
                 0,
             );
+            self.certify("release");
             return Ok(true);
         }
 
@@ -413,6 +416,7 @@ impl QosSession {
                 self.stats.releases += 1;
                 wimesh_obs::counter_inc("session.releases");
                 self.refresh_outcome(schedule, ord, used);
+                self.certify("release");
                 Ok(true)
             }
             Err(e) => {
@@ -491,6 +495,7 @@ impl QosSession {
         rejected.extend(outcome.rejected.iter().cloned());
         self.outcome = outcome;
         self.outcome.rejected = rejected;
+        self.certify("rebalance");
         Ok(&self.outcome)
     }
 
@@ -518,10 +523,53 @@ impl QosSession {
         self.outcome.order = ord;
         self.outcome.guaranteed_slots = used;
     }
+
+    /// Cross-checks the published outcome against the independent
+    /// certifier in `wimesh-check` (compiled in by the `checked` cargo
+    /// feature). Panics with the full violation list on failure: the
+    /// optimised incremental paths must never publish a schedule the
+    /// reference oracle rejects.
+    #[cfg(feature = "checked")]
+    fn certify(&self, operation: &str) {
+        let demands = {
+            let trial: Vec<&Accepted> = self.accepted.iter().collect();
+            admission::aggregate_demands(
+                self.mesh.model(),
+                self.mesh.link_payloads(),
+                self.mesh.loss_provisioning(),
+                &trial,
+            )
+        };
+        let flows: Vec<wimesh_check::FlowRequirement> = self
+            .outcome
+            .admitted
+            .iter()
+            .map(|f| wimesh_check::FlowRequirement {
+                id: f.spec.id.0 as u64,
+                links: f.path.links().to_vec(),
+                deadline: f.spec.deadline,
+            })
+            .collect();
+        let params = wimesh_check::CertParams::from_emulation(self.mesh.model());
+        if let Err(err) = wimesh_check::Certificate::check(
+            &self.outcome.schedule,
+            &self.graph,
+            &demands,
+            &flows,
+            &params,
+        ) {
+            panic!("session {operation} published an uncertifiable schedule: {err}");
+        }
+    }
+
+    /// No-op without the `checked` feature.
+    #[cfg(not(feature = "checked"))]
+    fn certify(&self, _operation: &str) {}
 }
 
 fn empty_outcome(model: &EmulationModel) -> AdmissionOutcome {
     let schedule = Schedule::from_ranges(model.frame(), Default::default())
+        // check: allow(no-unwrap-in-lib) no ranges to overflow: an empty schedule fits any frame
         .expect("an empty schedule fits any frame");
     AdmissionOutcome {
         admitted: Vec::new(),
@@ -802,6 +850,7 @@ fn speculative_search(
         let (prev_lo, prev_hi) = (lo, hi);
         let mut fatal: Option<ScheduleError> = None;
         for (k, outcome) in outcomes.into_iter().enumerate() {
+            // check: allow(no-unwrap-in-lib) the scoped threads above fill every probe slot before joining
             let res = outcome.expect("every probe reports exactly once");
             let q = points[k];
             stats.oracle_calls += 1;

@@ -15,8 +15,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
+use wimesh::conflict::ConflictGraph;
 use wimesh::milp::SolverConfig;
 use wimesh::{AdmissionOutcome, FlowSpec, MeshQos, OrderPolicy};
+use wimesh_check::{CertParams, Certificate, FlowRequirement};
 use wimesh_sim::FlowId;
 use wimesh_topology::{generators, MeshTopology, NodeId};
 
@@ -74,6 +76,35 @@ fn admitted_ids(outcome: &AdmissionOutcome) -> Vec<u32> {
     ids
 }
 
+/// Independent certifier gate (`wimesh-check`): serial/parallel
+/// *agreement* alone could mask a bug shared by both engines, so every
+/// compared schedule must also be provably conflict-free,
+/// demand-satisfying and within its delay bounds.
+fn certify(mesh: &MeshQos, outcome: &AdmissionOutcome) -> Result<(), TestCaseError> {
+    let demands = mesh.demands_for(outcome.admitted());
+    let graph = ConflictGraph::build_for_links(
+        mesh.topology(),
+        outcome.schedule.links().collect(),
+        mesh.interference(),
+    );
+    let flows: Vec<FlowRequirement> = outcome
+        .admitted()
+        .iter()
+        .map(|f| FlowRequirement {
+            id: f.spec.id.0 as u64,
+            links: f.path.links().to_vec(),
+            deadline: f.spec.deadline,
+        })
+        .collect();
+    let params = CertParams::from_emulation(mesh.model());
+    if let Err(err) = Certificate::check(&outcome.schedule, &graph, &demands, &flows, &params) {
+        return Err(TestCaseError::fail(format!(
+            "certifier rejected schedule: {err}"
+        )));
+    }
+    Ok(())
+}
+
 fn mesh_with_threads(topo: MeshTopology, threads: usize) -> Option<MeshQos> {
     MeshQos::builder(topo)
         .solver_config(SolverConfig::with_threads(threads))
@@ -103,6 +134,8 @@ proptest! {
         let parallel = parallel_mesh
             .admit(&scenario.flows, OrderPolicy::ExactMilp)
             .map_err(|e| TestCaseError::fail(format!("parallel admit failed: {e}")))?;
+        certify(&serial_mesh, &serial)?;
+        certify(&parallel_mesh, &parallel)?;
         prop_assert_eq!(
             admitted_ids(&serial),
             admitted_ids(&parallel),
@@ -137,6 +170,8 @@ proptest! {
             prop_assert_eq!(a.is_admitted(), b.is_admitted(), "per-flow verdict diverged");
         }
         let (s, p) = (serial.snapshot(), parallel.snapshot());
+        certify(&serial_mesh, s)?;
+        certify(&parallel_mesh, p)?;
         prop_assert_eq!(admitted_ids(s), admitted_ids(p), "admitted sets diverged");
         prop_assert_eq!(s.guaranteed_slots, p.guaranteed_slots, "slot counts diverged");
     }

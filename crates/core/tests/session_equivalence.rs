@@ -16,6 +16,7 @@ use rand::SeedableRng;
 use std::time::Duration;
 use wimesh::conflict::ConflictGraph;
 use wimesh::{AdmissionOutcome, FlowSpec, MeshQos, OrderPolicy, QosSession};
+use wimesh_check::{CertParams, Certificate, FlowRequirement};
 use wimesh_sim::FlowId;
 use wimesh_topology::{generators, MeshTopology, NodeId};
 
@@ -118,6 +119,25 @@ fn assert_schedule_sane(session: &QosSession) -> Result<(), TestCaseError> {
             snap.schedule.validate(&graph).is_ok(),
             "conflicting schedule"
         );
+        // Unconditional independent gate: the wimesh-check certifier
+        // re-derives conflict freedom, demand satisfaction and delay
+        // bounds from scratch — it shares no code with the solver.
+        let demands = session.mesh().demands_for(snap.admitted());
+        let flows: Vec<FlowRequirement> = snap
+            .admitted()
+            .iter()
+            .map(|f| FlowRequirement {
+                id: f.spec.id.0 as u64,
+                links: f.path.links().to_vec(),
+                deadline: f.spec.deadline,
+            })
+            .collect();
+        let params = CertParams::from_emulation(session.mesh().model());
+        if let Err(err) = Certificate::check(&snap.schedule, &graph, &demands, &flows, &params) {
+            return Err(TestCaseError::fail(format!(
+                "certifier rejected mid-churn schedule: {err}"
+            )));
+        }
     }
     for f in snap.admitted() {
         if let Some(deadline) = f.spec.deadline {

@@ -38,6 +38,9 @@
 //! assert!(seg.time_to_sync.is_some());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod error;
 pub mod fabric;
 pub mod node;

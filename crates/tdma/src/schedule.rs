@@ -190,12 +190,15 @@ fn earliest_starts(
         // Walk predecessors n times to land on the cycle, then collect it.
         let mut v = start;
         for _ in 0..n {
+            // check: allow(no-unwrap-in-lib) a vertex relaxed in round n has a predecessor by construction
             v = pred[v].expect("relaxed vertices have predecessors");
         }
         let mut cycle = vec![v];
+        // check: allow(no-unwrap-in-lib) v was reached by a predecessor walk, so pred[v] is set
         let mut cur = pred[v].expect("on cycle");
         while cur != v {
             cycle.push(cur);
+            // check: allow(no-unwrap-in-lib) every vertex of the positive cycle has a predecessor on it
             cur = pred[cur].expect("on cycle");
         }
         cycle.reverse();
@@ -288,7 +291,9 @@ fn schedule_from_order_inner(
     }
     let mut ranges = BTreeMap::new();
     for (link, d) in demands.iter() {
-        let i = graph.index_of(link).expect("checked above");
+        let i = graph
+            .index_of(link)
+            .ok_or(ScheduleError::LinkNotInGraph(link))?;
         ranges.insert(link, SlotRange::new(starts.sigma[i] as u32, d));
     }
     Schedule::from_ranges(frame, ranges)

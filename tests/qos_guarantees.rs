@@ -6,11 +6,44 @@ use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use wimesh::conflict::ConflictGraph;
 use wimesh::phy80211::dcf::DcfConfig;
 use wimesh::sim::traffic::{CbrSource, TrafficSource, VoipCodec, VoipSource};
-use wimesh::{FlowSpec, MeshQos, OrderPolicy};
+use wimesh::{AdmissionOutcome, FlowSpec, MeshQos, OrderPolicy};
+use wimesh_check::{CertParams, Certificate, FlowRequirement};
 use wimesh_emu::EmulationParams;
 use wimesh_topology::{generators, NodeId};
+
+/// Unconditional gate: every schedule the admission controller publishes
+/// must pass the independent certifier in `wimesh-check` — conflict
+/// freedom, demand satisfaction, delay bounds and guard sufficiency are
+/// re-derived from scratch, not trusted.
+fn certify_outcome(mesh: &MeshQos, outcome: &AdmissionOutcome) {
+    let demands = mesh.demands_for(&outcome.admitted);
+    let graph = ConflictGraph::build_for_links(
+        mesh.topology(),
+        outcome.schedule.links().collect(),
+        mesh.interference(),
+    );
+    let flows: Vec<FlowRequirement> = outcome
+        .admitted
+        .iter()
+        .map(|f| FlowRequirement {
+            id: f.spec.id.0 as u64,
+            links: f.path.links().to_vec(),
+            deadline: f.spec.deadline,
+        })
+        .collect();
+    let report = Certificate::check(
+        &outcome.schedule,
+        &graph,
+        &demands,
+        &flows,
+        &CertParams::from_emulation(mesh.model()),
+    )
+    .expect("published schedule must certify");
+    assert_eq!(report.links, outcome.schedule.len());
+}
 
 fn voip_source(spec: &FlowSpec) -> Box<dyn TrafficSource> {
     let codec = if spec.rate_bps > 50_000.0 {
@@ -28,6 +61,7 @@ fn guarantees_hold_over_long_runs() {
         .map(|i| FlowSpec::voip(i, NodeId(5), NodeId(0), VoipCodec::G729))
         .collect();
     let outcome = mesh.admit(&flows, OrderPolicy::HopOrder).unwrap();
+    certify_outcome(&mesh, &outcome);
     assert_eq!(
         outcome.admitted.len(),
         4,
@@ -71,6 +105,7 @@ fn guarantees_hold_under_peak_rate_stress() {
         .map(|i| FlowSpec::voip(i, NodeId(4), NodeId(0), VoipCodec::G711))
         .collect();
     let outcome = mesh.admit(&flows, OrderPolicy::HopOrder).unwrap();
+    certify_outcome(&mesh, &outcome);
     assert_eq!(outcome.admitted.len(), 3);
 
     let peak = |_: &FlowSpec| -> Box<dyn TrafficSource> {
@@ -102,6 +137,7 @@ fn dcf_collapses_where_tdma_does_not() {
     let outcome = mesh
         .admit(std::slice::from_ref(&voip), OrderPolicy::HopOrder)
         .unwrap();
+    certify_outcome(&mesh, &outcome);
     assert_eq!(outcome.admitted.len(), 1);
     let bound = outcome.admitted[0].worst_case_delay;
 
@@ -160,6 +196,7 @@ fn jitter_is_bounded_by_frame_structure() {
     let mesh = MeshQos::new(generators::chain(4), EmulationParams::default()).unwrap();
     let flows = vec![FlowSpec::voip(0, NodeId(3), NodeId(0), VoipCodec::G711)];
     let outcome = mesh.admit(&flows, OrderPolicy::HopOrder).unwrap();
+    certify_outcome(&mesh, &outcome);
     let peak = |_: &FlowSpec| -> Box<dyn TrafficSource> {
         Box::new(CbrSource::new(Duration::from_millis(20), 200))
     };

@@ -17,6 +17,17 @@ cargo test -q -p wimesh --test parallel_equivalence
 # work-sharing B&B, speculative probing, the threaded runner queue and
 # the BENCH_parallel.json acceptance checks.
 cargo run -p wimesh-bench --release --bin experiments -- parallel_scaling --quick
+# Workspace lint: the repo-specific rules (no unwrap in adopted library
+# crates, no wall-clock in deterministic code, forbid(unsafe_code) roots,
+# error enums implementing Error, no stray printing) must hold.
+cargo run -p wimesh-check --release -- lint --workspace
+# The certifier must keep rejecting every mutated schedule, and the lint
+# rules must keep firing on the fixture crates; run both suites by name.
+cargo test -q -p wimesh-check --test certifier_mutations
+cargo test -q -p wimesh-check --test lint_rules
+# Cross-check the session paths against the certifier at every
+# admit/release/rebalance (the `checked` feature gates the oracle calls).
+cargo test -q -p wimesh --features checked --test session_equivalence
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 # API docs must build warning-clean (covers the vendored stand-ins too).
