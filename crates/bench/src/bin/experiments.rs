@@ -7,11 +7,14 @@
 //! cargo run -p wimesh-bench --release --bin experiments -- --threads 4
 //! cargo run -p wimesh-bench --release --bin experiments -- e1 --trace e1.jsonl
 //! cargo run -p wimesh-bench --release --bin experiments -- e1 --summary
+//! cargo run -p wimesh-bench --release --bin experiments -- slo_audit --trace t.jsonl --trace-tree
 //! ```
 //!
 //! CSV outputs land in `results/`, along with one `BENCH_<id>.json`
 //! timing artifact per experiment. `--trace <file>` streams spans and
-//! metric snapshots as JSONL via `wimesh-obs`; `--summary` prints a
+//! metric snapshots as JSONL via `wimesh-obs`; `--trace-tree` (with
+//! `--trace`) additionally renders the causal trace forest captured in
+//! that file as ASCII trees after the run; `--summary` prints a
 //! human-readable metrics digest after each experiment. `--threads N`
 //! fans independent experiments out over `N` worker threads pulling
 //! from a shared queue (experiments stay internally deterministic —
@@ -45,6 +48,7 @@ fn span_name(id: &str) -> &'static str {
         "t10" => "bench.t10",
         "churn" => "bench.churn",
         "runtime_faults" => "bench.runtime_faults",
+        "slo_audit" => "bench.slo_audit",
         "parallel_scaling" => "bench.parallel_scaling",
         _ => "bench.experiment",
     }
@@ -115,12 +119,14 @@ fn main() -> ExitCode {
     let mut summary = false;
     let mut threads = 1usize;
     let mut trace: Option<String> = None;
+    let mut trace_tree = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--summary" => summary = true,
+            "--trace-tree" => trace_tree = true,
             "--trace" => match it.next() {
                 Some(path) => trace = Some(path),
                 None => {
@@ -193,6 +199,28 @@ fn main() -> ExitCode {
     };
     if wimesh_obs::is_enabled() {
         wimesh_obs::finish();
+    }
+    // --trace-tree: reconstruct and render the causal trace forest
+    // captured in the (now flushed) --trace file.
+    if trace_tree {
+        let Some(path) = &trace else {
+            eprintln!("--trace-tree requires --trace <file>");
+            return ExitCode::FAILURE;
+        };
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let forest = wimesh_obs::trace::TraceForest::from_jsonl(&text);
+                println!(
+                    "\n########## causal traces ({} trees) ##########\n{}",
+                    forest.len(),
+                    forest.render_limited(20)
+                );
+            }
+            Err(e) => {
+                eprintln!("cannot read trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if failed {
         ExitCode::FAILURE

@@ -19,4 +19,5 @@ pub mod e8;
 pub mod e9;
 pub mod parallel_scaling;
 pub mod runtime_faults;
+pub mod slo_audit;
 pub mod t10;

@@ -144,6 +144,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "e14",
     "churn",
     "runtime_faults",
+    "slo_audit",
     "parallel_scaling",
 ];
 
@@ -171,6 +172,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Result<(), BenchError> {
         "t10" => experiments::t10::run(ctx),
         "churn" => experiments::churn::run(ctx),
         "runtime_faults" => experiments::runtime_faults::run(ctx),
+        "slo_audit" => experiments::slo_audit::run(ctx),
         "parallel_scaling" => experiments::parallel_scaling::run(ctx),
         other => Err(BenchError::Other(format!("unknown experiment id: {other}"))),
     }

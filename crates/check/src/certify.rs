@@ -499,6 +499,10 @@ impl Certificate {
                 guard_slack: params.guard.saturating_sub(required),
             })
         } else {
+            // The certifier owns no flight recorder; raising lets the
+            // runtime dump its gateway's ring at the next frame boundary
+            // with the conversation that produced the bad schedule.
+            wimesh_obs::flight::raise("certifier.violation");
             Err(CertifyError { violations })
         }
     }

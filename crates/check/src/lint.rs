@@ -36,16 +36,22 @@ pub enum Rule {
     /// Public `*Error` types must implement `Display` and
     /// `std::error::Error` so they compose with `?` and `Box<dyn Error>`.
     ErrorEnumsImplError,
+    /// Every `Deliver { .. }` construction (and the event definition
+    /// itself) in the fabric crates listed in
+    /// [`LintConfig::traced_sends`] must carry a `ctx` field: a fabric
+    /// send without a trace context is invisible to the causal tracer.
+    NoUntracedFabricSend,
 }
 
 impl Rule {
     /// All rules in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::NoUnwrapInLib,
         Rule::NoWallclockInDeterministic,
         Rule::NoPrintlnInLib,
         Rule::ForbidUnsafeEverywhere,
         Rule::ErrorEnumsImplError,
+        Rule::NoUntracedFabricSend,
     ];
 
     /// The kebab-case rule name used in diagnostics and allow directives.
@@ -56,6 +62,7 @@ impl Rule {
             Rule::NoPrintlnInLib => "no-println-in-lib",
             Rule::ForbidUnsafeEverywhere => "forbid-unsafe-everywhere",
             Rule::ErrorEnumsImplError => "error-enums-impl-error",
+            Rule::NoUntracedFabricSend => "no-untraced-fabric-send",
         }
     }
 
@@ -72,6 +79,9 @@ impl Rule {
             Rule::ForbidUnsafeEverywhere => "every crate root carries #![forbid(unsafe_code)]",
             Rule::ErrorEnumsImplError => {
                 "public *Error types implement Display + std::error::Error"
+            }
+            Rule::NoUntracedFabricSend => {
+                "fabric Deliver events carry a `ctx` trace context in traced crates"
             }
         }
     }
@@ -120,6 +130,9 @@ pub struct LintConfig {
     /// Crates exempt from `no-println-in-lib` (CLI reporting crates whose
     /// printed tables are their product).
     pub println_exempt: Vec<String>,
+    /// Crates whose `Deliver { .. }` fabric events must carry a `ctx`
+    /// trace context (`no-untraced-fabric-send`).
+    pub traced_sends: Vec<String>,
     /// Also walk `vendor/*` stand-in crates (off by default: they mirror
     /// external APIs and are not held to workspace rules).
     pub include_vendor: bool,
@@ -141,6 +154,7 @@ impl Default for LintConfig {
                 "wimesh-node".into(),
             ],
             println_exempt: vec!["wimesh-bench".into()],
+            traced_sends: vec!["wimesh-node".into()],
             include_vendor: false,
         }
     }
@@ -260,7 +274,7 @@ pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<LintReport, Ch
     }
     report
         .diagnostics
-        .sort_by(|a, b| (a.path.clone(), a.line, a.rule).cmp(&(b.path.clone(), b.line, b.rule)));
+        .sort_by_key(|d| (d.path.clone(), d.line, d.rule));
     Ok(report)
 }
 
@@ -284,7 +298,7 @@ pub fn lint_crate(dir: &Path, config: &LintConfig) -> Result<LintReport, CheckEr
     }
     report
         .diagnostics
-        .sort_by(|a, b| (a.path.clone(), a.line, a.rule).cmp(&(b.path.clone(), b.line, b.rule)));
+        .sort_by_key(|d| (d.path.clone(), d.line, d.rule));
     Ok(report)
 }
 
@@ -437,6 +451,7 @@ fn run_rules(krate: &CrateSource, config: &LintConfig, out: &mut Vec<Diagnostic>
     let adopted = config.unwrap_adopted.contains(&krate.name);
     let deterministic = config.deterministic.contains(&krate.name);
     let println_exempt = config.println_exempt.contains(&krate.name);
+    let traced = config.traced_sends.contains(&krate.name);
     for file in &krate.files {
         if adopted && file.kind.is_lib() {
             rule_no_unwrap(file, out);
@@ -449,6 +464,9 @@ fn run_rules(krate: &CrateSource, config: &LintConfig, out: &mut Vec<Diagnostic>
         }
         if file.kind.is_root() {
             rule_forbid_unsafe(file, out);
+        }
+        if traced {
+            rule_no_untraced_fabric_send(file, out);
         }
     }
     rule_error_enums(krate, out);
@@ -578,6 +596,51 @@ fn rule_forbid_unsafe(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             line: 1,
             message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
         });
+    }
+}
+
+fn rule_no_untraced_fabric_send(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    // Every `Deliver { .. }` token group — the event's definition, its
+    // constructions and its destructurings alike — must mention a `ctx`
+    // field at the top nesting level of its braces.
+    let tokens = &file.lexed.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if file.mask[i] {
+            continue;
+        }
+        let TokenKind::Ident(name) = &token.kind else {
+            continue;
+        };
+        if name != "Deliver" || !punct_at(file, i + 1, '{') {
+            continue;
+        }
+        // `fn f(..) -> Deliver {` puts a function body, not a field
+        // list, after the name; return-type position is not a send.
+        if i >= 2 && punct_at(file, i - 2, '-') && punct_at(file, i - 1, '>') {
+            continue;
+        }
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut has_ctx = false;
+        while j < tokens.len() && depth > 0 {
+            match &tokens[j].kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => depth -= 1,
+                TokenKind::Ident(id) if depth == 1 && id == "ctx" => has_ctx = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_ctx {
+            out.push(Diagnostic {
+                rule: Rule::NoUntracedFabricSend,
+                path: file.path.clone(),
+                line: token.line,
+                message: "Deliver without a `ctx` field; every fabric send must carry a \
+                          trace context"
+                    .to_string(),
+            });
+        }
     }
 }
 

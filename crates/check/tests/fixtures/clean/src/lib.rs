@@ -36,3 +36,17 @@ pub fn annotated(xs: &[u32]) -> u32 {
 pub fn same_line(x: Option<u32>) -> u32 {
     x.unwrap() // check: allow(no-unwrap-in-lib) fixture: caller checked
 }
+
+/// A traced fabric event: definition and constructions carry `ctx`.
+pub struct Deliver {
+    /// Destination node.
+    pub to: u32,
+    /// Trace context word.
+    pub ctx: u64,
+}
+
+/// Sends with the trace context attached — passes
+/// no-untraced-fabric-send.
+pub fn traced_send(to: u32, ctx: u64) -> Deliver {
+    Deliver { to, ctx }
+}

@@ -38,13 +38,35 @@ pub fn decoys() -> &'static str {
     "call .unwrap() here"
 }
 
+/// An untraced fabric send → no-untraced-fabric-send (one finding, at
+/// the construction below).
+pub fn untraced_send(to: u32, link: u32) -> (u32, u32) {
+    let ev = Deliver { to, link };
+    (ev.to, ev.link)
+}
+
+/// The event type itself carries ctx, so its definition passes.
+pub struct Deliver {
+    /// Destination node.
+    pub to: u32,
+    /// Delivery link.
+    pub link: u32,
+    /// Trace context word.
+    pub ctx: u64,
+}
+
 #[cfg(test)]
 mod tests {
-    /// Unwraps inside #[cfg(test)] are exempt.
+    /// Unwraps, prints and untraced Delivers inside #[cfg(test)] are
+    /// all exempt.
     #[test]
     fn test_code_is_exempt() {
+        struct Deliver {
+            to: u32,
+        }
+        let ev = Deliver { to: 1 };
         let x: Option<u32> = Some(1);
-        assert_eq!(x.unwrap(), 1);
+        assert_eq!(x.unwrap(), ev.to);
         println!("test output is fine");
     }
 }

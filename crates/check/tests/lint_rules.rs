@@ -19,6 +19,7 @@ fn fixture_config() -> LintConfig {
         unwrap_adopted: vec!["fixture-violations".into(), "fixture-clean".into()],
         deterministic: vec!["fixture-violations".into(), "fixture-clean".into()],
         println_exempt: vec![],
+        traced_sends: vec!["fixture-violations".into(), "fixture-clean".into()],
         include_vendor: false,
     }
 }
@@ -44,7 +45,8 @@ fn violations_fixture_trips_every_rule_at_the_right_lines() {
     assert_eq!(lines_for(d, Rule::NoPrintlnInLib), vec![29, 30]);
     assert_eq!(lines_for(d, Rule::ForbidUnsafeEverywhere), vec![1]);
     assert_eq!(lines_for(d, Rule::ErrorEnumsImplError), vec![8]);
-    assert_eq!(d.len(), 9, "unexpected extra diagnostics: {d:#?}");
+    assert_eq!(lines_for(d, Rule::NoUntracedFabricSend), vec![44]);
+    assert_eq!(d.len(), 10, "unexpected extra diagnostics: {d:#?}");
 }
 
 #[test]
@@ -67,13 +69,14 @@ fn violations_are_attributed_to_the_offending_file() {
 #[test]
 fn decoys_do_not_trip_the_lexer_rules() {
     // Strings mentioning `.unwrap()`, identifiers named `unwrap`,
-    // `Instant` in type position and `#[cfg(test)]` bodies are all in
-    // the violations fixture; none may produce extra findings beyond
-    // the nine asserted above.
+    // `Instant` in type position, a ctx-carrying `Deliver` definition
+    // and `#[cfg(test)]` bodies (including an untraced test-only
+    // Deliver) are all in the violations fixture; none may produce
+    // extra findings beyond the ten asserted above.
     let report = lint_crate(&fixture("violations"), &fixture_config()).unwrap();
     assert!(
-        report.diagnostics.iter().all(|d| d.line <= 30),
-        "a decoy past line 30 was flagged: {:#?}",
+        report.diagnostics.iter().all(|d| d.line <= 44),
+        "a decoy past line 44 was flagged: {:#?}",
         report.diagnostics
     );
 }

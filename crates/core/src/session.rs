@@ -310,6 +310,7 @@ impl QosSession {
                 self.accepted.push(candidate);
                 self.refresh_outcome(schedule, ord, used);
                 self.certify("admit");
+                self.publish_slo_promises();
                 let admitted = self
                     .outcome
                     .admitted
@@ -393,6 +394,8 @@ impl QosSession {
                 0,
             );
             self.certify("release");
+            wimesh_obs::slo::withdraw(removed.spec.id.0 as u64);
+            self.publish_slo_promises();
             return Ok(true);
         }
 
@@ -417,6 +420,8 @@ impl QosSession {
                 wimesh_obs::counter_inc("session.releases");
                 self.refresh_outcome(schedule, ord, used);
                 self.certify("release");
+                wimesh_obs::slo::withdraw(removed.spec.id.0 as u64);
+                self.publish_slo_promises();
                 Ok(true)
             }
             Err(e) => {
@@ -496,7 +501,23 @@ impl QosSession {
         self.outcome = outcome;
         self.outcome.rejected = rejected;
         self.certify("rebalance");
+        self.publish_slo_promises();
         Ok(&self.outcome)
+    }
+
+    /// Registers (or refreshes) the SLO promise of every currently
+    /// admitted flow with the `wimesh-obs` auditor: the slot count and
+    /// delay bound the admission just guaranteed. Re-promising after a
+    /// reschedule updates the terms without erasing the flow's observed
+    /// history; the whole call is a no-op while instrumentation is
+    /// disabled.
+    fn publish_slo_promises(&self) {
+        if !wimesh_obs::is_enabled() {
+            return;
+        }
+        for f in &self.outcome.admitted {
+            wimesh_obs::slo::promise(f.spec.id.0 as u64, f.slots_per_link, f.spec.deadline);
+        }
     }
 
     /// Grows the cached graph to cover every demanded link, returning the

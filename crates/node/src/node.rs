@@ -11,8 +11,15 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use wimesh_emu::DriftClock;
 use wimesh_mac80216::protocol::DschNode;
+use wimesh_obs::flight::FlightRecorder;
+use wimesh_obs::trace::TraceCtx;
 use wimesh_sim::SimTime;
 use wimesh_topology::NodeId;
+
+/// Events a node's flight recorder retains: enough to reconstruct the
+/// control-plane conversation leading up to an anomaly, small enough
+/// that the ring stays cache-resident per node.
+pub(crate) const FLIGHT_CAPACITY: usize = 64;
 
 /// Per-router state of the distributed runtime.
 #[derive(Debug, Clone)]
@@ -36,6 +43,16 @@ pub struct MeshNode {
     pub(crate) known_dead: BTreeSet<NodeId>,
     /// Beacons accepted over this node's lifetime.
     pub(crate) resyncs: u64,
+    /// Lamport clock: bumped on every send, raised past the carried
+    /// stamp on every receive, so cross-node traces order causally even
+    /// under drifting oscillators.
+    pub(crate) lamport: u64,
+    /// Context of the last MSH-DSCH bundle this node received; the next
+    /// *responsive* bundle it sends (grants/confirms/cancels) parents on
+    /// it, chaining the three-way handshake into one trace.
+    pub(crate) last_dsch_ctx: Option<TraceCtx>,
+    /// Ring of recent control-plane events, dumped on anomalies.
+    pub(crate) flight: FlightRecorder,
 }
 
 impl MeshNode {
@@ -50,6 +67,9 @@ impl MeshNode {
             heard: BTreeMap::new(),
             known_dead: BTreeSet::new(),
             resyncs: 0,
+            lamport: 0,
+            last_dsch_ctx: None,
+            flight: FlightRecorder::with_capacity(FLIGHT_CAPACITY),
         }
     }
 
@@ -89,6 +109,16 @@ impl MeshNode {
         self.known_dead.iter().copied()
     }
 
+    /// The node's current Lamport clock.
+    pub fn lamport(&self) -> u64 {
+        self.lamport
+    }
+
+    /// The node's flight recorder (read-only).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
     /// Crash: all volatile state is lost; the oscillator keeps running
     /// (hardware clocks do not stop) but its sync correction is gone
     /// with the OS.
@@ -99,6 +129,9 @@ impl MeshNode {
         self.sync_depth = 0;
         self.heard.clear();
         self.known_dead.clear();
+        self.lamport = 0;
+        self.last_dsch_ctx = None;
+        self.flight.clear();
     }
 
     /// Restart after a crash: the node boots with empty state and must

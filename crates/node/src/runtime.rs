@@ -47,6 +47,8 @@ use wimesh_emu::EmulationModel;
 use wimesh_mac80216::election::MeshElection;
 use wimesh_mac80216::protocol::links_conflict;
 use wimesh_mac80216::DschMessage;
+use wimesh_obs::flight::FlightEvent;
+use wimesh_obs::trace::{TraceCtx, TraceEvent};
 use wimesh_sim::{EventQueue, SimTime};
 use wimesh_topology::{LinkId, MeshTopology, NodeId};
 
@@ -70,6 +72,72 @@ enum AirFrame {
     NodeUp(NodeId),
 }
 
+impl AirFrame {
+    /// The trace-event kind of a transmission carrying this frame. DSCH
+    /// bundles are classified by the information elements they carry,
+    /// so a request→grant→confirm handshake reads off the trace tree.
+    fn trace_kind(&self) -> &'static str {
+        match self {
+            AirFrame::Beacon { .. } => "beacon",
+            AirFrame::Dsch(msg) => match (
+                !msg.requests.is_empty(),
+                !msg.grants.is_empty(),
+                !msg.confirms.is_empty(),
+            ) {
+                (true, false, false) => "dsch.req",
+                (false, true, false) => "dsch.grant",
+                (false, false, true) => "dsch.cnf",
+                (true, true, false) => "dsch.req+grant",
+                (true, false, true) => "dsch.req+cnf",
+                (false, true, true) => "dsch.grant+cnf",
+                (true, true, true) => "dsch.req+grant+cnf",
+                (false, false, false) => {
+                    if msg.cancels.is_empty() {
+                        "dsch.adv"
+                    } else {
+                        "dsch.cancel"
+                    }
+                }
+            },
+            AirFrame::NodeDown(_) => "node.down",
+            AirFrame::NodeUp(_) => "node.up",
+        }
+    }
+
+    /// Flight-recorder kind for a transmission of this frame.
+    fn tx_kind(&self) -> &'static str {
+        match self {
+            AirFrame::Beacon { .. } => "tx.beacon",
+            AirFrame::Dsch(_) => "tx.dsch",
+            AirFrame::NodeDown(_) => "tx.down",
+            AirFrame::NodeUp(_) => "tx.up",
+        }
+    }
+
+    /// Flight-recorder kind for a reception of this frame.
+    fn rx_kind(&self) -> &'static str {
+        match self {
+            AirFrame::Beacon { .. } => "rx.beacon",
+            AirFrame::Dsch(_) => "rx.dsch",
+            AirFrame::NodeDown(_) => "rx.down",
+            AirFrame::NodeUp(_) => "rx.up",
+        }
+    }
+
+    /// Kind-specific flight payload word: the beacon round, the DSCH
+    /// information-element count, or the reported node.
+    fn flight_payload(&self) -> u64 {
+        match self {
+            AirFrame::Beacon { round, .. } => *round,
+            AirFrame::Dsch(msg) => {
+                (msg.requests.len() + msg.grants.len() + msg.confirms.len() + msg.cancels.len())
+                    as u64
+            }
+            AirFrame::NodeDown(n) | AirFrame::NodeUp(n) => u64::from(n.0),
+        }
+    }
+}
+
 /// Queue events: frame deliveries plus the standard's periodic processes.
 #[derive(Debug)]
 enum Event {
@@ -83,6 +151,10 @@ enum Event {
         to: NodeId,
         link: LinkId,
         frame: AirFrame,
+        /// Causal trace context carried with the frame; every fabric
+        /// send attaches one (enforced by the `no-untraced-fabric-send`
+        /// lint rule).
+        ctx: TraceCtx,
     },
 }
 
@@ -184,6 +256,12 @@ pub struct MeshRuntime {
     sync_pending: BTreeSet<NodeId>,
     sync_tracked: bool,
     converge_tracked: bool,
+    /// Trace span-id counter, namespaced by the run seed so ids never
+    /// collide across concurrently traced runtimes in one process.
+    next_span: u64,
+    /// `(node, reason)` pairs already flight-dumped this segment
+    /// (rate limit: one dump per node and reason per segment).
+    flight_dumped: BTreeSet<(u32, &'static str)>,
 }
 
 impl MeshRuntime {
@@ -257,6 +335,8 @@ impl MeshRuntime {
             sync_pending: BTreeSet::new(),
             sync_tracked: false,
             converge_tracked: false,
+            next_span: config.seed.wrapping_shl(32),
+            flight_dumped: BTreeSet::new(),
         })
     }
 
@@ -329,6 +409,7 @@ impl MeshRuntime {
     pub fn run_for(&mut self, duration: Duration) -> SegmentReport {
         let end = self.cursor + duration;
         self.segment = SegmentReport::default();
+        self.flight_dumped.clear();
         self.sync_pending = self
             .nodes
             .iter()
@@ -357,8 +438,13 @@ impl MeshRuntime {
             Event::BeaconRound(round) => self.on_beacon_round(now, round, segment_start),
             Event::Opportunity { frame, index } => self.on_opportunity(now, frame, index),
             Event::FrameBoundary(frame) => self.on_frame_boundary(now, frame, segment_start),
-            Event::Deliver { to, link, frame } => {
-                self.on_deliver(now, to, link, frame, segment_start);
+            Event::Deliver {
+                to,
+                link,
+                frame,
+                ctx,
+            } => {
+                self.on_deliver(now, to, link, frame, ctx, segment_start);
             }
         }
     }
@@ -389,7 +475,8 @@ impl MeshRuntime {
                     .copied()
                     .unwrap_or(self.watch_start[id]);
                 if now.saturating_since(last) >= silence {
-                    self.node_learns_down(now, me, nb);
+                    // Local detection starts a fresh repair trace.
+                    self.node_learns_down(now, me, nb, None);
                 }
             }
         }
@@ -404,6 +491,8 @@ impl MeshRuntime {
             node.resyncs += 1;
             self.segment.resyncs += 1;
             self.note_synced(now, gw, segment_start);
+            // The gateway's stamp roots the round's beacon-flood trace.
+            let ctx = self.mint_ctx(gw, None);
             self.broadcast(
                 now,
                 gw,
@@ -412,6 +501,7 @@ impl MeshRuntime {
                     depth: 0,
                     err_ns: 0.0,
                 },
+                ctx,
             );
         }
     }
@@ -438,7 +528,21 @@ impl MeshRuntime {
             let Some(msg) = self.nodes[winner.index()].dsch.poll(&self.topo, slots) else {
                 continue;
             };
-            self.broadcast(now, winner, AirFrame::Dsch(msg));
+            // A bundle answering something (grants, confirms, cancels)
+            // continues the handshake trace of the last DSCH bundle this
+            // node received; a pure request starts its own. With
+            // interleaved handshakes at one node this approximation can
+            // misparent (see DESIGN §3.11), but the Lamport order along
+            // every edge stays correct.
+            let responsive =
+                !msg.grants.is_empty() || !msg.confirms.is_empty() || !msg.cancels.is_empty();
+            let parent = if responsive {
+                self.nodes[winner.index()].last_dsch_ctx
+            } else {
+                None
+            };
+            let ctx = self.mint_ctx(winner, parent);
+            self.broadcast(now, winner, AirFrame::Dsch(msg), ctx);
         }
     }
 
@@ -475,6 +579,25 @@ impl MeshRuntime {
         }
 
         self.measure_collisions(now, segment_start);
+        self.observe_flow_slo();
+
+        // Anomalies raised by recorder-less components (the certifier,
+        // for instance) dump the gateway's ring: it holds the
+        // control-plane conversation that produced the offending
+        // schedule. String reasons bypass the per-segment rate limit —
+        // the raise channel is already one-shot per detection.
+        if wimesh_obs::is_enabled() {
+            let gw = self.config.gateway;
+            for reason in wimesh_obs::flight::take_raised() {
+                wimesh_obs::flight::dump(
+                    u64::from(gw.0),
+                    &reason,
+                    now.as_nanos(),
+                    &self.nodes[gw.index()].flight,
+                );
+                wimesh_obs::counter_inc("node.flight.dumps");
+            }
+        }
     }
 
     /// The data plane of the frame that just ended at `now`: each
@@ -492,13 +615,14 @@ impl MeshRuntime {
         // its local clock reads X really acts at reference X − err, so
         // only the *transmitter's* clock error shifts a burst.
         let mut bursts: Vec<(LinkId, f64, f64)> = Vec::new();
-        let mut errors: Vec<f64> = Vec::new();
+        let mut errors: Vec<(NodeId, f64)> = Vec::new();
+        let mut anomalies: Vec<(NodeId, &'static str)> = Vec::new();
         for n in &self.nodes {
             if !n.alive || n.synced_round.is_none() {
                 continue;
             }
             let err = n.clock.error_at(now);
-            errors.push(err);
+            errors.push((n.id(), err));
             for (&link, range) in n.dsch.confirmed() {
                 if self.topo.link(link).expect("confirmed links exist").tx != n.id() {
                     continue;
@@ -518,21 +642,58 @@ impl MeshRuntime {
                 }
                 if sa < eb && sb < ea {
                     self.segment.collisions += 1;
+                    anomalies.push((link_a.tx, "collision"));
+                    anomalies.push((link_b.tx, "collision"));
                 }
             }
         }
 
-        for (i, &a) in errors.iter().enumerate() {
-            for &b in &errors[i + 1..] {
+        let guard = self.model.guard_time();
+        for (i, &(na, a)) in errors.iter().enumerate() {
+            for &(nb, b) in &errors[i + 1..] {
                 let mutual = Duration::from_nanos((a - b).abs() as u64);
                 if mutual > self.segment.max_mutual_error {
                     self.segment.max_mutual_error = mutual;
                 }
+                if mutual > guard {
+                    anomalies.push((na, "guard.exceeded"));
+                    anomalies.push((nb, "guard.exceeded"));
+                }
             }
+        }
+        for (node, reason) in anomalies {
+            self.flight_dump(now, node, reason);
         }
 
         if self.converge_tracked && self.segment.time_to_converge.is_none() && self.converged() {
             self.segment.time_to_converge = Some(now.saturating_since(segment_start));
+        }
+    }
+
+    /// Audits every admitted flow's reservation against its promise for
+    /// the frame that just ended: each link on the flow's path must hold
+    /// a confirmed range covering the pushed demand, from an alive
+    /// transmitter. No-op while instrumentation is disabled.
+    fn observe_flow_slo(&self) {
+        if !wimesh_obs::is_enabled() {
+            return;
+        }
+        let Some(repair) = self.repair.as_ref() else {
+            return;
+        };
+        for flow in &repair.session().snapshot().admitted {
+            let satisfied = flow.path.links().iter().all(|&l| {
+                let tx = self.topo.link(l).expect("session links exist").tx;
+                let demand = self.desired.get(&l).copied().unwrap_or(0);
+                let node = &self.nodes[tx.index()];
+                node.alive
+                    && node
+                        .dsch
+                        .confirmed()
+                        .get(&l)
+                        .map_or(demand == 0, |r| r.len >= demand)
+            });
+            wimesh_obs::slo::observe_frame(u64::from(flow.spec.id.0), satisfied);
         }
     }
 
@@ -543,17 +704,31 @@ impl MeshRuntime {
         to: NodeId,
         link: LinkId,
         frame: AirFrame,
+        ctx: TraceCtx,
         segment_start: SimTime,
     ) {
         if !self.nodes[to.index()].alive {
             return;
         }
         let sender = self.topo.link(link).expect("fabric links exist").tx;
-        // Any frame heard refreshes the sender's liveness watch — and
-        // resurrects it if it was dead-listed.
-        self.nodes[to.index()].heard.insert(sender, now);
+        {
+            // Lamport receive rule, then log the reception in the ring.
+            // Any frame heard also refreshes the sender's liveness watch.
+            let n = &mut self.nodes[to.index()];
+            n.lamport = n.lamport.max(ctx.lamport) + 1;
+            n.heard.insert(sender, now);
+            n.flight.record(FlightEvent {
+                t_ns: now.as_nanos(),
+                lamport: n.lamport,
+                kind: frame.rx_kind(),
+                a: u64::from(sender.0),
+                b: ctx.span_id,
+            });
+        }
+        // A frame from a dead-listed neighbour resurrects it; the
+        // recovery flood continues this frame's trace.
         if self.nodes[to.index()].known_dead.contains(&sender) {
-            self.node_learns_up(now, to, sender);
+            self.node_learns_up(now, to, sender, Some(ctx));
         }
 
         match frame {
@@ -579,6 +754,9 @@ impl MeshRuntime {
                     n.resyncs += 1;
                     self.segment.resyncs += 1;
                     self.note_synced(now, to, segment_start);
+                    // The relay is a child of the beacon it heard: the
+                    // flood reads off the trace tree hop by hop.
+                    let relay_ctx = self.mint_ctx(to, Some(ctx));
                     self.broadcast(
                         now,
                         to,
@@ -587,35 +765,49 @@ impl MeshRuntime {
                             depth: depth + 1,
                             err_ns: residual,
                         },
+                        relay_ctx,
                     );
                 }
             }
             AirFrame::Dsch(msg) => {
                 let slots = self.model.frame().slots();
-                self.nodes[to.index()].dsch.receive(&self.topo, &msg, slots);
+                let n = &mut self.nodes[to.index()];
+                // The next responsive bundle this node sends parents on
+                // this context, chaining the handshake into one trace.
+                n.last_dsch_ctx = Some(ctx);
+                n.dsch.receive(&self.topo, &msg, slots);
             }
             AirFrame::NodeDown(dead) => {
                 if dead != to {
-                    self.node_learns_down(now, to, dead);
+                    self.node_learns_down(now, to, dead, Some(ctx));
                 }
             }
             AirFrame::NodeUp(who) => {
-                self.node_learns_up(now, to, who);
+                self.node_learns_up(now, to, who, Some(ctx));
             }
         }
     }
 
     /// `learner` concludes (or is told) that `dead` is down. First
     /// knowledge purges reservations, floods the report onward and — at
-    /// the gateway — triggers schedule repair.
-    fn node_learns_down(&mut self, now: SimTime, learner: NodeId, dead: NodeId) {
+    /// the gateway — triggers schedule repair. `cause` is the trace
+    /// context the knowledge arrived on (`None` for local detection,
+    /// which roots a fresh repair trace).
+    fn node_learns_down(
+        &mut self,
+        now: SimTime,
+        learner: NodeId,
+        dead: NodeId,
+        cause: Option<TraceCtx>,
+    ) {
         if !self.nodes[learner.index()].known_dead.insert(dead) {
             return;
         }
         self.nodes[learner.index()]
             .dsch
             .purge_links_of(&self.topo, dead);
-        self.broadcast(now, learner, AirFrame::NodeDown(dead));
+        let ctx = self.mint_ctx(learner, cause);
+        self.broadcast(now, learner, AirFrame::NodeDown(dead), ctx);
         if learner == self.config.gateway {
             self.segment.failures_detected += 1;
             if self.segment.detection_latency.is_none() {
@@ -626,6 +818,11 @@ impl MeshRuntime {
             if let Some(mut repair) = self.repair.take() {
                 if let Ok(out) = repair.on_node_down(&self.topo, dead) {
                     self.segment.reservations_repaired += out.rerouted + out.restored;
+                    if out.rerouted + out.restored > 0 {
+                        // The gateway's ring holds the control-plane
+                        // conversation that preceded the re-route.
+                        self.flight_dump(now, learner, "flow.reroute");
+                    }
                 }
                 self.repair = Some(repair);
                 self.apply_desired_demands();
@@ -636,12 +833,20 @@ impl MeshRuntime {
 
     /// `learner` heard from (or is told about) a previously dead-listed
     /// node. First knowledge floods the recovery; at the gateway it
-    /// restores parked flows.
-    fn node_learns_up(&mut self, now: SimTime, learner: NodeId, who: NodeId) {
+    /// restores parked flows. `cause` chains the recovery flood to the
+    /// frame that carried the evidence.
+    fn node_learns_up(
+        &mut self,
+        now: SimTime,
+        learner: NodeId,
+        who: NodeId,
+        cause: Option<TraceCtx>,
+    ) {
         if !self.nodes[learner.index()].known_dead.remove(&who) {
             return;
         }
-        self.broadcast(now, learner, AirFrame::NodeUp(who));
+        let ctx = self.mint_ctx(learner, cause);
+        self.broadcast(now, learner, AirFrame::NodeUp(who), ctx);
         if learner == self.config.gateway {
             self.segment.recoveries_detected += 1;
             self.crash_times.remove(&who);
@@ -666,14 +871,63 @@ impl MeshRuntime {
         }
     }
 
+    /// Mints the trace context for a transmission by `from`: bumps the
+    /// node's Lamport clock (send rule) and allocates a fresh span id.
+    /// Runs unconditionally, sink or none, so traced and untraced runs
+    /// of the same seed replay identically.
+    fn mint_ctx(&mut self, from: NodeId, parent: Option<TraceCtx>) -> TraceCtx {
+        self.next_span += 1;
+        let node = &mut self.nodes[from.index()];
+        node.lamport += 1;
+        match parent {
+            Some(p) => p.child(self.next_span, node.lamport),
+            None => TraceCtx::root(self.next_span, node.lamport),
+        }
+    }
+
+    /// Dumps `node`'s flight ring for `reason`, at most once per
+    /// `(node, reason)` pair per segment so anomaly storms stay bounded.
+    fn flight_dump(&mut self, now: SimTime, node: NodeId, reason: &'static str) {
+        if !wimesh_obs::is_enabled() {
+            return;
+        }
+        if !self.flight_dumped.insert((node.0, reason)) {
+            return;
+        }
+        wimesh_obs::flight::dump(
+            u64::from(node.0),
+            reason,
+            now.as_nanos(),
+            &self.nodes[node.index()].flight,
+        );
+        wimesh_obs::counter_inc("node.flight.dumps");
+    }
+
     /// Broadcasts one frame from `from` to each radio neighbour through
-    /// the fabric, independently per directed link.
-    fn broadcast(&mut self, now: SimTime, from: NodeId, frame: AirFrame) {
+    /// the fabric, independently per directed link. `ctx` is the trace
+    /// context minted for this transmission; every delivered copy
+    /// carries it.
+    fn broadcast(&mut self, now: SimTime, from: NodeId, frame: AirFrame, ctx: TraceCtx) {
         match &frame {
             AirFrame::Beacon { .. } => self.segment.beacons_sent += 1,
             AirFrame::Dsch(_) => self.segment.dsch_sent += 1,
             _ => {}
         }
+        // One trace event per transmission, however many directed
+        // copies the fabric fans it into (gated inside `emit`).
+        wimesh_obs::trace::emit(&TraceEvent {
+            ctx,
+            kind: frame.trace_kind(),
+            node: u64::from(from.0),
+            t_ns: now.as_nanos(),
+        });
+        self.nodes[from.index()].flight.record(FlightEvent {
+            t_ns: now.as_nanos(),
+            lamport: ctx.lamport,
+            kind: frame.tx_kind(),
+            a: frame.flight_payload(),
+            b: ctx.span_id,
+        });
         let neighbours: Vec<(NodeId, LinkId)> = self
             .topo
             .neighbors(from)
@@ -687,6 +941,7 @@ impl MeshRuntime {
                         to: nb,
                         link,
                         frame: frame.clone(),
+                        ctx,
                     },
                 ),
                 None => match &frame {

@@ -3,12 +3,16 @@
 //! the failure over the air, repairs the schedule through the QoS
 //! session and converges again without collisions.
 
+use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Duration;
 
 use wimesh::sim::traffic::VoipCodec;
 use wimesh::{FlowSpec, MeshQos, OrderPolicy};
 use wimesh_emu::{EmulationModel, EmulationParams};
 use wimesh_node::{FabricConfig, LossModel, MeshRuntime, RepairController, RuntimeConfig};
+use wimesh_obs::sink::MemorySink;
+use wimesh_obs::trace::TraceForest;
 use wimesh_topology::{generators, NodeId};
 
 fn model() -> EmulationModel {
@@ -187,6 +191,72 @@ fn identical_seeds_replay_identical_runs() {
         run(42).0.beacons_lost,
         run(43).0.beacons_lost,
         "different seeds should draw different loss patterns"
+    );
+}
+
+/// The observability acceptance scenario: under 5% loss, cutting the
+/// fabric links of a relay an admitted flow transits must leave behind
+/// (a) a multi-node causal trace of a complete DSCH three-way
+/// handshake, (b) a multi-hop `node.down` repair trace, and (c) a
+/// non-empty flight-recorder dump from the gateway's re-route.
+///
+/// The seed (777) is unique within this binary, so this run's span-id
+/// namespace — and therefore its trace ids — cannot collide with
+/// concurrently running tests that also emit while the sink is live.
+/// SLO-verdict assertions live in the single-process `slo_audit` bench
+/// experiment instead: the flow-SLO tracker is keyed by flow id alone,
+/// which concurrent tests here share.
+#[test]
+fn fault_scenario_reconstructs_traces_and_dumps_the_flight_recorder() {
+    let prev = wimesh_obs::finish();
+    let sink = Arc::new(MemorySink::default());
+    wimesh_obs::install(sink.clone());
+
+    let topo = generators::grid(3, 3);
+    let mut rt = runtime_with_flows(LossModel::Bernoulli { p: 0.05 }, 777);
+    let seg = rt.run_for(Duration::from_secs(5));
+    assert!(seg.converged, "cold start must converge first");
+
+    // Silence a relay's radio: cut every fabric link touching it.
+    let relay = rt
+        .controller()
+        .expect("controller attached")
+        .session()
+        .snapshot()
+        .admitted()[0]
+        .path
+        .nodes()[1];
+    rt.fabric_mut().partition(&topo, &[relay]);
+    let seg = rt.run_for(Duration::from_secs(10));
+
+    wimesh_obs::finish();
+    if let Some(p) = prev {
+        wimesh_obs::install(p);
+    }
+
+    assert!(
+        seg.reservations_repaired >= 1,
+        "the gateway must re-route the transit flow"
+    );
+
+    let forest = TraceForest::from_events(&sink.trace_events());
+    let handshake = forest
+        .find_chain(&["req", "grant", "cnf"])
+        .expect("a complete DSCH handshake must reconstruct as one causal chain");
+    let handshake_nodes: BTreeSet<u64> = handshake.iter().map(|r| r.node).collect();
+    assert!(
+        handshake_nodes.len() >= 2,
+        "the handshake trace must span multiple nodes, got {handshake_nodes:?}"
+    );
+    assert!(
+        forest.contains_chain(&["node.down", "node.down"]),
+        "the repair flood must reconstruct as a multi-hop causal chain"
+    );
+    assert!(
+        sink.flight_dumps()
+            .iter()
+            .any(|d| d.reason == "flow.reroute" && !d.events.is_empty()),
+        "the re-route must dump the gateway's flight recorder with its preceding events"
     );
 }
 

@@ -6,6 +6,50 @@
 //! metrics registry records nanosecond durations, counters could record
 //! sizes.
 
+use std::error::Error;
+use std::fmt;
+
+/// Why two histograms could not be merged: their bin geometries
+/// disagree, so folding counts would silently misbin samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// The histograms use different bin widths.
+    BinWidthMismatch {
+        /// Bin width of the destination histogram.
+        ours: u64,
+        /// Bin width of the source histogram.
+        theirs: u64,
+    },
+    /// The histograms have different bin counts.
+    BinCountMismatch {
+        /// Bin count of the destination histogram.
+        ours: usize,
+        /// Bin count of the source histogram.
+        theirs: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::BinWidthMismatch { ours, theirs } => {
+                write!(
+                    f,
+                    "histogram merge: bin width mismatch ({ours} vs {theirs})"
+                )
+            }
+            MergeError::BinCountMismatch { ours, theirs } => {
+                write!(
+                    f,
+                    "histogram merge: bin count mismatch ({ours} vs {theirs})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for MergeError {}
+
 /// A histogram with `bins` equal-width bins starting at zero.
 ///
 /// Samples at or beyond `bin_width * bins` land in a dedicated overflow
@@ -60,16 +104,14 @@ impl FixedHistogram {
     /// sample streams into one histogram. Used to fuse per-thread
     /// metric snapshots after a parallel run.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the two histograms have different bin geometry.
-    pub fn merge(&mut self, other: &FixedHistogram) {
-        assert_eq!(self.bin_width, other.bin_width, "merge: bin width mismatch");
-        assert_eq!(
-            self.counts.len(),
-            other.counts.len(),
-            "merge: bin count mismatch"
-        );
+    /// Returns a [`MergeError`] — leaving `self` untouched — when the
+    /// two histograms have different bin geometry. (This used to be a
+    /// silent precondition checked only by debug assertions; mismatched
+    /// merges now fail loudly and typed.)
+    pub fn merge(&mut self, other: &FixedHistogram) -> Result<(), MergeError> {
+        self.check_geometry(other)?;
         for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
             *dst += src;
         }
@@ -77,6 +119,29 @@ impl FixedHistogram {
         self.total += other.total;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
+        Ok(())
+    }
+
+    /// Validates that `other` shares this histogram's bin geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`MergeError`] that [`FixedHistogram::merge`]
+    /// would, without merging anything.
+    pub fn check_geometry(&self, other: &FixedHistogram) -> Result<(), MergeError> {
+        if self.bin_width != other.bin_width {
+            return Err(MergeError::BinWidthMismatch {
+                ours: self.bin_width,
+                theirs: other.bin_width,
+            });
+        }
+        if self.counts.len() != other.counts.len() {
+            return Err(MergeError::BinCountMismatch {
+                ours: self.counts.len(),
+                theirs: other.counts.len(),
+            });
+        }
+        Ok(())
     }
 
     /// Number of recorded samples.
@@ -232,15 +297,42 @@ mod tests {
             b.record(v);
             both.record(v);
         }
-        a.merge(&b);
+        a.merge(&b).expect("same geometry merges");
         assert_eq!(a, both);
     }
 
     #[test]
-    #[should_panic(expected = "mismatch")]
-    fn merge_rejects_different_geometry() {
+    fn merge_rejects_different_geometry_with_typed_error() {
+        // Regression: geometry mismatches used to be accepted (or, at
+        // best, killed the process via assert); they must now surface
+        // as typed errors and leave the destination untouched.
         let mut a = FixedHistogram::new(10, 10);
-        let b = FixedHistogram::new(20, 10);
-        a.merge(&b);
+        a.record(25);
+        let before = a.clone();
+        let wide = FixedHistogram::new(20, 10);
+        assert_eq!(
+            a.merge(&wide),
+            Err(MergeError::BinWidthMismatch {
+                ours: 10,
+                theirs: 20
+            })
+        );
+        let long = FixedHistogram::new(10, 11);
+        assert_eq!(
+            a.merge(&long),
+            Err(MergeError::BinCountMismatch {
+                ours: 10,
+                theirs: 11
+            })
+        );
+        assert_eq!(a, before, "failed merge must not mutate");
+        let msg = MergeError::BinWidthMismatch {
+            ours: 10,
+            theirs: 20,
+        }
+        .to_string();
+        assert!(msg.contains("bin width"));
+        // The error type plugs into std error handling.
+        let _: &dyn std::error::Error = &MergeError::BinCountMismatch { ours: 1, theirs: 2 };
     }
 }

@@ -17,6 +17,21 @@
 //!   machine-readable traces (hand-rolled JSON, no serde), or nothing at
 //!   all.
 //!
+//! Three distributed-observability layers build on the same sink
+//! plumbing:
+//!
+//! * **Causal traces** — a [`trace::TraceCtx`] rides on every fabric
+//!   message of the node runtime; [`trace::TraceForest`] rebuilds and
+//!   renders the cross-node tree (beacon floods, MSH-DSCH handshakes,
+//!   repair sequences) from memory or JSONL.
+//! * **Flight recorder** — [`flight::FlightRecorder`] keeps each
+//!   node's last-N control-plane events in a fixed ring and ships them
+//!   only when an anomaly trips (collision, guard breach, certifier
+//!   violation, re-route).
+//! * **SLO audit** — [`slo::FlowSloTracker`] compares admission-time
+//!   promises (slots, delay bound) against observed delivery and emits
+//!   typed [`slo::SloVerdict`]s.
+//!
 //! # Overhead policy
 //!
 //! With no sink installed (the default) every instrumentation call —
@@ -46,12 +61,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod sink;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};

@@ -14,6 +14,8 @@
 //! once per call, so those locks are taken at call granularity.
 
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, LazyLock, Mutex, RwLock};
 use std::time::Duration;
@@ -89,6 +91,33 @@ pub struct SpanAgg {
     pub max_ns: u64,
 }
 
+/// Why two snapshots could not be merged: a histogram shared by name
+/// between them has mismatched bin geometry, so a bin-wise sum would
+/// silently misattribute samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMergeError {
+    /// Name of the offending histogram.
+    pub name: String,
+    /// The underlying geometry mismatch.
+    pub source: crate::hist::MergeError,
+}
+
+impl fmt::Display for SnapshotMergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "snapshot merge: histogram {:?}: {}",
+            self.name, self.source
+        )
+    }
+}
+
+impl Error for SnapshotMergeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// A point-in-time copy of the whole registry, sorted by name within
 /// each section.
 #[derive(Debug, Clone, Default)]
@@ -125,7 +154,31 @@ impl MetricsSnapshot {
     /// * histograms — bin-wise sums via [`FixedHistogram::merge`]
     ///   (all registry histograms share one geometry);
     /// * spans — counts and totals summed, max of maxima.
-    pub fn merge(&mut self, other: &MetricsSnapshot) {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotMergeError`] — leaving `self` completely
+    /// untouched — when a histogram shared by name has mismatched bin
+    /// geometry. Snapshots taken from the registry always share one
+    /// geometry; hand-built snapshots may not, and used to be merged
+    /// silently wrong.
+    pub fn merge(&mut self, other: &MetricsSnapshot) -> Result<(), SnapshotMergeError> {
+        // Validate every shared histogram before mutating anything, so
+        // a failed merge cannot leave a half-combined snapshot behind.
+        for (name, rhs) in &other.histograms {
+            if let Ok(i) = self
+                .histograms
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            {
+                self.histograms[i]
+                    .1
+                    .check_geometry(rhs)
+                    .map_err(|source| SnapshotMergeError {
+                        name: name.clone(),
+                        source,
+                    })?;
+            }
+        }
         fn fold<T: Clone>(
             dst: &mut Vec<(String, T)>,
             src: &[(String, T)],
@@ -143,12 +196,17 @@ impl MetricsSnapshot {
             a.last = b.last;
             a.max = a.max.max(b.max);
         });
-        fold(&mut self.histograms, &other.histograms, |a, b| a.merge(b));
+        fold(&mut self.histograms, &other.histograms, |a, b| {
+            // Geometry was pre-validated above; a mismatch here is
+            // unreachable, and ignoring the Ok(()) keeps fold generic.
+            let _ = a.merge(b);
+        });
         fold(&mut self.spans, &other.spans, |a, b| {
             a.count += b.count;
             a.total_ns = a.total_ns.saturating_add(b.total_ns);
             a.max_ns = a.max_ns.max(b.max_ns);
         });
+        Ok(())
     }
 }
 
@@ -439,7 +497,7 @@ mod tests {
                 },
             )],
         };
-        a.merge(&b);
+        a.merge(&b).expect("shared geometry merges");
         assert_eq!(
             a.counters,
             vec![
@@ -454,5 +512,46 @@ mod tests {
         assert_eq!(a.histograms[0].1.count(), 1);
         let s = a.spans[0].1;
         assert_eq!((s.count, s.total_ns, s.max_ns), (3, 190, 90));
+    }
+
+    #[test]
+    fn snapshot_merge_rejects_mismatched_histograms_untouched() {
+        // Regression: hand-built snapshots with same-named histograms
+        // of different geometry used to merge silently wrong (or die on
+        // an assert deep inside the histogram). The merge must now fail
+        // with a typed error naming the histogram and leave the
+        // destination byte-for-byte intact — including sections that
+        // would have merged before the offending name.
+        let mut narrow = FixedHistogram::new(10, 4);
+        narrow.record(5);
+        let mut wide = FixedHistogram::new(20, 4);
+        wide.record(5);
+        let mut a = MetricsSnapshot {
+            counters: vec![("c.shared".into(), 1)],
+            gauges: Vec::new(),
+            histograms: vec![("h.shared".into(), narrow.clone())],
+            spans: Vec::new(),
+        };
+        let b = MetricsSnapshot {
+            counters: vec![("c.shared".into(), 5)],
+            gauges: Vec::new(),
+            histograms: vec![("h.shared".into(), wide)],
+            spans: Vec::new(),
+        };
+        let before = (a.counters.clone(), a.histograms.clone());
+        let err = a.merge(&b).expect_err("geometry mismatch must fail");
+        assert_eq!(err.name, "h.shared");
+        assert!(err.to_string().contains("h.shared"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert_eq!((a.counters.clone(), a.histograms.clone()), before);
+        // Disjoint histogram names never conflict, whatever the shape.
+        let c = MetricsSnapshot {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: vec![("h.other".into(), FixedHistogram::new(999, 2))],
+            spans: Vec::new(),
+        };
+        a.merge(&c).expect("disjoint names merge");
+        assert_eq!(a.histograms.len(), 2);
     }
 }

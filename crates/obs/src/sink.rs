@@ -10,9 +10,12 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
+use crate::flight::FlightDump;
 use crate::json;
 use crate::metrics::MetricsSnapshot;
+use crate::slo::SloVerdict;
 use crate::span::SpanEvent;
+use crate::trace::TraceEvent;
 
 /// Destination for instrumentation events.
 ///
@@ -24,6 +27,15 @@ pub trait Sink: Send + Sync {
 
     /// Called with the final registry snapshot by [`crate::finish`].
     fn on_metrics(&self, snapshot: &MetricsSnapshot);
+
+    /// Called once per emitted causal trace event (default: ignored).
+    fn on_trace(&self, _event: &TraceEvent) {}
+
+    /// Called once per flight-recorder dump (default: ignored).
+    fn on_flight(&self, _dump: &FlightDump) {}
+
+    /// Called once per emitted SLO verdict (default: ignored).
+    fn on_slo(&self, _verdict: &SloVerdict) {}
 
     /// Flushes buffered output (default: nothing to flush).
     fn flush(&self) {}
@@ -48,6 +60,9 @@ impl Sink for NoopSink {
 pub struct MemorySink {
     spans: Mutex<Vec<SpanEvent>>,
     snapshots: Mutex<Vec<MetricsSnapshot>>,
+    traces: Mutex<Vec<TraceEvent>>,
+    flights: Mutex<Vec<FlightDump>>,
+    slos: Mutex<Vec<SloVerdict>>,
 }
 
 impl MemorySink {
@@ -68,6 +83,27 @@ impl MemorySink {
             .unwrap_or_else(|e| e.into_inner())
             .clone()
     }
+
+    /// All causal trace events received so far, in arrival order.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.traces
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// All flight-recorder dumps received so far.
+    pub fn flight_dumps(&self) -> Vec<FlightDump> {
+        self.flights
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// All SLO verdicts received so far.
+    pub fn slo_verdicts(&self) -> Vec<SloVerdict> {
+        self.slos.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
 }
 
 impl Sink for MemorySink {
@@ -84,6 +120,27 @@ impl Sink for MemorySink {
             .unwrap_or_else(|e| e.into_inner())
             .push(snapshot.clone());
     }
+
+    fn on_trace(&self, event: &TraceEvent) {
+        self.traces
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(*event);
+    }
+
+    fn on_flight(&self, dump: &FlightDump) {
+        self.flights
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(dump.clone());
+    }
+
+    fn on_slo(&self, verdict: &SloVerdict) {
+        self.slos
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(*verdict);
+    }
 }
 
 /// Streams events as JSON Lines to a writer (typically a file).
@@ -96,7 +153,14 @@ impl Sink for MemorySink {
 /// {"t":"gauge","name":"...","last":X,"max":X}
 /// {"t":"hist","name":"...","count":N,"mean_ns":X,"p50_ns":N,"p99_ns":N,"max_ns":N,"overflow":N}
 /// {"t":"span_agg","name":"...","count":N,"total_ns":N,"max_ns":N}
+/// {"t":"trace","trace":N,"span":N,"parent":N,"lamport":N,"kind":"...","node":N,"t_ns":N}
+/// {"t":"flight","node":N,"reason":"...","t_ns":N,"events":K}
+/// {"t":"flight_ev","node":N,"i":N,"t_ns":N,"lamport":N,"kind":"...","a":N,"b":N}
+/// {"t":"slo","flow":N,"status":"...","promised_slots":N,"bound_ns":N,"max_delay_ns":N,"margin_ns":N,"delivered":N,"dropped":N,"frames_observed":N,"frames_short":N}
 /// ```
+///
+/// The sink flushes on drop, so a short-lived process that never calls
+/// [`crate::finish`] still gets its final buffered records on disk.
 pub struct JsonlSink {
     writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
 }
@@ -182,7 +246,74 @@ impl Sink for JsonlSink {
         }
     }
 
+    fn on_trace(&self, event: &TraceEvent) {
+        self.write_line(&event.to_jsonl());
+    }
+
+    fn on_flight(&self, dump: &FlightDump) {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"t\":\"flight\",\"node\":");
+        line.push_str(&dump.node.to_string());
+        line.push_str(",\"reason\":");
+        json::push_str_value(&mut line, &dump.reason);
+        line.push_str(&format!(
+            ",\"t_ns\":{},\"events\":{}}}",
+            dump.t_ns,
+            dump.events.len()
+        ));
+        self.write_line(&line);
+        for (i, e) in dump.events.iter().enumerate() {
+            let mut line = String::with_capacity(96);
+            line.push_str("{\"t\":\"flight_ev\",\"node\":");
+            line.push_str(&dump.node.to_string());
+            line.push_str(&format!(
+                ",\"i\":{i},\"t_ns\":{},\"lamport\":{}",
+                e.t_ns, e.lamport
+            ));
+            line.push_str(",\"kind\":");
+            json::push_str_value(&mut line, e.kind);
+            line.push_str(&format!(",\"a\":{},\"b\":{}}}", e.a, e.b));
+            self.write_line(&line);
+        }
+    }
+
+    fn on_slo(&self, verdict: &SloVerdict) {
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"t\":\"slo\",\"flow\":");
+        line.push_str(&verdict.flow.to_string());
+        line.push_str(",\"status\":");
+        json::push_str_value(&mut line, &verdict.status.to_string());
+        line.push_str(&format!(",\"promised_slots\":{}", verdict.promised_slots));
+        match verdict.bound_ns {
+            Some(b) => line.push_str(&format!(",\"bound_ns\":{b}")),
+            None => line.push_str(",\"bound_ns\":null"),
+        }
+        line.push_str(&format!(
+            ",\"max_delay_ns\":{},\"margin_ns\":{},\"delivered\":{},\"dropped\":{},\"frames_observed\":{},\"frames_short\":{}}}",
+            verdict.max_delay_ns,
+            verdict.margin_ns,
+            verdict.delivered,
+            verdict.dropped,
+            verdict.frames_observed,
+            verdict.frames_short
+        ));
+        self.write_line(&line);
+    }
+
     fn flush(&self) {
+        let _ = self
+            .writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    /// Flush-on-drop guard: short-lived processes (examples, `--quick`
+    /// bench runs) that exit without calling [`crate::finish`] must
+    /// never truncate the final buffered record.
+    fn drop(&mut self) {
         let _ = self
             .writer
             .lock()
@@ -291,6 +422,88 @@ mod tests {
         assert_eq!(sink.span_names(), vec!["a", "b", "c"]);
         sink.on_metrics(&sample_snapshot());
         assert_eq!(sink.metrics_snapshots().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_writes_trace_flight_and_slo_lines() {
+        use crate::flight::{FlightDump, FlightEvent};
+        use crate::slo::{SloStatus, SloVerdict};
+        use crate::trace::{TraceCtx, TraceRecord};
+
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::from_writer(Box::new(SharedBuf(buf.clone())));
+        let event = crate::trace::TraceEvent {
+            ctx: TraceCtx::root(3, 1).child(4, 2),
+            kind: "dsch.grant",
+            node: 6,
+            t_ns: 1_000,
+        };
+        sink.on_trace(&event);
+        sink.on_flight(&FlightDump {
+            node: 6,
+            reason: "collision".to_string(),
+            events: vec![FlightEvent {
+                t_ns: 900,
+                lamport: 1,
+                kind: "rx.dsch",
+                a: 2,
+                b: 3,
+            }],
+            t_ns: 1_000,
+        });
+        sink.on_slo(&SloVerdict {
+            flow: 1,
+            status: SloStatus::Met,
+            promised_slots: 4,
+            bound_ns: Some(80_000_000),
+            max_delay_ns: 2_000_000,
+            margin_ns: 78_000_000,
+            delivered: 10,
+            dropped: 0,
+            frames_observed: 5,
+            frames_short: 0,
+        });
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The trace line round-trips through the parser.
+        assert_eq!(
+            TraceRecord::parse_jsonl(lines[0]).expect("trace line parses"),
+            TraceRecord::from(&event)
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"t":"flight","node":6,"reason":"collision","t_ns":1000,"events":1}"#
+        );
+        assert_eq!(
+            lines[2],
+            r#"{"t":"flight_ev","node":6,"i":0,"t_ns":900,"lamport":1,"kind":"rx.dsch","a":2,"b":3}"#
+        );
+        assert_eq!(
+            lines[3],
+            r#"{"t":"slo","flow":1,"status":"met","promised_slots":4,"bound_ns":80000000,"max_delay_ns":2000000,"margin_ns":78000000,"delivered":10,"dropped":0,"frames_observed":5,"frames_short":0}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_flushes_on_drop() {
+        // Satellite fix: a sink dropped without finish()/flush() must
+        // still land its buffered lines in the writer.
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        {
+            let sink = JsonlSink::from_writer(Box::new(SharedBuf(buf.clone())));
+            sink.on_span(&SpanEvent {
+                name: "short.lived",
+                start_us: 0,
+                dur_ns: 10,
+                depth: 0,
+            });
+            // No flush, no finish: the Drop impl must save the line.
+        }
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("short.lived"));
+        assert!(text.ends_with('\n'));
     }
 
     #[test]

@@ -17,6 +17,12 @@ cargo test -q -p wimesh --test parallel_equivalence
 # work-sharing B&B, speculative probing, the threaded runner queue and
 # the BENCH_parallel.json acceptance checks.
 cargo run -p wimesh-bench --release --bin experiments -- parallel_scaling --quick
+# The observability stream suite (sinks, concurrent JSONL writers, trace
+# round-trips) and the end-to-end SLO audit: causal trace reconstruction,
+# flight-recorder dump, zero violated verdicts for admitted flows and the
+# mutation probe that must be flagged.
+cargo test -q -p wimesh-obs --test obs_stream
+cargo run -p wimesh-bench --release --bin experiments -- slo_audit --quick
 # Workspace lint: the repo-specific rules (no unwrap in adopted library
 # crates, no wall-clock in deterministic code, forbid(unsafe_code) roots,
 # error enums implementing Error, no stray printing) must hold.
