@@ -50,6 +50,7 @@ fn span_name(id: &str) -> &'static str {
         "runtime_faults" => "bench.runtime_faults",
         "slo_audit" => "bench.slo_audit",
         "parallel_scaling" => "bench.parallel_scaling",
+        "service_churn" => "bench.service_churn",
         _ => "bench.experiment",
     }
 }

@@ -19,5 +19,6 @@ pub mod e8;
 pub mod e9;
 pub mod parallel_scaling;
 pub mod runtime_faults;
+pub mod service_churn;
 pub mod slo_audit;
 pub mod t10;

@@ -1,0 +1,327 @@
+//! Service churn — batched gateway admissions vs one-solve-per-request,
+//! plus a kill-and-recover round trip through the write-ahead journal.
+//!
+//! Two scenarios:
+//!
+//! * **Batch sweep** — the same admission workload is pushed through a
+//!   [`wimesh_svc::JournaledSession`] at coalescing batch sizes 1, 2,
+//!   4, 8, … Batch size 1 is the one-solve-per-request baseline; larger
+//!   sizes settle a whole run of admissions with a single incremental
+//!   solve (one journal record, one certification). The acceptance gate
+//!   requires ≥ 2× amortized admissions/sec at batch size 8.
+//! * **Kill and recover** — a live [`wimesh_svc::AdmissionGateway`]
+//!   absorbs admit/release/rebalance churn while journaling to disk,
+//!   then is killed (shutdown writes no farewell state). The journal is
+//!   recovered twice — intact, and with a torn tail — and the recovered
+//!   session must be bit-identical to the pre-kill state (same frame
+//!   slots, same admitted flow set) and pass the independent
+//!   certificate.
+//!
+//! Writes `results/service_churn.csv` plus the acceptance artifact
+//! `results/BENCH_service_churn.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use wimesh::sim::traffic::VoipCodec;
+use wimesh::{FlowSpec, MeshQos, OrderPolicy, SessionStats};
+use wimesh_obs::sink::NoopSink;
+use wimesh_svc::{
+    recover, AdmissionGateway, GatewayConfig, JournalWriter, JournaledSession, Reply,
+};
+use wimesh_topology::{generators, MeshTopology, NodeId};
+
+use crate::{BenchError, Ctx, Table};
+
+/// VoIP flows from spread-out sources toward the gateway `NodeId(0)`.
+fn gateway_flows(topo: &MeshTopology, n: usize) -> Vec<FlowSpec> {
+    let nodes = topo.node_count() as u32;
+    (0..n as u32)
+        .map(|i| {
+            let src = 1 + (i * 7) % (nodes - 1);
+            FlowSpec::voip(i, NodeId(src), NodeId(0), VoipCodec::G729)
+        })
+        .collect()
+}
+
+/// One batch-size measurement.
+#[derive(Debug)]
+struct SweepPoint {
+    batch: usize,
+    flows: usize,
+    admitted: usize,
+    wall_s: f64,
+    rate_per_s: f64,
+    stats: SessionStats,
+}
+
+/// Pushes `flows` through a journaled session in chunks of `batch`,
+/// returning the best-of-`reps` wall time (fresh session per rep; the
+/// journal goes to a sink so both modes pay identical I/O).
+fn run_sweep_point(
+    mesh: &MeshQos,
+    flows: &[FlowSpec],
+    batch: usize,
+    reps: usize,
+) -> Result<SweepPoint, BenchError> {
+    let mut best_wall = f64::INFINITY;
+    let mut admitted = 0usize;
+    let mut stats = SessionStats::default();
+    for _ in 0..reps {
+        let writer = JournalWriter::from_writer(Box::new(std::io::sink()));
+        let mut journaled = JournaledSession::new(mesh.session(OrderPolicy::HopOrder), writer, 0);
+        let start = Instant::now();
+        let mut ok = 0usize;
+        for chunk in flows.chunks(batch) {
+            let verdicts = journaled
+                .admit_flows(chunk)
+                .map_err(|e| BenchError::Other(format!("batch={batch}: {e}")))?;
+            ok += verdicts.iter().filter(|v| v.is_admitted()).count();
+        }
+        let wall = start.elapsed().as_secs_f64();
+        if wall < best_wall {
+            best_wall = wall;
+        }
+        admitted = ok;
+        stats = journaled.session().stats().clone();
+    }
+    Ok(SweepPoint {
+        batch,
+        flows: flows.len(),
+        admitted,
+        wall_s: best_wall,
+        rate_per_s: flows.len() as f64 / best_wall.max(1e-9),
+        stats,
+    })
+}
+
+/// What the kill-and-recover scenario proves.
+#[derive(Debug)]
+struct KillRecover {
+    requests: usize,
+    pre_kill_flows: usize,
+    journal_bytes: usize,
+    replayed: usize,
+    bit_identical: bool,
+    certified_slots: u32,
+    torn_recovered: bool,
+}
+
+/// Runs churn through a real gateway journaling to disk, kills it, and
+/// recovers — intact and with a torn tail.
+fn run_kill_recover(ctx: &Ctx, mesh: &MeshQos) -> Result<KillRecover, BenchError> {
+    std::fs::create_dir_all(&ctx.out_dir)?;
+    let journal_path = ctx.out_dir.join("service_churn_journal.jsonl");
+    let flows = gateway_flows(mesh.topology(), if ctx.quick { 8 } else { 16 });
+
+    let config = GatewayConfig {
+        queue_capacity: 64,
+        max_batch: 8,
+        snapshot_every: 3,
+        request_timeout: None,
+    };
+    let writer = JournalWriter::create(&journal_path)?;
+    let (gateway, client) =
+        AdmissionGateway::start(mesh.session(OrderPolicy::HopOrder), writer, config)
+            .map_err(|e| BenchError::Other(format!("gateway start: {e}")))?;
+
+    // Concurrent-style churn: enqueue a wave of admissions, then
+    // releases and a rebalance, collecting every typed reply.
+    let mut requests = 0usize;
+    let tickets: Vec<_> = flows
+        .iter()
+        .map(|f| client.admit(f.clone()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| BenchError::Other(format!("submit: {e}")))?;
+    for t in tickets {
+        requests += 1;
+        if let Reply::Failed(msg) = t.wait().map_err(|e| BenchError::Other(e.to_string()))? {
+            return Err(BenchError::Other(format!("admission failed: {msg}")));
+        }
+    }
+    for id in [flows[0].id, flows[1].id] {
+        requests += 1;
+        client
+            .release(id)
+            .and_then(|t| t.wait())
+            .map_err(|e| BenchError::Other(format!("release: {e}")))?;
+    }
+    requests += 1;
+    client
+        .rebalance()
+        .and_then(|t| t.wait())
+        .map_err(|e| BenchError::Other(format!("rebalance: {e}")))?;
+
+    // Kill. Shutdown drains replies but writes no farewell snapshot:
+    // the journal alone must reconstruct this state.
+    let report = gateway.shutdown();
+    let truth = report.state;
+
+    let journal = std::fs::read_to_string(&journal_path)?;
+    let recovered = recover(mesh, OrderPolicy::HopOrder, &journal)
+        .map_err(|e| BenchError::Other(format!("recovery: {e}")))?;
+    let state = recovered.session.export_state();
+    let bit_identical = state == truth
+        && state.ranges == truth.ranges
+        && state.guaranteed_slots == truth.guaranteed_slots;
+    if !bit_identical {
+        return Err(BenchError::Other(
+            "recovered session is not bit-identical to the pre-kill state".into(),
+        ));
+    }
+
+    // Torn tail: the crash landed mid-append of the final record.
+    let torn = &journal[..journal.len().saturating_sub(2)];
+    let torn_result = recover(mesh, OrderPolicy::HopOrder, torn)
+        .map_err(|e| BenchError::Other(format!("torn recovery: {e}")))?;
+    let torn_recovered = torn_result.torn_tail;
+
+    Ok(KillRecover {
+        requests,
+        pre_kill_flows: truth.flows.len(),
+        journal_bytes: journal.len(),
+        replayed: recovered.replayed,
+        bit_identical,
+        certified_slots: recovered.report.makespan,
+        torn_recovered,
+    })
+}
+
+/// Serialises `results/BENCH_service_churn.json`.
+fn artifact_json(sweep: &[SweepPoint], speedup8: f64, kr: &KillRecover, quick: bool) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"experiment\":\"service_churn\",\"quick\":");
+    out.push_str(if quick { "true" } else { "false" });
+    out.push_str(",\"batch_sweep\":[");
+    for (i, p) in sweep.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"batch\":{},\"flows\":{},\"admitted\":{},\"wall_s\":",
+            p.batch, p.flows, p.admitted
+        ));
+        wimesh_obs::json::push_f64(&mut out, p.wall_s);
+        out.push_str(",\"admissions_per_s\":");
+        wimesh_obs::json::push_f64(&mut out, p.rate_per_s);
+        out.push_str(",\"session_stats\":");
+        out.push_str(&p.stats.to_json());
+        out.push('}');
+    }
+    out.push_str("],\"speedup_batch8_vs_single\":");
+    wimesh_obs::json::push_f64(&mut out, speedup8);
+    out.push_str(&format!(
+        ",\"kill_recover\":{{\"requests\":{},\"pre_kill_flows\":{},\"journal_bytes\":{},\
+         \"replayed_tail_records\":{},\"bit_identical\":{},\"certified_slots\":{},\
+         \"torn_tail_recovered\":{}}}}}\n",
+        kr.requests,
+        kr.pre_kill_flows,
+        kr.journal_bytes,
+        kr.replayed,
+        kr.bit_identical,
+        kr.certified_slots,
+        kr.torn_recovered
+    ));
+    out
+}
+
+/// Runs the service-churn comparison and the kill-and-recover proof.
+///
+/// # Errors
+///
+/// Propagates admission/recovery failures, a missed 2× batching gate,
+/// and CSV/artifact write failures.
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    if !wimesh_obs::is_enabled() {
+        wimesh_obs::install(Arc::new(NoopSink));
+    }
+
+    let (grid_side, n_flows, sizes, reps): (usize, usize, &[usize], usize) = if ctx.quick {
+        (4, 12, &[1, 4, 8], 2)
+    } else {
+        (5, 24, &[1, 2, 4, 8, 16], 3)
+    };
+    let mesh = MeshQos::builder(generators::grid(grid_side, grid_side)).build()?;
+    let flows = gateway_flows(mesh.topology(), n_flows);
+
+    let mut sweep = Vec::with_capacity(sizes.len());
+    for &batch in sizes {
+        sweep.push(run_sweep_point(&mesh, &flows, batch, reps)?);
+    }
+
+    // Every batch size must settle the same workload the same way —
+    // otherwise the throughput comparison is apples to oranges.
+    let admitted0 = sweep[0].admitted;
+    if sweep.iter().any(|p| p.admitted != admitted0) {
+        return Err(BenchError::Other(format!(
+            "batched and sequential admission disagree on the admitted set: {:?}",
+            sweep.iter().map(|p| p.admitted).collect::<Vec<_>>()
+        )));
+    }
+
+    let single = sweep[0].rate_per_s;
+    let at8 = sweep
+        .iter()
+        .find(|p| p.batch == 8)
+        .map_or(0.0, |p| p.rate_per_s);
+    let speedup8 = at8 / single.max(1e-9);
+
+    let kr = run_kill_recover(ctx, &mesh)?;
+
+    let mut table = Table::new(
+        "Service churn: batched gateway solves vs one-solve-per-request",
+        &[
+            "batch",
+            "flows",
+            "admitted",
+            "wall_ms",
+            "adm_per_s",
+            "speedup",
+            "solves",
+            "coalesced",
+        ],
+    );
+    for p in &sweep {
+        table.row_strings(vec![
+            p.batch.to_string(),
+            p.flows.to_string(),
+            p.admitted.to_string(),
+            format!("{:.3}", p.wall_s * 1e3),
+            format!("{:.0}", p.rate_per_s),
+            format!("{:.2}x", p.rate_per_s / single.max(1e-9)),
+            p.stats.batch_solves.to_string(),
+            p.stats.coalesced_admits.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "  kill-and-recover: {} requests -> {} flows, {} journal bytes, \
+         replayed {} record(s), bit-identical: {}, torn tail recovered: {}",
+        kr.requests,
+        kr.pre_kill_flows,
+        kr.journal_bytes,
+        kr.replayed,
+        kr.bit_identical,
+        kr.torn_recovered
+    );
+    ctx.write_csv("service_churn", &table)?;
+
+    std::fs::create_dir_all(&ctx.out_dir)?;
+    let artifact = ctx.out_dir.join("BENCH_service_churn.json");
+    std::fs::write(&artifact, artifact_json(&sweep, speedup8, &kr, ctx.quick))?;
+    println!("  -> {}", artifact.display());
+
+    // The acceptance gate: batching must amortize the solver.
+    if speedup8 < 2.0 {
+        return Err(BenchError::Other(format!(
+            "batch size 8 reached only {speedup8:.2}x admissions/sec over \
+             one-solve-per-request (gate: >= 2.0x)"
+        )));
+    }
+    if !kr.torn_recovered {
+        return Err(BenchError::Other(
+            "torn-tail journal did not report a dropped tail".into(),
+        ));
+    }
+    Ok(())
+}

@@ -146,6 +146,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "runtime_faults",
     "slo_audit",
     "parallel_scaling",
+    "service_churn",
 ];
 
 /// Runs one experiment by id.
@@ -174,6 +175,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Result<(), BenchError> {
         "runtime_faults" => experiments::runtime_faults::run(ctx),
         "slo_audit" => experiments::slo_audit::run(ctx),
         "parallel_scaling" => experiments::parallel_scaling::run(ctx),
+        "service_churn" => experiments::service_churn::run(ctx),
         other => Err(BenchError::Other(format!("unknown experiment id: {other}"))),
     }
 }

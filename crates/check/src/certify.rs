@@ -212,6 +212,15 @@ pub enum Violation {
         /// Minimum makespan of its order per the reference pass.
         reference: u32,
     },
+    /// A recovered session's recorded guaranteed region disagrees with
+    /// the makespan of the schedule it replayed to — the replay
+    /// produced a valid schedule, but not the journaled one.
+    RecoveredRegionMismatch {
+        /// Guaranteed-region size the journal recorded.
+        recorded: u32,
+        /// Makespan of the recovered schedule.
+        actual: u32,
+    },
 }
 
 impl Violation {
@@ -230,6 +239,7 @@ impl Violation {
             Violation::GuardInsufficient { .. } => "guard-insufficient",
             Violation::OrderCycle { .. } => "order-cycle",
             Violation::InconsistentMakespan { .. } => "inconsistent-makespan",
+            Violation::RecoveredRegionMismatch { .. } => "recovered-region-mismatch",
         }
     }
 }
@@ -287,6 +297,10 @@ impl fmt::Display for Violation {
                 f,
                 "claimed makespan {claimed} below reference minimum {reference}"
             ),
+            Violation::RecoveredRegionMismatch { recorded, actual } => write!(
+                f,
+                "recovered schedule occupies {actual} slot(s), the journal recorded {recorded}"
+            ),
         }
     }
 }
@@ -340,6 +354,36 @@ pub struct CertificateReport {
 pub struct Certificate;
 
 impl Certificate {
+    /// Certifies a *recovered* session: the full [`Certificate::check`]
+    /// pass plus the recovery-specific claim — the guaranteed-region
+    /// size the journal recorded must match the makespan of the
+    /// schedule the replay produced. A recovered state must not merely
+    /// be valid; it must be the state that was journaled.
+    ///
+    /// # Errors
+    ///
+    /// As [`Certificate::check`]; a region disagreement surfaces as a
+    /// single [`Violation::RecoveredRegionMismatch`].
+    pub fn check_recovery(
+        schedule: &Schedule,
+        graph: &ConflictGraph,
+        demands: &Demands,
+        flows: &[FlowRequirement],
+        params: &CertParams,
+        recorded_slots: u32,
+    ) -> Result<CertificateReport, CertifyError> {
+        let report = Self::check(schedule, graph, demands, flows, params)?;
+        if report.makespan != recorded_slots {
+            return Err(CertifyError {
+                violations: vec![Violation::RecoveredRegionMismatch {
+                    recorded: recorded_slots,
+                    actual: report.makespan,
+                }],
+            });
+        }
+        Ok(report)
+    }
+
     /// Re-verifies `schedule` against the conflict graph, aggregate
     /// demands, per-flow requirements and deployment parameters.
     ///

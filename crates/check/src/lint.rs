@@ -41,17 +41,26 @@ pub enum Rule {
     /// [`LintConfig::traced_sends`] must carry a `ctx` field: a fabric
     /// send without a trace context is invisible to the causal tracer.
     NoUntracedFabricSend,
+    /// In the journaled service crates listed in
+    /// [`LintConfig::journaled`], raw session mutators
+    /// (`.admit(` / `.admit_via(` / `.admit_batch(` / `.release(` /
+    /// `.rebalance(`) may only be called from `journaled.rs` — every
+    /// other call site must go through the journaled wrapper, or a
+    /// mutation could escape the write-ahead journal and break crash
+    /// recovery.
+    NoUnjournaledMutation,
 }
 
 impl Rule {
     /// All rules in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::NoUnwrapInLib,
         Rule::NoWallclockInDeterministic,
         Rule::NoPrintlnInLib,
         Rule::ForbidUnsafeEverywhere,
         Rule::ErrorEnumsImplError,
         Rule::NoUntracedFabricSend,
+        Rule::NoUnjournaledMutation,
     ];
 
     /// The kebab-case rule name used in diagnostics and allow directives.
@@ -63,6 +72,7 @@ impl Rule {
             Rule::ForbidUnsafeEverywhere => "forbid-unsafe-everywhere",
             Rule::ErrorEnumsImplError => "error-enums-impl-error",
             Rule::NoUntracedFabricSend => "no-untraced-fabric-send",
+            Rule::NoUnjournaledMutation => "no-unjournaled-mutation",
         }
     }
 
@@ -82,6 +92,9 @@ impl Rule {
             }
             Rule::NoUntracedFabricSend => {
                 "fabric Deliver events carry a `ctx` trace context in traced crates"
+            }
+            Rule::NoUnjournaledMutation => {
+                "session mutators flow through the journaled wrapper in service crates"
             }
         }
     }
@@ -133,6 +146,9 @@ pub struct LintConfig {
     /// Crates whose `Deliver { .. }` fabric events must carry a `ctx`
     /// trace context (`no-untraced-fabric-send`).
     pub traced_sends: Vec<String>,
+    /// Crates whose raw session mutators must be confined to
+    /// `journaled.rs` (`no-unjournaled-mutation`).
+    pub journaled: Vec<String>,
     /// Also walk `vendor/*` stand-in crates (off by default: they mirror
     /// external APIs and are not held to workspace rules).
     pub include_vendor: bool,
@@ -155,6 +171,7 @@ impl Default for LintConfig {
             ],
             println_exempt: vec!["wimesh-bench".into()],
             traced_sends: vec!["wimesh-node".into()],
+            journaled: vec!["wimesh-svc".into()],
             include_vendor: false,
         }
     }
@@ -452,6 +469,7 @@ fn run_rules(krate: &CrateSource, config: &LintConfig, out: &mut Vec<Diagnostic>
     let deterministic = config.deterministic.contains(&krate.name);
     let println_exempt = config.println_exempt.contains(&krate.name);
     let traced = config.traced_sends.contains(&krate.name);
+    let journaled = config.journaled.contains(&krate.name);
     for file in &krate.files {
         if adopted && file.kind.is_lib() {
             rule_no_unwrap(file, out);
@@ -467,6 +485,9 @@ fn run_rules(krate: &CrateSource, config: &LintConfig, out: &mut Vec<Diagnostic>
         }
         if traced {
             rule_no_untraced_fabric_send(file, out);
+        }
+        if journaled && file.kind.is_lib() {
+            rule_no_unjournaled_mutation(file, out);
         }
     }
     rule_error_enums(krate, out);
@@ -639,6 +660,44 @@ fn rule_no_untraced_fabric_send(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 message: "Deliver without a `ctx` field; every fabric send must carry a \
                           trace context"
                     .to_string(),
+            });
+        }
+    }
+}
+
+fn rule_no_unjournaled_mutation(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    // The one sanctioned call site: the journaled wrapper itself lives
+    // in `journaled.rs` and appends the write-ahead record before each
+    // of these calls.
+    if file
+        .path
+        .file_name()
+        .is_some_and(|name| name == "journaled.rs")
+    {
+        return;
+    }
+    for (i, token) in file.lexed.tokens.iter().enumerate() {
+        if file.mask[i] {
+            continue;
+        }
+        let TokenKind::Ident(name) = &token.kind else {
+            continue;
+        };
+        if !matches!(
+            name.as_str(),
+            "admit" | "admit_via" | "admit_batch" | "release" | "rebalance"
+        ) {
+            continue;
+        }
+        if i > 0 && punct_at(file, i - 1, '.') && punct_at(file, i + 1, '(') {
+            out.push(Diagnostic {
+                rule: Rule::NoUnjournaledMutation,
+                path: file.path.clone(),
+                line: token.line,
+                message: format!(
+                    ".{name}() outside journaled.rs; session mutations must flow through \
+                     the journaled wrapper or they escape crash recovery"
+                ),
             });
         }
     }

@@ -1,0 +1,8 @@
+//! The sanctioned call site: raw session mutators in a file named
+//! `journaled.rs` are exempt from no-unjournaled-mutation — this is
+//! where the write-ahead wrapper appends before applying.
+
+/// Journals then applies; none of the raw calls below may be flagged.
+pub fn apply_journaled(session: &mut crate::Deliver) -> u32 {
+    session.admit(1) + session.release(2) + session.rebalance(3)
+}

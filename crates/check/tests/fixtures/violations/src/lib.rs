@@ -70,3 +70,17 @@ mod tests {
         println!("test output is fine");
     }
 }
+
+/// Raw session mutators outside journaled.rs →
+/// no-unjournaled-mutation (two findings, at the calls below).
+pub fn unjournaled_mutations(session: &mut Deliver) -> u32 {
+    session.admit(1);
+    session.release(2)
+}
+
+/// Wrapper-method names and free-function calls must NOT trip the
+/// rule; neither may mutator calls inside #[cfg(test)] code above.
+pub fn journaled_decoys(session: &mut Deliver) -> u32 {
+    let admit = session.admit_flows(3);
+    admit(4) + rebalance(5)
+}

@@ -79,7 +79,7 @@ pub use builder::MeshQosBuilder;
 pub use error::QosError;
 pub use flow::FlowSpec;
 pub use network::{MeshQos, RatePolicy};
-pub use session::{FlowAdmission, QosSession, SessionStats};
+pub use session::{FlowAdmission, FlowState, QosSession, SessionState, SessionStats};
 
 // Re-export the workspace crates so downstream users need one dependency.
 pub use wimesh_conflict as conflict;

@@ -66,6 +66,27 @@ impl MeshQos {
         crate::QosSession::new(self.clone(), policy)
     }
 
+    /// Reconstructs a session from a previously exported
+    /// [`SessionState`](crate::SessionState) — the import half of
+    /// [`QosSession::export_state`](crate::QosSession::export_state).
+    ///
+    /// The recorded schedule is loaded verbatim (restoration is
+    /// bit-identical, no re-solve) and cross-checked against this mesh:
+    /// routes must still exist, reservations must match, the slot
+    /// layout must be conflict-free and cover every demand. This is the
+    /// recovery primitive the `wimesh-svc` journal replays onto.
+    ///
+    /// # Errors
+    ///
+    /// [`QosError::Config`] when the state disagrees with this mesh's
+    /// topology or emulation parameters.
+    pub fn restore_session(
+        &self,
+        state: &crate::SessionState,
+    ) -> Result<crate::QosSession, QosError> {
+        crate::QosSession::from_state(self.clone(), state)
+    }
+
     /// Builds the mesh with the default 1-hop protocol interference
     /// model.
     ///

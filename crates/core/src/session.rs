@@ -31,6 +31,8 @@
 //! the exact oracle. The property tests in `tests/session_equivalence.rs`
 //! pin this.
 
+use std::collections::BTreeMap;
+
 use wimesh_conflict::ConflictGraph;
 use wimesh_emu::EmulationModel;
 use wimesh_milp::SolverConfig;
@@ -40,10 +42,10 @@ use wimesh_tdma::milp::{
     PathRequirement,
 };
 use wimesh_tdma::{
-    order, CancelToken, Demands, FrameConfig, Schedule, ScheduleError, TransmissionOrder,
+    order, CancelToken, Demands, FrameConfig, Schedule, ScheduleError, SlotRange, TransmissionOrder,
 };
 use wimesh_topology::routing::{shortest_path, Path};
-use wimesh_topology::LinkId;
+use wimesh_topology::{LinkId, NodeId};
 
 use crate::admission::{self, Accepted, AdmissionOutcome, AdmittedFlow, OrderPolicy, RejectReason};
 use crate::{FlowSpec, MeshQos, QosError};
@@ -87,10 +89,12 @@ impl FlowAdmission {
 ///
 /// The same figures are emitted as `session.*` counters through
 /// `wimesh-obs` when instrumentation is enabled.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Default)]
 #[non_exhaustive]
 pub struct SessionStats {
-    /// [`QosSession::admit`] calls.
+    /// [`QosSession::admit`] calls (each spec of an
+    /// [`QosSession::admit_batch`] counts once).
     pub admits: u64,
     /// Successful [`QosSession::release`] calls.
     pub releases: u64,
@@ -117,6 +121,41 @@ pub struct SessionStats {
     /// them redundant — work the parallel search started but did not pay
     /// for in full.
     pub probes_cancelled: u64,
+    /// [`QosSession::admit_batch`] calls settled by a single coalesced
+    /// solve over the whole batch.
+    pub batch_solves: u64,
+    /// Flows admitted through a coalesced batch solve beyond the first
+    /// of their batch — each is a full feasibility search a
+    /// one-at-a-time caller would have paid for.
+    pub coalesced_admits: u64,
+}
+
+impl SessionStats {
+    /// Renders the counters as one flat JSON object (stable field
+    /// order) — for artifact writers that do not enable the optional
+    /// `serde` feature.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"admits\":{},\"releases\":{},\"oracle_calls\":{},\
+             \"oracle_calls_saved\":{},\"warm_order_hits\":{},\
+             \"search_iterations\":{},\"incremental_updates\":{},\
+             \"graph_rebuilds\":{},\"speculative_probes\":{},\
+             \"probes_cancelled\":{},\"batch_solves\":{},\
+             \"coalesced_admits\":{}}}",
+            self.admits,
+            self.releases,
+            self.oracle_calls,
+            self.oracle_calls_saved,
+            self.warm_order_hits,
+            self.search_iterations,
+            self.incremental_updates,
+            self.graph_rebuilds,
+            self.speculative_probes,
+            self.probes_cancelled,
+            self.batch_solves,
+            self.coalesced_admits,
+        )
+    }
 }
 
 /// The last feasible order, persisted independently of the graph's dense
@@ -128,6 +167,47 @@ pub struct SessionStats {
 #[derive(Debug, Clone)]
 struct WarmOrder {
     pairs: Vec<(LinkId, LinkId)>,
+}
+
+/// A portable export of a session's admission state: everything needed
+/// to reconstruct the exact published schedule on an identically
+/// configured [`MeshQos`] — admitted flows with routes and
+/// reservations, the warm transmission-order pairs, and the explicit
+/// per-link slot layout.
+///
+/// Produced by [`QosSession::export_state`], consumed by
+/// [`MeshQos::restore_session`]. Routes and order pairs are stored in
+/// graph-independent form (node sequences, link-id pairs), so the state
+/// survives the conflict graph's dense reindexing. The rejection log is
+/// deliberately *not* part of the state: it is observability, not
+/// schedule-bearing.
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionState {
+    /// Order policy the session admits under.
+    pub policy: OrderPolicy,
+    /// Admitted flows, in admission order.
+    pub flows: Vec<FlowState>,
+    /// The last feasible transmission order as graph-independent link
+    /// pairs; empty when no flow is admitted.
+    pub warm_pairs: Vec<(LinkId, LinkId)>,
+    /// The published schedule as explicit per-link slot ranges,
+    /// ascending by link id.
+    pub ranges: Vec<(LinkId, SlotRange)>,
+    /// Size of the guaranteed region the schedule occupies.
+    pub guaranteed_slots: u32,
+}
+
+/// One admitted flow inside a [`SessionState`].
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowState {
+    /// The admitted spec.
+    pub spec: FlowSpec,
+    /// Route as a node sequence; links are re-derived on restore.
+    pub path: Vec<NodeId>,
+    /// Minislots reserved on each path link.
+    pub slots_per_link: u32,
 }
 
 /// A stateful admission session over a [`MeshQos`].
@@ -338,6 +418,299 @@ impl QosSession {
                 Ok(FlowAdmission::Rejected(reason))
             }
         }
+    }
+
+    /// Tries to admit several flows as one coalesced scheduling
+    /// decision, returning one verdict per spec in input order.
+    ///
+    /// Every spec is vetted individually (rate, route, deadline
+    /// budget); the surviving candidates are then solved for
+    /// *together*: one incremental graph growth, one feasibility search
+    /// over the accepted set plus the whole batch, one certification
+    /// pass. That single solve is the amortization the gateway service
+    /// (`wimesh-svc`) batches requests for. When the combined set is
+    /// not feasible as a whole, the graph is rolled back and the batch
+    /// falls back to per-flow admission in input order — exactly the
+    /// semantics of calling [`QosSession::admit`] once per spec.
+    ///
+    /// Under [`OrderPolicy::ExactMilp`] the admitted set equals what
+    /// one-at-a-time admission would produce: feasibility of a set
+    /// implies feasibility of every subset, so whenever the whole batch
+    /// fits, sequential admission would have admitted every member too.
+    /// For the heuristic policies a coalesced success is a real,
+    /// certified schedule, but a batch may be admitted whole where
+    /// one-at-a-time admission would have stopped early (the heuristic
+    /// order is not subset-monotone); the deterministic record of which
+    /// grouping was used is what `wimesh-svc` journals for replay.
+    ///
+    /// # Errors
+    ///
+    /// As for [`QosSession::admit`].
+    pub fn admit_batch(&mut self, specs: &[FlowSpec]) -> Result<Vec<FlowAdmission>, QosError> {
+        if specs.len() <= 1 {
+            return specs.iter().map(|s| self.admit(s)).collect();
+        }
+        let _span = wimesh_obs::span!("session.admit_batch");
+
+        // Vet first: rejections here consume no solve and cannot
+        // invalidate the batch.
+        let mut verdicts: Vec<Option<FlowAdmission>> = (0..specs.len()).map(|_| None).collect();
+        let mut candidates: Vec<(usize, Accepted)> = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let path = shortest_path(self.mesh.topology(), spec.src, spec.dst).ok();
+            match admission::vet_flow(
+                self.mesh.model(),
+                self.mesh.link_payloads(),
+                self.mesh.loss_provisioning(),
+                spec,
+                path.as_ref(),
+            )? {
+                Ok(c) => candidates.push((i, c)),
+                Err(reason) => {
+                    self.stats.admits += 1;
+                    self.outcome.rejected.push((spec.clone(), reason.clone()));
+                    verdicts[i] = Some(FlowAdmission::Rejected(reason));
+                }
+            }
+        }
+
+        if !candidates.is_empty() {
+            // Optimistic coalesced solve: accepted set plus the whole
+            // batch in one search.
+            let demands = {
+                let trial: Vec<&Accepted> = self
+                    .accepted
+                    .iter()
+                    .chain(candidates.iter().map(|(_, c)| c))
+                    .collect();
+                admission::aggregate_demands(
+                    self.mesh.model(),
+                    self.mesh.link_payloads(),
+                    self.mesh.loss_provisioning(),
+                    &trial,
+                )
+            };
+            let inserted = self.grow_graph(&demands);
+            let result = {
+                let trial: Vec<&Accepted> = self
+                    .accepted
+                    .iter()
+                    .chain(candidates.iter().map(|(_, c)| c))
+                    .collect();
+                solve_session(
+                    &self.mesh,
+                    &self.graph,
+                    &demands,
+                    &trial,
+                    self.policy,
+                    self.warm.as_ref(),
+                    &mut self.stats,
+                )
+            };
+            match result {
+                Ok((schedule, ord, used)) => {
+                    self.stats.admits += candidates.len() as u64;
+                    self.stats.batch_solves += 1;
+                    self.stats.coalesced_admits += candidates.len() as u64 - 1;
+                    wimesh_obs::counter_inc("session.batch.solves");
+                    wimesh_obs::counter_add("session.batch.coalesced", candidates.len() as u64 - 1);
+                    self.warm = Some(WarmOrder {
+                        pairs: ord.link_pairs(&self.graph),
+                    });
+                    let base = self.accepted.len();
+                    for (_, c) in &candidates {
+                        self.accepted.push(c.clone());
+                    }
+                    self.refresh_outcome(schedule, ord, used);
+                    self.certify("admit_batch");
+                    self.publish_slo_promises();
+                    for (k, (i, _)) in candidates.iter().enumerate() {
+                        verdicts[*i] = Some(FlowAdmission::Admitted(
+                            self.outcome.admitted[base + k].clone(),
+                        ));
+                    }
+                }
+                Err(
+                    ScheduleError::Infeasible
+                    | ScheduleError::FrameTooShort { .. }
+                    | ScheduleError::OrderCycle { .. }
+                    | ScheduleError::SolverFailed(_),
+                ) => {
+                    // The batch does not fit as a unit. Roll the graph
+                    // back and fall through to per-flow admission.
+                    for l in inserted {
+                        self.graph.remove_vertex(l);
+                        self.stats.incremental_updates += 1;
+                        wimesh_obs::counter_inc("session.graph.incremental");
+                    }
+                    for (i, c) in candidates {
+                        let verdict = self.admit_on(&specs[i], Some(c.path))?;
+                        verdicts[i] = Some(verdict);
+                    }
+                }
+                Err(other) => {
+                    for l in inserted {
+                        self.graph.remove_vertex(l);
+                        self.stats.incremental_updates += 1;
+                        wimesh_obs::counter_inc("session.graph.incremental");
+                    }
+                    return Err(other.into());
+                }
+            }
+        }
+
+        Ok(verdicts
+            .into_iter()
+            // check: allow(no-unwrap-in-lib) every index was filled above: vet rejection, coalesced admit, or per-flow fallback
+            .map(|v| v.expect("every spec received a verdict"))
+            .collect())
+    }
+
+    /// Exports the session's admission state in a portable,
+    /// graph-independent form — see [`SessionState`] and
+    /// [`MeshQos::restore_session`].
+    pub fn export_state(&self) -> SessionState {
+        SessionState {
+            policy: self.policy,
+            flows: self
+                .accepted
+                .iter()
+                .map(|a| FlowState {
+                    spec: a.spec.clone(),
+                    path: a.path.nodes().to_vec(),
+                    slots_per_link: a.slots_per_link,
+                })
+                .collect(),
+            warm_pairs: self
+                .warm
+                .as_ref()
+                .map(|w| w.pairs.clone())
+                .unwrap_or_default(),
+            ranges: self.outcome.schedule.iter().collect(),
+            guaranteed_slots: self.outcome.guaranteed_slots,
+        }
+    }
+
+    /// Reconstructs a session from an exported state *without solving*:
+    /// the recorded schedule is loaded verbatim (so restoration is
+    /// bit-identical to the exporting session), then cross-checked —
+    /// every flow re-vetted against this mesh, reservations compared,
+    /// conflict-freeness re-validated, demand coverage verified.
+    ///
+    /// # Errors
+    ///
+    /// [`QosError::Config`] when the state disagrees with this mesh:
+    /// missing links, changed reservations, conflicting or short slot
+    /// grants, a makespan that contradicts the recorded guaranteed
+    /// region.
+    pub(crate) fn from_state(mesh: MeshQos, state: &SessionState) -> Result<Self, QosError> {
+        let mut accepted = Vec::with_capacity(state.flows.len());
+        for f in &state.flows {
+            let links: Vec<LinkId> = f
+                .path
+                .windows(2)
+                .map(|w| {
+                    mesh.topology().link_between(w[0], w[1]).ok_or_else(|| {
+                        QosError::Config(format!(
+                            "restored flow {}: no link {} -> {} in this topology",
+                            f.spec.id, w[0], w[1]
+                        ))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let path = Path::new(mesh.topology(), links)?;
+            let candidate = match admission::vet_flow(
+                mesh.model(),
+                mesh.link_payloads(),
+                mesh.loss_provisioning(),
+                &f.spec,
+                Some(&path),
+            )? {
+                Ok(c) => c,
+                Err(reason) => {
+                    return Err(QosError::Config(format!(
+                        "restored flow {} is no longer admissible on this mesh: {reason:?}",
+                        f.spec.id
+                    )))
+                }
+            };
+            if candidate.slots_per_link != f.slots_per_link {
+                return Err(QosError::Config(format!(
+                    "restored flow {}: this mesh reserves {} slot(s)/link, the state recorded {}",
+                    f.spec.id, candidate.slots_per_link, f.slots_per_link
+                )));
+            }
+            accepted.push(candidate);
+        }
+
+        let demands = {
+            let trial: Vec<&Accepted> = accepted.iter().collect();
+            admission::aggregate_demands(
+                mesh.model(),
+                mesh.link_payloads(),
+                mesh.loss_provisioning(),
+                &trial,
+            )
+        };
+        let graph = ConflictGraph::build_for_links(
+            mesh.topology(),
+            demands.links().collect(),
+            mesh.interference(),
+        );
+
+        let ranges: BTreeMap<LinkId, SlotRange> = state.ranges.iter().copied().collect();
+        let schedule = Schedule::from_ranges(mesh.model().frame(), ranges)?;
+        for l in schedule.links() {
+            if demands.get(l) == 0 {
+                return Err(QosError::Config(format!(
+                    "restored schedule grants slots to link {l}, which no admitted flow uses"
+                )));
+            }
+        }
+        for l in demands.links() {
+            let have = schedule.slot_range(l).map_or(0, |r| r.len);
+            let need = demands.get(l);
+            if have < need {
+                return Err(QosError::Config(format!(
+                    "restored schedule grants link {l} {have} slot(s), aggregate demand is {need}"
+                )));
+            }
+        }
+        schedule.validate(&graph).map_err(|(a, b)| {
+            QosError::Config(format!(
+                "restored schedule puts conflicting links {a} and {b} in overlapping slots"
+            ))
+        })?;
+        if schedule.makespan() != state.guaranteed_slots {
+            return Err(QosError::Config(format!(
+                "restored schedule occupies {} slot(s), the state recorded {}",
+                schedule.makespan(),
+                state.guaranteed_slots
+            )));
+        }
+
+        let order = TransmissionOrder::from_link_pairs(&graph, &state.warm_pairs);
+        let warm = if state.warm_pairs.is_empty() {
+            None
+        } else {
+            Some(WarmOrder {
+                pairs: state.warm_pairs.clone(),
+            })
+        };
+        let outcome = empty_outcome(mesh.model());
+        let mut session = Self {
+            mesh,
+            policy: state.policy,
+            accepted,
+            graph,
+            warm,
+            outcome,
+            stats: SessionStats::default(),
+        };
+        session.refresh_outcome(schedule, order, state.guaranteed_slots);
+        session.certify("restore");
+        session.publish_slo_promises();
+        Ok(session)
     }
 
     /// Releases an admitted flow and recomputes the schedule for the
@@ -1117,6 +1490,187 @@ mod tests {
         assert_eq!(snap.admitted.len(), batch.admitted.len());
         // The session keeps working after the rebuild.
         assert!(session.admit(&flows[0]).unwrap().is_admitted());
+    }
+
+    #[test]
+    fn admit_batch_coalesces_into_one_solve_and_matches_sequential() {
+        let mesh = mesh(5);
+        let flows = gateway_calls(4, 4);
+
+        let mut sequential = mesh.session(OrderPolicy::ExactMilp);
+        for f in &flows {
+            assert!(sequential.admit(f).unwrap().is_admitted());
+        }
+
+        let mut batched = mesh.session(OrderPolicy::ExactMilp);
+        let verdicts = batched.admit_batch(&flows).unwrap();
+        assert_eq!(verdicts.len(), flows.len());
+        assert!(verdicts.iter().all(FlowAdmission::is_admitted));
+        assert_eq!(batched.stats().batch_solves, 1);
+        assert_eq!(batched.stats().coalesced_admits, 3);
+        assert_eq!(batched.stats().admits, 4);
+
+        // Same admitted set and the same minimal guaranteed region.
+        let (s, b) = (sequential.snapshot(), batched.snapshot());
+        assert_eq!(s.admitted.len(), b.admitted.len());
+        assert_eq!(s.guaranteed_slots, b.guaranteed_slots);
+        // Verdict order matches input order.
+        for (v, f) in verdicts.iter().zip(&flows) {
+            assert_eq!(v.admitted().unwrap().spec.id, f.id);
+        }
+    }
+
+    #[test]
+    fn admit_batch_falls_back_per_flow_when_the_batch_does_not_fit() {
+        let mesh = mesh(3);
+        // A batch that cannot fit as a whole: heavy flows saturating the
+        // 2-hop chain. The fallback must admit the feasible prefix and
+        // reject the rest, exactly like one-at-a-time admission.
+        let specs: Vec<FlowSpec> = (0..12)
+            .map(|i| {
+                FlowSpec::guaranteed(
+                    i,
+                    NodeId(2),
+                    NodeId(0),
+                    2_000_000.0,
+                    std::time::Duration::from_millis(200),
+                )
+            })
+            .collect();
+
+        let mut sequential = mesh.session(OrderPolicy::HopOrder);
+        for f in &specs {
+            sequential.admit(f).unwrap();
+        }
+        let mut batched = mesh.session(OrderPolicy::HopOrder);
+        let verdicts = batched.admit_batch(&specs).unwrap();
+
+        assert_eq!(batched.stats().batch_solves, 0, "whole batch cannot fit");
+        let admitted: Vec<u32> = verdicts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_admitted())
+            .map(|(i, _)| i as u32)
+            .collect();
+        let expected: Vec<u32> = sequential
+            .snapshot()
+            .admitted
+            .iter()
+            .map(|f| f.spec.id.0)
+            .collect();
+        assert_eq!(admitted, expected, "fallback equals per-flow admission");
+        assert_eq!(
+            batched.snapshot().guaranteed_slots,
+            sequential.snapshot().guaranteed_slots
+        );
+    }
+
+    #[test]
+    fn admit_batch_vets_every_spec_and_keeps_input_order() {
+        let mut topo = generators::chain(4);
+        let isolated = topo.add_node();
+        let mesh = MeshQos::new(topo, EmulationParams::default()).unwrap();
+        let mut session = mesh.session(OrderPolicy::HopOrder);
+        let specs = vec![
+            FlowSpec::voip(0, NodeId(3), NodeId(0), VoipCodec::G729),
+            FlowSpec::voip(1, isolated, NodeId(0), VoipCodec::G729),
+            FlowSpec::voip(2, NodeId(2), NodeId(0), VoipCodec::G729),
+        ];
+        let verdicts = session.admit_batch(&specs).unwrap();
+        assert!(verdicts[0].is_admitted());
+        assert!(matches!(
+            verdicts[1].rejected(),
+            Some(RejectReason::NoRoute)
+        ));
+        assert!(verdicts[2].is_admitted());
+        assert_eq!(session.snapshot().admitted.len(), 2);
+        assert_eq!(session.snapshot().rejected.len(), 1);
+        assert_eq!(session.stats().admits, 3);
+    }
+
+    #[test]
+    fn export_restore_roundtrip_is_bit_identical() {
+        for policy in [OrderPolicy::HopOrder, OrderPolicy::ExactMilp] {
+            let mesh = mesh(5);
+            let flows = gateway_calls(4, 4);
+            let mut session = mesh.session(policy);
+            session.admit_batch(&flows).unwrap();
+            assert!(session.release(flows[1].id).unwrap());
+
+            let state = session.export_state();
+            let restored = mesh.restore_session(&state).unwrap();
+
+            // Bit-identical: same flows, same slot layout, same region.
+            let (a, b) = (session.snapshot(), restored.snapshot());
+            assert_eq!(a.guaranteed_slots, b.guaranteed_slots);
+            assert_eq!(a.admitted.len(), b.admitted.len());
+            for (x, y) in a.admitted.iter().zip(&b.admitted) {
+                assert_eq!(x.spec, y.spec);
+                assert_eq!(x.slots_per_link, y.slots_per_link);
+                assert_eq!(x.worst_case_delay, y.worst_case_delay);
+            }
+            let links_a: Vec<_> = a.schedule.links().collect();
+            let links_b: Vec<_> = b.schedule.links().collect();
+            assert_eq!(links_a, links_b);
+            for l in links_a {
+                assert_eq!(a.schedule.slot_range(l), b.schedule.slot_range(l));
+            }
+            // Re-exporting reproduces the state exactly.
+            assert_eq!(restored.export_state(), state);
+            // The restored session keeps working, warm state included.
+            let mut restored = restored;
+            assert!(restored.admit(&flows[1]).unwrap().is_admitted());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_tampered_states() {
+        let mesh = mesh(5);
+        let flows = gateway_calls(3, 4);
+        let mut session = mesh.session(OrderPolicy::HopOrder);
+        session.admit_batch(&flows).unwrap();
+        let state = session.export_state();
+
+        // Empty session restores to an empty session.
+        let empty = mesh.session(OrderPolicy::HopOrder).export_state();
+        assert_eq!(
+            mesh.restore_session(&empty)
+                .unwrap()
+                .snapshot()
+                .admitted
+                .len(),
+            0
+        );
+
+        // Wrong reservation count.
+        let mut bad = state.clone();
+        bad.flows[0].slots_per_link += 1;
+        assert!(matches!(
+            mesh.restore_session(&bad),
+            Err(QosError::Config(_))
+        ));
+
+        // Claimed region contradicts the slot layout.
+        let mut bad = state.clone();
+        bad.guaranteed_slots += 1;
+        assert!(matches!(
+            mesh.restore_session(&bad),
+            Err(QosError::Config(_))
+        ));
+
+        // A demanded link stripped of its grant entirely.
+        let mut bad = state.clone();
+        bad.ranges.remove(0);
+        let tampered = mesh.restore_session(&bad);
+        assert!(tampered.is_err(), "missing grant must not restore silently");
+
+        // A route through a node that does not exist.
+        let mut bad = state.clone();
+        bad.flows[0].path[0] = NodeId(99);
+        assert!(matches!(
+            mesh.restore_session(&bad),
+            Err(QosError::Config(_))
+        ));
     }
 
     #[test]

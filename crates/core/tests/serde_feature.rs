@@ -6,7 +6,7 @@
 #![cfg(feature = "serde")]
 
 use wimesh::tdma::{Demands, FrameConfig, Schedule, SlotRange};
-use wimesh::FlowSpec;
+use wimesh::{FlowSpec, FlowState, SessionState, SessionStats};
 use wimesh_sim::{FlowId, SimTime};
 use wimesh_topology::{Link, LinkId, Node, NodeId};
 
@@ -24,4 +24,12 @@ fn persistable_types_implement_serde() {
     check::<FlowId>();
     check::<SimTime>();
     check::<FlowSpec>();
+}
+
+#[test]
+fn session_exports_are_serializable() {
+    fn check<T: serde::Serialize>() {}
+    check::<SessionStats>();
+    check::<SessionState>();
+    check::<FlowState>();
 }

@@ -65,6 +65,7 @@ pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod reader;
 pub mod report;
 pub mod sink;
 pub mod slo;

@@ -1,0 +1,261 @@
+//! Reading JSONL streams back: a line-oriented iterator with typed
+//! field accessors and line-number-carrying errors.
+//!
+//! The sinks in this crate are write-only; every consumer of their
+//! output (trace replay, `--trace-tree`, the admission journal in
+//! `wimesh-svc`) used to re-implement its own ad-hoc line parsing.
+//! [`JsonlReader`] is the shared read path: it walks a JSONL text,
+//! yields each line with its 1-based number and whether it was
+//! newline-terminated (an unterminated final line is the classic torn
+//! write a crashed process leaves behind), and [`JsonlLine`] offers the
+//! flat-object field accessors the sink format needs. Parse failures
+//! carry the offending line number via [`JsonlError`].
+
+use std::fmt;
+
+/// Iterator over the lines of a JSONL text.
+///
+/// Yields every non-empty line as a [`JsonlLine`]. A trailing line
+/// without a final `\n` is still yielded, flagged `terminated: false`,
+/// so journal readers can distinguish a torn tail from a complete
+/// record.
+#[derive(Debug, Clone)]
+pub struct JsonlReader<'a> {
+    rest: &'a str,
+    next_number: u32,
+}
+
+impl<'a> JsonlReader<'a> {
+    /// Starts reading from the beginning of `text`.
+    pub fn new(text: &'a str) -> Self {
+        JsonlReader {
+            rest: text,
+            next_number: 1,
+        }
+    }
+}
+
+impl<'a> Iterator for JsonlReader<'a> {
+    type Item = JsonlLine<'a>;
+
+    fn next(&mut self) -> Option<JsonlLine<'a>> {
+        loop {
+            if self.rest.is_empty() {
+                return None;
+            }
+            let number = self.next_number;
+            self.next_number += 1;
+            let (raw, terminated) = match self.rest.find('\n') {
+                Some(i) => {
+                    let line = &self.rest[..i];
+                    self.rest = &self.rest[i + 1..];
+                    (line.strip_suffix('\r').unwrap_or(line), true)
+                }
+                None => {
+                    let line = self.rest;
+                    self.rest = "";
+                    (line, false)
+                }
+            };
+            if raw.trim().is_empty() {
+                continue; // blank separators carry no record
+            }
+            return Some(JsonlLine {
+                number,
+                raw,
+                terminated,
+            });
+        }
+    }
+}
+
+/// One line of a JSONL stream, with its position and raw text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonlLine<'a> {
+    /// 1-based line number in the source text.
+    pub number: u32,
+    /// The line's text, without the trailing newline.
+    pub raw: &'a str,
+    /// Whether the line ended with `\n`. `false` only on the final
+    /// line of a text that stops mid-line — a torn write.
+    pub terminated: bool,
+}
+
+impl<'a> JsonlLine<'a> {
+    /// The record's type tag: the value of the `"t"` field, borrowed.
+    ///
+    /// Tags in the sink format are plain identifiers, so escapes are
+    /// rejected (`None`) rather than decoded.
+    pub fn tag(&self) -> Option<&'a str> {
+        let rest = field_value(self.raw, "t")?.strip_prefix('"')?;
+        let end = rest.find('"')?;
+        let tag = &rest[..end];
+        if tag.contains('\\') {
+            return None;
+        }
+        Some(tag)
+    }
+
+    /// An unsigned integer field, or `None` if absent/malformed.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        field_u64(self.raw, key)
+    }
+
+    /// A floating-point field, or `None` if absent/malformed.
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        let rest = field_value(self.raw, key)?;
+        let end = rest
+            .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
+    /// A string field with `\"`-style escapes decoded, or `None`.
+    pub fn str_field(&self, key: &str) -> Option<String> {
+        field_str(self.raw, key)
+    }
+
+    /// Like [`Self::u64_field`], but failure is a typed error naming
+    /// this line.
+    pub fn require_u64(&self, key: &str) -> Result<u64, JsonlError> {
+        self.u64_field(key)
+            .ok_or_else(|| self.error(format!("missing or malformed integer field \"{key}\"")))
+    }
+
+    /// Like [`Self::f64_field`], but failure is a typed error naming
+    /// this line.
+    pub fn require_f64(&self, key: &str) -> Result<f64, JsonlError> {
+        self.f64_field(key)
+            .ok_or_else(|| self.error(format!("missing or malformed number field \"{key}\"")))
+    }
+
+    /// Like [`Self::str_field`], but failure is a typed error naming
+    /// this line.
+    pub fn require_str(&self, key: &str) -> Result<String, JsonlError> {
+        self.str_field(key)
+            .ok_or_else(|| self.error(format!("missing or malformed string field \"{key}\"")))
+    }
+
+    /// Builds a [`JsonlError`] anchored at this line.
+    pub fn error(&self, reason: impl Into<String>) -> JsonlError {
+        JsonlError {
+            line: self.number,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// A parse failure at a specific line of a JSONL stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonlError {
+    /// 1-based line number of the offending line.
+    pub line: u32,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "jsonl line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
+/// Extracts an unsigned integer field from a flat one-line JSON object.
+pub(crate) fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = field_value(line, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts a string field (handling `\"` and `\\` escapes) from a flat
+/// one-line JSON object.
+pub(crate) fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = field_value(line, key)?.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                other => out.push(other),
+            },
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+/// The text right after `"key":` in a flat one-line JSON object.
+fn field_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    Some(&line[i..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_numbers_lines_and_flags_the_torn_tail() {
+        let text = "{\"t\":\"a\",\"v\":1}\n\n{\"t\":\"b\",\"v\":2}\n{\"t\":\"c\",\"v\":3";
+        let lines: Vec<JsonlLine<'_>> = JsonlReader::new(text).collect();
+        assert_eq!(lines.len(), 3); // the blank separator is skipped
+        assert_eq!(lines[0].number, 1);
+        assert_eq!(lines[1].number, 3);
+        assert_eq!(lines[2].number, 4);
+        assert!(lines[0].terminated);
+        assert!(lines[1].terminated);
+        assert!(!lines[2].terminated); // torn write
+        assert_eq!(lines[0].tag(), Some("a"));
+        assert_eq!(lines[2].u64_field("v"), Some(3));
+    }
+
+    #[test]
+    fn newline_terminated_text_has_no_phantom_final_line() {
+        let lines: Vec<JsonlLine<'_>> = JsonlReader::new("{\"t\":\"x\"}\n").collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].terminated);
+        assert!(JsonlReader::new("").next().is_none());
+        assert!(JsonlReader::new("\n\n").next().is_none());
+    }
+
+    #[test]
+    fn typed_accessors_parse_the_sink_shapes() {
+        let text = "{\"t\":\"counter\",\"name\":\"a\\\"b\",\"value\":42,\"rate\":2.5}";
+        let line = JsonlReader::new(text).next().expect("one line");
+        assert_eq!(line.tag(), Some("counter"));
+        assert_eq!(line.u64_field("value"), Some(42));
+        assert_eq!(line.f64_field("rate"), Some(2.5));
+        assert_eq!(line.str_field("name").as_deref(), Some("a\"b"));
+        assert_eq!(line.u64_field("absent"), None);
+        assert_eq!(line.str_field("value"), None); // not a string
+    }
+
+    #[test]
+    fn require_accessors_carry_the_line_number() {
+        let text = "{\"t\":\"x\"}\n{\"t\":\"y\"}\n";
+        let second = JsonlReader::new(text).nth(1).expect("two lines");
+        let err = second.require_u64("slots").expect_err("field absent");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+        assert!(err.to_string().contains("slots"));
+        assert_eq!(second.require_str("t").as_deref(), Ok("y"));
+    }
+
+    #[test]
+    fn unterminated_string_field_is_rejected() {
+        let line = JsonlReader::new("{\"t\":\"x\",\"name\":\"cut of")
+            .next()
+            .expect("one line");
+        assert_eq!(line.str_field("name"), None);
+        assert_eq!(line.tag(), Some("x"));
+    }
+}

@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::json;
+use crate::reader::{field_str, field_u64, JsonlReader};
 
 /// Causal context attached to one distributed message.
 ///
@@ -155,43 +156,6 @@ impl From<&TraceEvent> for TraceRecord {
     }
 }
 
-/// Extracts an unsigned integer field from a flat one-line JSON object.
-fn field_u64(line: &str, key: &str) -> Option<u64> {
-    let rest = field_value(line, key)?;
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// Extracts a string field (handling `\"` and `\\` escapes) from a flat
-/// one-line JSON object.
-fn field_str(line: &str, key: &str) -> Option<String> {
-    let rest = field_value(line, key)?.strip_prefix('"')?;
-    let mut out = String::new();
-    let mut chars = rest.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => return Some(out),
-            '\\' => match chars.next()? {
-                'n' => out.push('\n'),
-                't' => out.push('\t'),
-                'r' => out.push('\r'),
-                other => out.push(other),
-            },
-            other => out.push(other),
-        }
-    }
-    None
-}
-
-/// The text right after `"key":` in a flat one-line JSON object.
-fn field_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\":");
-    let i = line.find(&pat)? + pat.len();
-    Some(&line[i..])
-}
-
 /// A forest of reconstructed traces, grouped by `trace_id`.
 ///
 /// Within a trace, records are kept sorted by `(lamport, span_id)`: the
@@ -225,7 +189,7 @@ impl TraceForest {
     /// Builds a forest from a mixed JSONL stream, ignoring every line
     /// that is not a trace record.
     pub fn from_jsonl(text: &str) -> Self {
-        Self::from_records(text.lines().filter_map(TraceRecord::parse_jsonl))
+        Self::from_records(JsonlReader::new(text).filter_map(|l| TraceRecord::parse_jsonl(l.raw)))
     }
 
     /// Number of distinct traces.

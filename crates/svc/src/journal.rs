@@ -1,0 +1,518 @@
+//! The write-ahead journal: JSONL records appended *before* each
+//! mutation is applied, parsed back for replay after a crash.
+//!
+//! # Record format
+//!
+//! The journal reuses the flat one-line JSON shape of the `wimesh-obs`
+//! sinks (every line is `{"t":"<tag>",...}`), so the same
+//! [`JsonlReader`] reads both. Four record kinds, three of them
+//! mutations:
+//!
+//! ```text
+//! {"t":"svc.batch","n":2}                  // admission batch header
+//! {"t":"svc.admit","id":7,"src":4,"dst":0,"rate_bps":8000,"burst":20,"deadline_ns":80000000}
+//! {"t":"svc.admit","id":8,...}             // exactly n member lines
+//! {"t":"svc.release","flow":7}
+//! {"t":"svc.rebalance"}
+//! ```
+//!
+//! and the periodic snapshot, a multi-line group bracketed by counts in
+//! its header and a terminator line:
+//!
+//! ```text
+//! {"t":"svc.snap","policy":"exact","flows":1,"warm":2,"ranges":3,"slots":5}
+//! {"t":"svc.snap.flow","id":8,...,"slots_per_link":1,"path":"4-3-2-0"}
+//! {"t":"svc.snap.warm","a":3,"b":5}        // exactly `warm` pair lines
+//! {"t":"svc.snap.range","link":5,"start":0,"len":2}
+//! {"t":"svc.snap.end"}
+//! ```
+//!
+//! `deadline_ns` is omitted for best-effort flows. The batch grouping
+//! is itself part of the record — replaying the same grouping through
+//! [`wimesh::QosSession::admit_batch`] is what makes recovery
+//! bit-identical even where a different grouping could pick an
+//! alternate optimum.
+//!
+//! # Torn tails vs corruption
+//!
+//! The writer appends every line of a record and flushes before the
+//! mutation is applied, so a crash can only lose the *suffix* of the
+//! stream. The parser therefore treats exactly two shapes as a torn
+//! tail (dropped, `torn_tail = true`): a final line without its
+//! newline, and a trailing group with fewer member lines than its
+//! header promises. Anything malformed *before* complete later lines
+//! cannot be explained by a crash and is reported as a typed error
+//! carrying the offending line number.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::time::Duration;
+
+use wimesh::tdma::SlotRange;
+use wimesh::{FlowSpec, FlowState, OrderPolicy, SessionState};
+use wimesh_obs::json;
+use wimesh_obs::reader::{JsonlError, JsonlLine, JsonlReader};
+use wimesh_sim::FlowId;
+use wimesh_topology::{LinkId, NodeId};
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JournalRecord {
+    /// A coalesced admission batch (a single-spec batch is a plain
+    /// admit). The grouping is replayed verbatim on recovery.
+    AdmitBatch(Vec<FlowSpec>),
+    /// Release of one flow.
+    Release(FlowId),
+    /// A full rebalance.
+    Rebalance,
+    /// A state snapshot; replay restarts from the last complete one.
+    Snapshot(SessionState),
+}
+
+/// Appends journal records to a byte stream, flushing each record
+/// before the caller applies its mutation (write-ahead discipline).
+pub struct JournalWriter {
+    out: BufWriter<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JournalWriter").finish_non_exhaustive()
+    }
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self::from_writer(Box::new(File::create(path)?)))
+    }
+
+    /// Opens a journal for appending — the resume path after recovery,
+    /// so new mutations extend the replayed history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error.
+    pub fn append_to(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self::from_writer(Box::new(file)))
+    }
+
+    /// Wraps an arbitrary writer (tests, `io::sink()`, sockets).
+    pub fn from_writer(out: Box<dyn Write + Send>) -> Self {
+        JournalWriter {
+            out: BufWriter::new(out),
+        }
+    }
+
+    /// Appends every line of `record` and flushes. The record is handed
+    /// to the OS in full before this returns, so the caller may apply
+    /// the mutation afterwards.
+    ///
+    /// # Errors
+    ///
+    /// The I/O error; the caller must *not* apply the mutation then.
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        let mut buf = String::with_capacity(128);
+        encode_record(record, &mut buf)?;
+        self.out.write_all(buf.as_bytes())?;
+        self.out.flush()
+    }
+}
+
+/// A parsed journal: the complete records, in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalLog {
+    /// Every complete record, oldest first.
+    pub records: Vec<JournalRecord>,
+    /// Whether a torn tail (unterminated final line or incomplete
+    /// trailing group) was dropped.
+    pub torn_tail: bool,
+}
+
+impl JournalLog {
+    /// Index just past the last [`JournalRecord::Snapshot`], and the
+    /// snapshot itself — replay starts there.
+    pub fn replay_point(&self) -> (usize, Option<&SessionState>) {
+        for (i, r) in self.records.iter().enumerate().rev() {
+            if let JournalRecord::Snapshot(s) = r {
+                return (i + 1, Some(s));
+            }
+        }
+        (0, None)
+    }
+}
+
+/// Parses a journal text back into records.
+///
+/// # Errors
+///
+/// [`JsonlError`] with the offending line number for any malformation
+/// that a crash cannot explain; an unterminated final line or a record
+/// group cut off by the end of input is instead dropped as a torn tail
+/// ([`JournalLog::torn_tail`]).
+pub fn parse_journal(text: &str) -> Result<JournalLog, JsonlError> {
+    let mut lines: Vec<JsonlLine<'_>> = JsonlReader::new(text).collect();
+    let mut torn_tail = false;
+    if lines.last().is_some_and(|l| !l.terminated) {
+        // A line cut mid-write: even if its prefix happens to parse,
+        // its values cannot be trusted. Drop it.
+        torn_tail = true;
+        lines.pop();
+    }
+
+    let mut records = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = &lines[i];
+        let tag = line
+            .tag()
+            .ok_or_else(|| line.error("journal line has no type tag"))?;
+        match tag {
+            "svc.batch" => {
+                let n = line.require_u64("n")? as usize;
+                if n == 0 {
+                    return Err(line.error("empty admission batch"));
+                }
+                if i + n >= lines.len() {
+                    torn_tail = true; // group runs off the end
+                    break;
+                }
+                let mut specs = Vec::with_capacity(n);
+                for k in 0..n {
+                    let member = &lines[i + 1 + k];
+                    if member.tag() != Some("svc.admit") {
+                        return Err(member.error(format!(
+                            "expected svc.admit member {} of {n}, found {:?}",
+                            k + 1,
+                            member.tag()
+                        )));
+                    }
+                    specs.push(parse_spec(member)?);
+                }
+                records.push(JournalRecord::AdmitBatch(specs));
+                i += 1 + n;
+            }
+            "svc.admit" => {
+                return Err(line.error("svc.admit outside an svc.batch group"));
+            }
+            "svc.release" => {
+                let flow = line.require_u64("flow")? as u32;
+                records.push(JournalRecord::Release(FlowId(flow)));
+                i += 1;
+            }
+            "svc.rebalance" => {
+                records.push(JournalRecord::Rebalance);
+                i += 1;
+            }
+            "svc.snap" => {
+                let policy = parse_policy(line)?;
+                let nf = line.require_u64("flows")? as usize;
+                let nw = line.require_u64("warm")? as usize;
+                let nr = line.require_u64("ranges")? as usize;
+                let slots = line.require_u64("slots")? as u32;
+                let members = nf + nw + nr + 1; // + svc.snap.end
+                if i + members >= lines.len() {
+                    torn_tail = true; // group runs off the end
+                    break;
+                }
+                let mut flows = Vec::with_capacity(nf);
+                for k in 0..nf {
+                    flows.push(parse_snap_flow(&lines[i + 1 + k])?);
+                }
+                let mut warm_pairs = Vec::with_capacity(nw);
+                for k in 0..nw {
+                    let l = &lines[i + 1 + nf + k];
+                    expect_tag(l, "svc.snap.warm")?;
+                    warm_pairs.push((
+                        LinkId(l.require_u64("a")? as u32),
+                        LinkId(l.require_u64("b")? as u32),
+                    ));
+                }
+                let mut ranges = Vec::with_capacity(nr);
+                for k in 0..nr {
+                    let l = &lines[i + 1 + nf + nw + k];
+                    expect_tag(l, "svc.snap.range")?;
+                    let len = l.require_u64("len")? as u32;
+                    if len == 0 {
+                        return Err(l.error("zero-length slot range"));
+                    }
+                    ranges.push((
+                        LinkId(l.require_u64("link")? as u32),
+                        SlotRange::new(l.require_u64("start")? as u32, len),
+                    ));
+                }
+                expect_tag(&lines[i + members], "svc.snap.end")?;
+                records.push(JournalRecord::Snapshot(SessionState {
+                    policy,
+                    flows,
+                    warm_pairs,
+                    ranges,
+                    guaranteed_slots: slots,
+                }));
+                i += members + 1;
+            }
+            other => {
+                return Err(line.error(format!("unknown journal record type \"{other}\"")));
+            }
+        }
+    }
+    Ok(JournalLog { records, torn_tail })
+}
+
+fn expect_tag(line: &JsonlLine<'_>, want: &str) -> Result<(), JsonlError> {
+    if line.tag() == Some(want) {
+        Ok(())
+    } else {
+        Err(line.error(format!("expected {want}, found {:?}", line.tag())))
+    }
+}
+
+fn parse_spec(line: &JsonlLine<'_>) -> Result<FlowSpec, JsonlError> {
+    Ok(FlowSpec {
+        id: FlowId(line.require_u64("id")? as u32),
+        src: NodeId(line.require_u64("src")? as u32),
+        dst: NodeId(line.require_u64("dst")? as u32),
+        rate_bps: line.require_f64("rate_bps")?,
+        burst_bytes: line.require_u64("burst")? as u32,
+        deadline: line.u64_field("deadline_ns").map(Duration::from_nanos),
+    })
+}
+
+fn parse_snap_flow(line: &JsonlLine<'_>) -> Result<FlowState, JsonlError> {
+    expect_tag(line, "svc.snap.flow")?;
+    let spec = parse_spec(line)?;
+    let slots_per_link = line.require_u64("slots_per_link")? as u32;
+    let path_s = line.require_str("path")?;
+    let mut path = Vec::new();
+    for part in path_s.split('-') {
+        let id: u32 = part
+            .parse()
+            .map_err(|_| line.error(format!("malformed path node \"{part}\"")))?;
+        path.push(NodeId(id));
+    }
+    Ok(FlowState {
+        spec,
+        path,
+        slots_per_link,
+    })
+}
+
+fn parse_policy(line: &JsonlLine<'_>) -> Result<OrderPolicy, JsonlError> {
+    let s = line.require_str("policy")?;
+    if s == "hop" {
+        Ok(OrderPolicy::HopOrder)
+    } else if s == "exact" {
+        Ok(OrderPolicy::ExactMilp)
+    } else if let Some(g) = s.strip_prefix("tree:") {
+        let gateway: u32 = g
+            .parse()
+            .map_err(|_| line.error(format!("malformed tree gateway \"{g}\"")))?;
+        Ok(OrderPolicy::TreeOrder {
+            gateway: NodeId(gateway),
+        })
+    } else {
+        Err(line.error(format!("unknown order policy \"{s}\"")))
+    }
+}
+
+fn encode_record(record: &JournalRecord, out: &mut String) -> io::Result<()> {
+    use std::fmt::Write as _;
+    match record {
+        JournalRecord::AdmitBatch(specs) => {
+            if specs.is_empty() {
+                return Err(io::Error::other("refusing to journal an empty batch"));
+            }
+            let _ = writeln!(out, "{{\"t\":\"svc.batch\",\"n\":{}}}", specs.len());
+            for spec in specs {
+                out.push_str("{\"t\":\"svc.admit\",");
+                encode_spec_fields(spec, out);
+                out.push_str("}\n");
+            }
+        }
+        JournalRecord::Release(flow) => {
+            let _ = writeln!(out, "{{\"t\":\"svc.release\",\"flow\":{}}}", flow.0);
+        }
+        JournalRecord::Rebalance => {
+            out.push_str("{\"t\":\"svc.rebalance\"}\n");
+        }
+        JournalRecord::Snapshot(state) => {
+            out.push_str("{\"t\":\"svc.snap\",\"policy\":");
+            json::push_str_value(out, &encode_policy(state.policy)?);
+            let _ = writeln!(
+                out,
+                ",\"flows\":{},\"warm\":{},\"ranges\":{},\"slots\":{}}}",
+                state.flows.len(),
+                state.warm_pairs.len(),
+                state.ranges.len(),
+                state.guaranteed_slots
+            );
+            for f in &state.flows {
+                out.push_str("{\"t\":\"svc.snap.flow\",");
+                encode_spec_fields(&f.spec, out);
+                let _ = write!(out, ",\"slots_per_link\":{},\"path\":", f.slots_per_link);
+                let path: Vec<String> = f.path.iter().map(|n| n.0.to_string()).collect();
+                json::push_str_value(out, &path.join("-"));
+                out.push_str("}\n");
+            }
+            for &(a, b) in &state.warm_pairs {
+                let _ = writeln!(
+                    out,
+                    "{{\"t\":\"svc.snap.warm\",\"a\":{},\"b\":{}}}",
+                    a.0, b.0
+                );
+            }
+            for &(l, r) in &state.ranges {
+                let _ = writeln!(
+                    out,
+                    "{{\"t\":\"svc.snap.range\",\"link\":{},\"start\":{},\"len\":{}}}",
+                    l.0, r.start, r.len
+                );
+            }
+            out.push_str("{\"t\":\"svc.snap.end\"}\n");
+        }
+    }
+    Ok(())
+}
+
+fn encode_spec_fields(spec: &FlowSpec, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "\"id\":{},\"src\":{},\"dst\":{},\"rate_bps\":",
+        spec.id.0, spec.src.0, spec.dst.0
+    );
+    json::push_f64(out, spec.rate_bps);
+    let _ = write!(out, ",\"burst\":{}", spec.burst_bytes);
+    if let Some(d) = spec.deadline {
+        let _ = write!(out, ",\"deadline_ns\":{}", d.as_nanos());
+    }
+}
+
+fn encode_policy(policy: OrderPolicy) -> io::Result<String> {
+    match policy {
+        OrderPolicy::HopOrder => Ok(String::from("hop")),
+        OrderPolicy::ExactMilp => Ok(String::from("exact")),
+        OrderPolicy::TreeOrder { gateway } => Ok(format!("tree:{}", gateway.0)),
+        // `OrderPolicy` is non-exhaustive: refuse to journal a policy
+        // this writer has no stable encoding for.
+        _ => Err(io::Error::other("order policy has no journal encoding")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimesh_sim::traffic::VoipCodec;
+
+    fn specs() -> Vec<FlowSpec> {
+        vec![
+            FlowSpec::voip(1, NodeId(4), NodeId(0), VoipCodec::G729),
+            FlowSpec::best_effort(2, NodeId(3), NodeId(0), 64_000.0),
+        ]
+    }
+
+    fn sample_state() -> SessionState {
+        SessionState {
+            policy: OrderPolicy::TreeOrder { gateway: NodeId(0) },
+            flows: vec![FlowState {
+                spec: specs().remove(0),
+                path: vec![NodeId(4), NodeId(3), NodeId(0)],
+                slots_per_link: 2,
+            }],
+            warm_pairs: vec![(LinkId(3), LinkId(5))],
+            ranges: vec![
+                (LinkId(3), SlotRange::new(0, 2)),
+                (LinkId(5), SlotRange::new(2, 2)),
+            ],
+            guaranteed_slots: 4,
+        }
+    }
+
+    fn roundtrip(records: &[JournalRecord]) -> String {
+        let mut text = String::new();
+        for r in records {
+            encode_record(r, &mut text).expect("encodes");
+        }
+        text
+    }
+
+    #[test]
+    fn records_roundtrip_bit_exact() {
+        let records = vec![
+            JournalRecord::AdmitBatch(specs()),
+            JournalRecord::Release(FlowId(1)),
+            JournalRecord::Rebalance,
+            JournalRecord::Snapshot(sample_state()),
+            JournalRecord::AdmitBatch(vec![specs().remove(1)]),
+        ];
+        let text = roundtrip(&records);
+        let log = parse_journal(&text).expect("parses");
+        assert!(!log.torn_tail);
+        assert_eq!(log.records, records);
+        let (at, snap) = log.replay_point();
+        assert_eq!(at, 4);
+        assert_eq!(snap, Some(&sample_state()));
+    }
+
+    #[test]
+    fn unterminated_final_line_is_a_torn_tail() {
+        let full = roundtrip(&[JournalRecord::Release(FlowId(9)), JournalRecord::Rebalance]);
+        let cut = &full[..full.len() - 3]; // mid-line, no newline
+        let log = parse_journal(cut).expect("prefix parses");
+        assert!(log.torn_tail);
+        assert_eq!(log.records, vec![JournalRecord::Release(FlowId(9))]);
+    }
+
+    #[test]
+    fn incomplete_trailing_group_is_a_torn_tail() {
+        let full = roundtrip(&[JournalRecord::Rebalance, JournalRecord::AdmitBatch(specs())]);
+        // Cut after the batch header line: the group promises 2 members.
+        let keep = full.lines().take(2).collect::<Vec<_>>().join("\n") + "\n";
+        let log = parse_journal(&keep).expect("prefix parses");
+        assert!(log.torn_tail);
+        assert_eq!(log.records, vec![JournalRecord::Rebalance]);
+    }
+
+    #[test]
+    fn malformation_before_complete_lines_is_corruption() {
+        let full = roundtrip(&[JournalRecord::AdmitBatch(specs())]);
+        // A stray member line without its group header.
+        let stray = full.lines().nth(1).map(|l| format!("{l}\n")).expect("line");
+        let err = parse_journal(&stray).expect_err("stray member is corrupt");
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("svc.batch"));
+
+        // An unknown record type mid-stream.
+        let text = "{\"t\":\"svc.bogus\"}\n{\"t\":\"svc.rebalance\"}\n";
+        let err = parse_journal(text).expect_err("unknown tag is corrupt");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn every_line_boundary_truncation_parses_or_errors_without_panic() {
+        let full = roundtrip(&[
+            JournalRecord::AdmitBatch(specs()),
+            JournalRecord::Snapshot(sample_state()),
+            JournalRecord::Release(FlowId(2)),
+        ]);
+        let lines: Vec<&str> = full.lines().collect();
+        for keep in 0..=lines.len() {
+            let text = lines[..keep]
+                .iter()
+                .map(|l| format!("{l}\n"))
+                .collect::<String>();
+            // Complete-line prefixes of a well-formed journal always
+            // parse; whether the tail is torn depends on group bounds.
+            let log = parse_journal(&text).expect("line-boundary prefix parses");
+            assert!(log.records.len() <= 3);
+        }
+    }
+}

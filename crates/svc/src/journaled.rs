@@ -1,0 +1,142 @@
+//! The journaled wrapper around [`QosSession`]: every mutation is
+//! appended to the write-ahead journal *before* it is applied.
+//!
+//! This file is the only place in `wimesh-svc` allowed to call the raw
+//! session mutators — the `no-unjournaled-mutation` lint in
+//! `wimesh-check` flags `.admit(` / `.admit_batch(` / `.release(` /
+//! `.rebalance(` calls anywhere else in the crate, so a future code
+//! path cannot quietly mutate admission state without a journal record
+//! and break crash recovery.
+
+use wimesh::{FlowAdmission, FlowSpec, QosSession};
+use wimesh_sim::FlowId;
+
+use crate::error::SvcError;
+use crate::journal::{JournalRecord, JournalWriter};
+
+/// A [`QosSession`] whose mutations are write-ahead journaled.
+///
+/// The discipline is strict: the journal record is appended and flushed
+/// first; only if that succeeds is the mutation applied. A journal
+/// failure therefore leaves the session untouched
+/// ([`SvcError::Journal`]), and a crash can only ever lose *unapplied*
+/// suffixes — never record a mutation that did not happen.
+#[derive(Debug)]
+pub struct JournaledSession {
+    session: QosSession,
+    writer: Option<JournalWriter>,
+    /// Mutations applied since the last snapshot record.
+    since_snapshot: u64,
+    snapshot_every: u64,
+}
+
+impl JournaledSession {
+    /// Wraps `session`, journaling to `writer`. A snapshot record is
+    /// appended automatically after every `snapshot_every` mutations
+    /// (`0` disables auto-snapshots).
+    pub fn new(session: QosSession, writer: JournalWriter, snapshot_every: u64) -> Self {
+        JournaledSession {
+            session,
+            writer: Some(writer),
+            since_snapshot: 0,
+            snapshot_every,
+        }
+    }
+
+    /// Wraps `session` with no journal — the replay path, where the
+    /// mutations being applied are already in the journal being read.
+    pub fn replay_only(session: QosSession) -> Self {
+        JournaledSession {
+            session,
+            writer: None,
+            since_snapshot: 0,
+            snapshot_every: 0,
+        }
+    }
+
+    /// Read-only access to the wrapped session.
+    pub fn session(&self) -> &QosSession {
+        &self.session
+    }
+
+    /// Consumes the wrapper, returning the session.
+    pub fn into_session(self) -> QosSession {
+        self.session
+    }
+
+    /// Journals and applies a coalesced admission batch. The batch
+    /// grouping is recorded verbatim so replay repeats the exact same
+    /// solves.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::Journal`] if the append failed (nothing applied), or
+    /// [`SvcError::Qos`] from the solve.
+    pub fn admit_flows(&mut self, specs: &[FlowSpec]) -> Result<Vec<FlowAdmission>, SvcError> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.journal(&JournalRecord::AdmitBatch(specs.to_vec()))?;
+        let verdicts = self.session.admit_batch(specs)?;
+        self.after_mutation()?;
+        Ok(verdicts)
+    }
+
+    /// Journals and applies a release. Returns whether the flow was
+    /// admitted (and is now gone).
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::Journal`] if the append failed (nothing applied), or
+    /// [`SvcError::Qos`] from the re-solve.
+    pub fn release_flow(&mut self, flow: FlowId) -> Result<bool, SvcError> {
+        self.journal(&JournalRecord::Release(flow))?;
+        let released = self.session.release(flow)?;
+        self.after_mutation()?;
+        Ok(released)
+    }
+
+    /// Journals and applies a full rebalance.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::Journal`] if the append failed (nothing applied), or
+    /// [`SvcError::Qos`] from the re-solve.
+    pub fn rebalance_flows(&mut self) -> Result<(), SvcError> {
+        self.journal(&JournalRecord::Rebalance)?;
+        self.session.rebalance()?;
+        self.after_mutation()?;
+        Ok(())
+    }
+
+    /// Appends a snapshot record of the current state, resetting the
+    /// auto-snapshot counter. Replay after this point starts from the
+    /// snapshot instead of the journal's beginning.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::Journal`] if the append failed.
+    pub fn snapshot_now(&mut self) -> Result<(), SvcError> {
+        if self.writer.is_some() {
+            let state = self.session.export_state();
+            self.journal(&JournalRecord::Snapshot(state))?;
+            self.since_snapshot = 0;
+        }
+        Ok(())
+    }
+
+    fn journal(&mut self, record: &JournalRecord) -> Result<(), SvcError> {
+        if let Some(w) = self.writer.as_mut() {
+            w.append(record)?;
+        }
+        Ok(())
+    }
+
+    fn after_mutation(&mut self) -> Result<(), SvcError> {
+        self.since_snapshot += 1;
+        if self.snapshot_every > 0 && self.since_snapshot >= self.snapshot_every {
+            self.snapshot_now()?;
+        }
+        Ok(())
+    }
+}

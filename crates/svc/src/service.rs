@@ -1,0 +1,505 @@
+//! The admission gateway: a bounded request queue in front of one
+//! solver worker that coalesces concurrent requests into batched,
+//! journaled solves.
+//!
+//! Clients submit admit/release/rebalance requests through a cloneable
+//! [`GatewayClient`] and block (or poll) on a per-request [`Ticket`]
+//! for their typed [`Reply`]. The worker drains up to
+//! [`GatewayConfig::max_batch`] queued requests at a time, coalesces
+//! runs of consecutive admissions into a single
+//! [`JournaledSession::admit_flows`] call — one journal record, one
+//! incremental solve, one certification for the whole run — and
+//! publishes a fresh [`ScheduleView`] through an [`EpochCell`] after
+//! every processed batch — *before* delivering the batch's replies, so
+//! a client holding its reply can already read a view reflecting its
+//! request — and data-plane readers never block on the solver.
+//!
+//! Backpressure is explicit: a full queue rejects the submission with
+//! [`SvcError::Overloaded`] instead of queueing without bound, and a
+//! request that waits past [`GatewayConfig::request_timeout`] is
+//! answered [`Reply::Expired`] without ever reaching the solver.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread;
+use std::time::Instant;
+
+use wimesh::{AdmittedFlow, FlowSpec, QosSession, RejectReason, SessionState, SessionStats};
+use wimesh_sim::FlowId;
+
+use crate::error::SvcError;
+use crate::journal::JournalWriter;
+use crate::journaled::JournaledSession;
+use crate::snapshot::{EpochCell, ScheduleView, SnapshotReader};
+
+/// Tuning knobs for an [`AdmissionGateway`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bounded queue depth; submissions beyond it get
+    /// [`SvcError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Most requests drained into one processing batch.
+    pub max_batch: usize,
+    /// Auto-snapshot the journal every this many mutations (0: never).
+    pub snapshot_every: u64,
+    /// Queue-wait deadline: requests older than this are answered
+    /// [`Reply::Expired`] instead of being solved. `None` disables it.
+    pub request_timeout: Option<std::time::Duration>,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            queue_capacity: 64,
+            max_batch: 16,
+            snapshot_every: 32,
+            request_timeout: None,
+        }
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Request {
+    /// Admit a flow (coalesced with neighbouring admits into one solve).
+    Admit(FlowSpec),
+    /// Release a flow.
+    Release(FlowId),
+    /// Re-solve everything from scratch.
+    Rebalance,
+}
+
+/// The typed answer to one [`Request`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Reply {
+    /// The flow was admitted; its reservation and delay bound.
+    Admitted(AdmittedFlow),
+    /// The flow was vetted or solved and turned away.
+    Rejected(RejectReason),
+    /// Release outcome: whether the flow was present.
+    Released(bool),
+    /// The rebalance completed.
+    Rebalanced,
+    /// The request waited past the configured timeout and was dropped
+    /// before solving.
+    Expired,
+    /// The engine or journal failed this request (message carries the
+    /// error's display form).
+    Failed(String),
+}
+
+struct Pending {
+    request: Request,
+    enqueued: Instant,
+    tx: mpsc::Sender<Reply>,
+}
+
+struct Queue {
+    items: VecDeque<Pending>,
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    ready: Condvar,
+    capacity: usize,
+    overloaded: AtomicU64,
+    view: Arc<EpochCell<ScheduleView>>,
+}
+
+fn lock_queue(shared: &Shared) -> std::sync::MutexGuard<'_, Queue> {
+    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A blocking handle for one submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Waits for the reply.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::ShuttingDown`] if the worker died before answering.
+    pub fn wait(self) -> Result<Reply, SvcError> {
+        self.rx.recv().map_err(|_| SvcError::ShuttingDown)
+    }
+}
+
+/// A cloneable submission handle to a running [`AdmissionGateway`].
+#[derive(Clone)]
+pub struct GatewayClient {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for GatewayClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayClient")
+            .field("capacity", &self.shared.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GatewayClient {
+    /// Submits a request, returning a [`Ticket`] for its reply.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::Overloaded`] when the bounded queue is full (the
+    /// request is rejected now rather than queued without bound) and
+    /// [`SvcError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, request: Request) -> Result<Ticket, SvcError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = lock_queue(&self.shared);
+            if q.closed {
+                return Err(SvcError::ShuttingDown);
+            }
+            if q.items.len() >= self.shared.capacity {
+                self.shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                return Err(SvcError::Overloaded {
+                    capacity: self.shared.capacity,
+                });
+            }
+            q.items.push_back(Pending {
+                request,
+                enqueued: Instant::now(),
+                tx,
+            });
+        }
+        self.shared.ready.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits an admission request.
+    ///
+    /// # Errors
+    ///
+    /// As [`GatewayClient::submit`].
+    pub fn admit(&self, spec: FlowSpec) -> Result<Ticket, SvcError> {
+        self.submit(Request::Admit(spec))
+    }
+
+    /// Submits a release request.
+    ///
+    /// # Errors
+    ///
+    /// As [`GatewayClient::submit`].
+    pub fn release(&self, flow: FlowId) -> Result<Ticket, SvcError> {
+        self.submit(Request::Release(flow))
+    }
+
+    /// Submits a rebalance request.
+    ///
+    /// # Errors
+    ///
+    /// As [`GatewayClient::submit`].
+    pub fn rebalance(&self) -> Result<Ticket, SvcError> {
+        self.submit(Request::Rebalance)
+    }
+
+    /// A wait-free reader over the gateway's published schedule views.
+    pub fn reader(&self) -> SnapshotReader<ScheduleView> {
+        SnapshotReader::new(Arc::clone(&self.shared.view))
+    }
+
+    /// The latest published view (allocating handle; prefer a
+    /// [`Self::reader`] for repeated polling).
+    pub fn view(&self) -> Arc<ScheduleView> {
+        self.shared.view.load()
+    }
+
+    /// Submissions rejected with [`SvcError::Overloaded`] so far.
+    pub fn overload_rejections(&self) -> u64 {
+        self.shared.overloaded.load(Ordering::Relaxed)
+    }
+}
+
+/// Worker-side service counters, reported at shutdown.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct ServiceStats {
+    /// Processing batches drained from the queue.
+    pub batches: u64,
+    /// Requests processed (including expired ones).
+    pub requests: u64,
+    /// Admission requests answered [`Reply::Admitted`].
+    pub admitted: u64,
+    /// Admission requests answered [`Reply::Rejected`].
+    pub rejected: u64,
+    /// Release requests answered `Released(true)`.
+    pub released: u64,
+    /// Rebalances performed.
+    pub rebalances: u64,
+    /// Requests answered [`Reply::Expired`].
+    pub expired: u64,
+    /// Requests answered [`Reply::Failed`].
+    pub failed: u64,
+    /// Largest single processing batch seen.
+    pub max_batch_seen: u64,
+}
+
+/// Everything the gateway knew when it shut down.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct GatewayReport {
+    /// The final session state (ground truth for recovery tests).
+    pub state: SessionState,
+    /// Worker-side counters.
+    pub service: ServiceStats,
+    /// The solver session's own counters.
+    pub session: SessionStats,
+}
+
+struct Worker {
+    journaled: JournaledSession,
+    shared: Arc<Shared>,
+    config: GatewayConfig,
+    stats: ServiceStats,
+}
+
+impl Worker {
+    fn run(mut self) -> (SessionState, ServiceStats, SessionStats) {
+        loop {
+            let batch = {
+                let mut q = lock_queue(&self.shared);
+                while q.items.is_empty() && !q.closed {
+                    q = self
+                        .shared
+                        .ready
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                if q.items.is_empty() {
+                    // Closed and drained: exit after answering everything.
+                    break;
+                }
+                let take = q.items.len().min(self.config.max_batch.max(1));
+                q.items.drain(..take).collect::<Vec<_>>()
+            };
+            self.process(batch);
+        }
+        let state = self.journaled.session().export_state();
+        let session_stats = self.journaled.session().stats().clone();
+        (state, self.stats, session_stats)
+    }
+
+    fn process(&mut self, batch: Vec<Pending>) {
+        self.stats.batches += 1;
+        self.stats.max_batch_seen = self.stats.max_batch_seen.max(batch.len() as u64);
+
+        // Drop requests that waited past their deadline before doing
+        // any solver work for them.
+        let mut live = Vec::with_capacity(batch.len());
+        for p in batch {
+            self.stats.requests += 1;
+            let stale = self
+                .config
+                .request_timeout
+                .is_some_and(|t| p.enqueued.elapsed() > t);
+            if stale {
+                self.stats.expired += 1;
+                let _ = p.tx.send(Reply::Expired);
+            } else {
+                live.push(p);
+            }
+        }
+
+        // Coalesce runs of consecutive admits into one journaled solve;
+        // releases and rebalances are natural barriers. Replies are
+        // buffered and delivered only after the fresh view is published,
+        // so a client that has its reply can already read a view
+        // reflecting its request.
+        let mut replies: Vec<Reply> = Vec::with_capacity(live.len());
+        let mut i = 0;
+        while i < live.len() {
+            match &live[i].request {
+                Request::Admit(_) => {
+                    let mut j = i;
+                    let mut specs = Vec::new();
+                    while j < live.len() {
+                        if let Request::Admit(spec) = &live[j].request {
+                            specs.push(spec.clone());
+                            j += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    match self.journaled.admit_flows(&specs) {
+                        Ok(verdicts) => {
+                            for v in verdicts {
+                                replies.push(match v {
+                                    wimesh::FlowAdmission::Admitted(f) => {
+                                        self.stats.admitted += 1;
+                                        Reply::Admitted(f)
+                                    }
+                                    wimesh::FlowAdmission::Rejected(r) => {
+                                        self.stats.rejected += 1;
+                                        Reply::Rejected(r)
+                                    }
+                                    _ => Reply::Failed(String::from("unknown admission verdict")),
+                                });
+                            }
+                        }
+                        Err(e) => {
+                            let msg = e.to_string();
+                            self.stats.failed += (j - i) as u64;
+                            replies.resize(j, Reply::Failed(msg));
+                        }
+                    }
+                    i = j;
+                }
+                Request::Release(flow) => {
+                    replies.push(match self.journaled.release_flow(*flow) {
+                        Ok(was_present) => {
+                            if was_present {
+                                self.stats.released += 1;
+                            }
+                            Reply::Released(was_present)
+                        }
+                        Err(e) => {
+                            self.stats.failed += 1;
+                            Reply::Failed(e.to_string())
+                        }
+                    });
+                    i += 1;
+                }
+                Request::Rebalance => {
+                    replies.push(match self.journaled.rebalance_flows() {
+                        Ok(()) => {
+                            self.stats.rebalances += 1;
+                            Reply::Rebalanced
+                        }
+                        Err(e) => {
+                            self.stats.failed += 1;
+                            Reply::Failed(e.to_string())
+                        }
+                    });
+                    i += 1;
+                }
+            }
+        }
+
+        self.publish_view();
+        for (p, reply) in live.iter().zip(replies) {
+            let _ = p.tx.send(reply);
+        }
+    }
+
+    fn publish_view(&self) {
+        let session = self.journaled.session();
+        let outcome = session.snapshot();
+        self.shared.view.publish(ScheduleView {
+            batches: self.stats.batches,
+            admitted: outcome.admitted.clone(),
+            schedule: outcome.schedule.clone(),
+            guaranteed_slots: outcome.guaranteed_slots,
+            frame_slots: outcome.frame_slots(),
+            stats: session.stats().clone(),
+        });
+    }
+}
+
+/// A running gateway: one worker thread owning the journaled session.
+pub struct AdmissionGateway {
+    shared: Arc<Shared>,
+    worker: thread::JoinHandle<(SessionState, ServiceStats, SessionStats)>,
+}
+
+impl std::fmt::Debug for AdmissionGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionGateway")
+            .field("capacity", &self.shared.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AdmissionGateway {
+    /// Starts the gateway over `session`, journaling every mutation to
+    /// `journal`. Returns the gateway handle and a first client.
+    ///
+    /// # Errors
+    ///
+    /// [`SvcError::Journal`] if the worker thread could not be spawned.
+    pub fn start(
+        session: QosSession,
+        journal: JournalWriter,
+        config: GatewayConfig,
+    ) -> Result<(Self, GatewayClient), SvcError> {
+        let outcome = session.snapshot();
+        let initial = ScheduleView {
+            batches: 0,
+            admitted: outcome.admitted.clone(),
+            schedule: outcome.schedule.clone(),
+            guaranteed_slots: outcome.guaranteed_slots,
+            frame_slots: outcome.frame_slots(),
+            stats: session.stats().clone(),
+        };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                items: VecDeque::with_capacity(config.queue_capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            overloaded: AtomicU64::new(0),
+            view: Arc::new(EpochCell::new(initial)),
+        });
+        let worker = Worker {
+            journaled: JournaledSession::new(session, journal, config.snapshot_every),
+            shared: Arc::clone(&shared),
+            config,
+            stats: ServiceStats::default(),
+        };
+        let handle = thread::Builder::new()
+            .name(String::from("wimesh-svc-worker"))
+            .spawn(move || worker.run())
+            .map_err(SvcError::Journal)?;
+        let client = GatewayClient {
+            shared: Arc::clone(&shared),
+        };
+        Ok((
+            AdmissionGateway {
+                shared,
+                worker: handle,
+            },
+            client,
+        ))
+    }
+
+    /// A new submission handle.
+    pub fn client(&self) -> GatewayClient {
+        GatewayClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stops accepting requests, drains the queue (every pending
+    /// request still gets its reply), joins the worker and returns the
+    /// final state.
+    ///
+    /// No farewell snapshot is written: the journal already contains
+    /// every mutation, so shutdown is indistinguishable from a kill —
+    /// which is exactly what the recovery tests rely on.
+    pub fn shutdown(self) -> GatewayReport {
+        {
+            let mut q = lock_queue(&self.shared);
+            q.closed = true;
+        }
+        self.shared.ready.notify_all();
+        match self.worker.join() {
+            Ok((state, service, session)) => GatewayReport {
+                state,
+                service,
+                session,
+            },
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}

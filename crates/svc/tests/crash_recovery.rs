@@ -1,0 +1,271 @@
+//! Crash-point recovery harness: a churn workload is journaled, then the
+//! journal is truncated at *every* record/line boundary and mid-line
+//! (torn write) and recovered from each cut. Every cut must yield either
+//! a certifier-valid earlier state or a typed [`RecoveryError`] — never
+//! a panic, never a silently wrong schedule.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use proptest::prelude::*;
+use wimesh::{FlowSpec, MeshQos, OrderPolicy, SessionState};
+use wimesh_emu::EmulationParams;
+use wimesh_sim::traffic::VoipCodec;
+use wimesh_sim::FlowId;
+use wimesh_svc::{recover, JournalWriter, JournaledSession, RecoveryError};
+use wimesh_topology::{generators, NodeId};
+
+fn mesh(n: usize) -> MeshQos {
+    MeshQos::new(generators::chain(n), EmulationParams::default()).expect("chain mesh")
+}
+
+/// A `Write` handing the test a view of everything journaled so far.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn text(&self) -> String {
+        let bytes = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+        String::from_utf8(bytes.clone()).expect("journals are UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn voip(id: u32, src: u32) -> FlowSpec {
+    FlowSpec::voip(id, NodeId(src), NodeId(0), VoipCodec::G729)
+}
+
+/// Runs a churn script through a journaled session, returning the
+/// journal text, the final state, and the state after every applied
+/// mutation (the oracle a truncated recovery must land on).
+fn churn(
+    mesh: &MeshQos,
+    policy: OrderPolicy,
+    snapshot_every: u64,
+) -> (String, SessionState, Vec<SessionState>) {
+    let buf = SharedBuf::default();
+    let writer = JournalWriter::from_writer(Box::new(buf.clone()));
+    let mut journaled = JournaledSession::new(mesh.session(policy), writer, snapshot_every);
+
+    let mut oracle = vec![journaled.session().export_state()];
+    journaled
+        .admit_flows(&[voip(1, 4), voip(2, 3)])
+        .expect("first batch");
+    oracle.push(journaled.session().export_state());
+    journaled.admit_flows(&[voip(3, 4)]).expect("second batch");
+    oracle.push(journaled.session().export_state());
+    journaled.release_flow(FlowId(2)).expect("release");
+    oracle.push(journaled.session().export_state());
+    journaled.snapshot_now().expect("snapshot");
+    journaled
+        .admit_flows(&[voip(4, 2), voip(5, 3)])
+        .expect("third batch");
+    oracle.push(journaled.session().export_state());
+    journaled.rebalance_flows().expect("rebalance");
+    oracle.push(journaled.session().export_state());
+    journaled.release_flow(FlowId(1)).expect("release");
+    oracle.push(journaled.session().export_state());
+
+    let truth = journaled.session().export_state();
+    (buf.text(), truth, oracle)
+}
+
+fn assert_slot_layout_identical(a: &SessionState, b: &SessionState) {
+    assert_eq!(a.ranges, b.ranges, "slot layouts differ");
+    assert_eq!(a.guaranteed_slots, b.guaranteed_slots);
+    let ids = |s: &SessionState| s.flows.iter().map(|f| f.spec.id).collect::<Vec<_>>();
+    assert_eq!(ids(a), ids(b), "admitted flow sets differ");
+}
+
+#[test]
+fn full_journal_recovers_bit_identical() {
+    let mesh = mesh(5);
+    let (journal, truth, _) = churn(&mesh, OrderPolicy::HopOrder, 0);
+    let recovered = recover(&mesh, OrderPolicy::HopOrder, &journal).expect("recovers");
+    assert!(!recovered.torn_tail);
+    assert!(recovered.snapshot_used, "the explicit snapshot is used");
+    assert_eq!(recovered.replayed, 3, "batch + rebalance + release tail");
+    let state = recovered.session.export_state();
+    assert_slot_layout_identical(&state, &truth);
+    assert_eq!(state, truth, "recovery is bit-identical");
+    assert_eq!(recovered.report.makespan, truth.guaranteed_slots);
+}
+
+#[test]
+fn exact_milp_journal_recovers_bit_identical() {
+    let mesh = mesh(5);
+    let (journal, truth, _) = churn(&mesh, OrderPolicy::ExactMilp, 0);
+    let recovered = recover(&mesh, OrderPolicy::ExactMilp, &journal).expect("recovers");
+    assert_eq!(recovered.session.export_state(), truth);
+}
+
+#[test]
+fn every_line_boundary_truncation_recovers_to_a_certified_prefix_state() {
+    let mesh = mesh(5);
+    let (journal, _, oracle) = churn(&mesh, OrderPolicy::HopOrder, 0);
+    let lines: Vec<&str> = journal.lines().collect();
+    assert!(lines.len() >= 10, "churn produced a real journal");
+
+    for keep in 0..=lines.len() {
+        let cut: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+        let recovered = recover(&mesh, OrderPolicy::HopOrder, &cut)
+            .unwrap_or_else(|e| panic!("cut after line {keep} failed: {e}"));
+        // A complete-line prefix of a valid journal replays to the
+        // state after some prefix of mutations — and to nothing else.
+        let state = recovered.session.export_state();
+        let matched = oracle.iter().any(|o| *o == state);
+        assert!(
+            matched,
+            "cut after line {keep} recovered to a state outside the oracle"
+        );
+        assert_eq!(recovered.report.makespan, state.guaranteed_slots);
+    }
+}
+
+#[test]
+fn torn_writes_at_every_byte_of_the_tail_are_dropped_not_misread() {
+    let mesh = mesh(5);
+    let (journal, _, oracle) = churn(&mesh, OrderPolicy::HopOrder, 0);
+    let lines: Vec<&str> = journal.lines().collect();
+
+    // For every line, simulate the crash landing partway through its
+    // append: keep all prior lines plus a prefix of the torn line.
+    for (idx, line) in lines.iter().enumerate() {
+        let base: String = lines[..idx].iter().map(|l| format!("{l}\n")).collect();
+        for cut in [1, line.len() / 2, line.len().saturating_sub(1)] {
+            if cut == 0 || cut >= line.len() {
+                continue;
+            }
+            let torn = format!("{base}{}", &line[..cut]);
+            let recovered = recover(&mesh, OrderPolicy::HopOrder, &torn)
+                .unwrap_or_else(|e| panic!("torn write in line {} failed: {e}", idx + 1));
+            assert!(recovered.torn_tail, "line {} cut at {cut} bytes", idx + 1);
+            let state = recovered.session.export_state();
+            assert!(
+                oracle.iter().any(|o| *o == state),
+                "torn write in line {} recovered outside the oracle",
+                idx + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn auto_snapshots_bound_the_replay_tail() {
+    let mesh = mesh(5);
+    // Snapshot after every mutation: recovery replays at most nothing.
+    let (journal, truth, _) = churn(&mesh, OrderPolicy::HopOrder, 1);
+    let recovered = recover(&mesh, OrderPolicy::HopOrder, &journal).expect("recovers");
+    assert!(recovered.snapshot_used);
+    assert_eq!(recovered.replayed, 0);
+    assert_eq!(recovered.session.export_state(), truth);
+}
+
+#[test]
+fn corruption_is_a_typed_error_with_the_line_number() {
+    let mesh = mesh(5);
+    let (journal, _, _) = churn(&mesh, OrderPolicy::HopOrder, 0);
+    let mut lines: Vec<String> = journal.lines().map(String::from).collect();
+
+    // A complete-but-garbage line mid-stream cannot be a torn write.
+    lines[1] = String::from("{\"t\":\"svc.garbage\"}");
+    let corrupted: String = lines.iter().map(|l| format!("{l}\n")).collect();
+    match recover(&mesh, OrderPolicy::HopOrder, &corrupted) {
+        Err(RecoveryError::Corrupt { line, .. }) => assert_eq!(line, 2),
+        other => panic!("expected Corrupt at line 2, got {other:?}"),
+    }
+}
+
+#[test]
+fn policy_mismatch_with_the_snapshot_is_rejected() {
+    let mesh = mesh(5);
+    let (journal, _, _) = churn(&mesh, OrderPolicy::HopOrder, 1);
+    match recover(&mesh, OrderPolicy::ExactMilp, &journal) {
+        Err(RecoveryError::StateMismatch(why)) => {
+            assert!(why.contains("policy"), "unhelpful mismatch message: {why}");
+        }
+        other => panic!("expected StateMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn recovery_resumes_and_the_extended_journal_still_recovers() {
+    let mesh = mesh(5);
+    let (journal, truth, _) = churn(&mesh, OrderPolicy::HopOrder, 0);
+    let recovered = recover(&mesh, OrderPolicy::HopOrder, &journal).expect("recovers");
+
+    // Resume service on the recovered session, appending to the same
+    // journal (as JournalWriter::append_to would on disk).
+    let buf = SharedBuf(Arc::new(Mutex::new(journal.into_bytes())));
+    let writer = JournalWriter::from_writer(Box::new(buf.clone()));
+    let mut resumed = JournaledSession::new(recovered.session, writer, 0);
+    resumed.admit_flows(&[voip(9, 4)]).expect("resumed admit");
+    let extended_truth = resumed.session().export_state();
+    assert_ne!(extended_truth, truth, "the resumed mutation changed state");
+
+    let again = recover(&mesh, OrderPolicy::HopOrder, &buf.text()).expect("re-recovers");
+    assert_eq!(again.session.export_state(), extended_truth);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random churn scripts journal + recover bit-identically, from the
+    /// full journal and from a random line-boundary truncation.
+    #[test]
+    fn random_churn_recovers(script in proptest::collection::vec(0u32..6, 1..10), cut_seed in 0usize..64) {
+        let mesh = mesh(5);
+        let buf = SharedBuf::default();
+        let writer = JournalWriter::from_writer(Box::new(buf.clone()));
+        let mut journaled = JournaledSession::new(mesh.session(OrderPolicy::HopOrder), writer, 3);
+        let mut next_id = 0u32;
+        let mut oracle = vec![journaled.session().export_state()];
+        for op in script {
+            match op {
+                // Admission batches of 1..=3 flows from varying sources.
+                0 | 1 | 2 => {
+                    let specs: Vec<FlowSpec> = (0..=op)
+                        .map(|k| {
+                            next_id += 1;
+                            voip(next_id, 2 + (next_id + k) % 3)
+                        })
+                        .collect();
+                    journaled.admit_flows(&specs).expect("admit");
+                }
+                3 | 4 => {
+                    // Release the oldest still-admitted flow, if any.
+                    if let Some(f) = journaled.session().export_state().flows.first() {
+                        let id = f.spec.id;
+                        journaled.release_flow(id).expect("release");
+                    }
+                }
+                _ => journaled.rebalance_flows().expect("rebalance"),
+            }
+            oracle.push(journaled.session().export_state());
+        }
+        let journal = buf.text();
+        let truth = journaled.session().export_state();
+
+        let recovered = recover(&mesh, OrderPolicy::HopOrder, &journal).expect("recovers");
+        prop_assert_eq!(recovered.session.export_state(), truth);
+
+        let lines: Vec<&str> = journal.lines().collect();
+        let keep = cut_seed % (lines.len() + 1);
+        let cut: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+        let partial = recover(&mesh, OrderPolicy::HopOrder, &cut).expect("partial recovers");
+        let state = partial.session.export_state();
+        prop_assert!(oracle.iter().any(|o| *o == state));
+    }
+}

@@ -1,0 +1,245 @@
+//! Gateway service behaviour: batched replies match direct session
+//! calls, backpressure is typed, views version by epoch, and shutdown
+//! reports the full state.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use wimesh::{FlowSpec, MeshQos, OrderPolicy};
+use wimesh_emu::EmulationParams;
+use wimesh_sim::traffic::VoipCodec;
+use wimesh_sim::FlowId;
+use wimesh_svc::{
+    AdmissionGateway, GatewayConfig, JournalWriter, Reply, Request, SvcError, Ticket,
+};
+use wimesh_topology::{generators, NodeId};
+
+fn mesh(n: usize) -> MeshQos {
+    MeshQos::new(generators::chain(n), EmulationParams::default()).expect("chain mesh")
+}
+
+fn voip_toward_gateway(n: u32, far: u32) -> Vec<FlowSpec> {
+    (0..n)
+        .map(|i| FlowSpec::voip(i, NodeId(far - (i % 2)), NodeId(0), VoipCodec::G729))
+        .collect()
+}
+
+fn sink_journal() -> JournalWriter {
+    JournalWriter::from_writer(Box::new(std::io::sink()))
+}
+
+#[test]
+fn gateway_replies_match_a_direct_session() {
+    let mesh = mesh(5);
+    let flows = voip_toward_gateway(4, 4);
+
+    // Ground truth: the same calls straight into a session.
+    let mut direct = mesh.session(OrderPolicy::HopOrder);
+    let direct_verdicts = direct.admit_batch(&flows).expect("direct batch");
+    direct.release(FlowId(1)).expect("direct release");
+
+    let (gateway, client) = AdmissionGateway::start(
+        mesh.session(OrderPolicy::HopOrder),
+        sink_journal(),
+        GatewayConfig::default(),
+    )
+    .expect("gateway starts");
+
+    let tickets: Vec<Ticket> = flows
+        .iter()
+        .map(|f| client.admit(f.clone()).expect("submit"))
+        .collect();
+    let replies: Vec<Reply> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("reply"))
+        .collect();
+    for (reply, verdict) in replies.iter().zip(&direct_verdicts) {
+        match (reply, verdict.admitted()) {
+            (Reply::Admitted(got), Some(want)) => {
+                assert_eq!(got.spec, want.spec);
+                assert_eq!(got.slots_per_link, want.slots_per_link);
+                assert_eq!(got.worst_case_delay, want.worst_case_delay);
+            }
+            (Reply::Rejected(got), None) => {
+                assert_eq!(Some(got), verdict.rejected());
+            }
+            other => panic!("gateway and session disagree: {other:?}"),
+        }
+    }
+
+    let released = client
+        .release(FlowId(1))
+        .expect("submit")
+        .wait()
+        .expect("reply");
+    assert!(matches!(released, Reply::Released(true)));
+    let missing = client
+        .release(FlowId(77))
+        .expect("submit")
+        .wait()
+        .expect("reply");
+    assert!(matches!(missing, Reply::Released(false)));
+
+    let report = gateway.shutdown();
+    assert_eq!(report.state, direct.export_state());
+    assert_eq!(report.service.released, 1);
+    assert_eq!(
+        report.service.admitted + report.service.rejected,
+        flows.len() as u64
+    );
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded() {
+    let mesh = mesh(4);
+    // A gateway that can never drain: its worker is blocked behind the
+    // queue mutex held by this test... simpler: fill the queue before
+    // the worker can drain by using capacity 1 and checking the typed
+    // error on the spill, retrying until one submission loses the race.
+    let config = GatewayConfig {
+        queue_capacity: 1,
+        ..GatewayConfig::default()
+    };
+    let (gateway, client) =
+        AdmissionGateway::start(mesh.session(OrderPolicy::HopOrder), sink_journal(), config)
+            .expect("gateway starts");
+
+    let mut saw_overload = None;
+    let mut tickets = Vec::new();
+    for i in 0..200u32 {
+        let spec = FlowSpec::best_effort(i, NodeId(3), NodeId(0), 16_000.0);
+        match client.admit(spec) {
+            Ok(t) => tickets.push(t),
+            Err(e) => {
+                saw_overload = Some(e);
+                break;
+            }
+        }
+    }
+    let overload = saw_overload.expect("a 1-deep queue must overflow within 200 submissions");
+    assert!(matches!(overload, SvcError::Overloaded { capacity: 1 }));
+    assert!(client.overload_rejections() >= 1);
+
+    // Every accepted request still gets a reply.
+    for t in tickets {
+        t.wait().expect("accepted requests are answered");
+    }
+    gateway.shutdown();
+}
+
+#[test]
+fn stale_requests_expire_instead_of_solving() {
+    let mesh = mesh(4);
+    let config = GatewayConfig {
+        request_timeout: Some(Duration::ZERO),
+        ..GatewayConfig::default()
+    };
+    let (gateway, client) =
+        AdmissionGateway::start(mesh.session(OrderPolicy::HopOrder), sink_journal(), config)
+            .expect("gateway starts");
+
+    let spec = FlowSpec::voip(1, NodeId(3), NodeId(0), VoipCodec::G729);
+    let reply = client.admit(spec).expect("submit").wait().expect("reply");
+    assert!(matches!(reply, Reply::Expired));
+
+    let report = gateway.shutdown();
+    assert_eq!(report.service.expired, 1);
+    assert_eq!(report.session.admits, 0, "expired requests never solve");
+    assert!(report.state.flows.is_empty());
+}
+
+#[test]
+fn views_version_by_epoch_and_never_block() {
+    let mesh = mesh(5);
+    let (gateway, client) = AdmissionGateway::start(
+        mesh.session(OrderPolicy::HopOrder),
+        sink_journal(),
+        GatewayConfig::default(),
+    )
+    .expect("gateway starts");
+
+    let mut reader = client.reader();
+    assert_eq!(reader.epoch(), 0);
+    assert!(reader.current().admitted.is_empty());
+
+    let spec = FlowSpec::voip(7, NodeId(4), NodeId(0), VoipCodec::G729);
+    let reply = client.admit(spec).expect("submit").wait().expect("reply");
+    assert!(matches!(reply, Reply::Admitted(_)));
+
+    // The worker published at least one fresh view after the batch.
+    assert!(reader.epoch() >= 1);
+    let view = reader.current();
+    assert!(view.is_admitted(FlowId(7)));
+    assert!(view.guaranteed_slots > 0);
+    assert_eq!(
+        view.best_effort_slots(),
+        view.frame_slots - view.guaranteed_slots
+    );
+    // The granted links carry slot ranges readable from the view.
+    for link in view.schedule.links() {
+        assert!(view.slot_range(link).is_some());
+    }
+
+    gateway.shutdown();
+}
+
+#[test]
+fn concurrent_clients_coalesce_into_batched_solves() {
+    let mesh = mesh(5);
+    let flows = voip_toward_gateway(8, 4);
+    let config = GatewayConfig {
+        max_batch: 16,
+        ..GatewayConfig::default()
+    };
+    let (gateway, client) =
+        AdmissionGateway::start(mesh.session(OrderPolicy::HopOrder), sink_journal(), config)
+            .expect("gateway starts");
+
+    // Submit from 8 threads through cloned clients; collect every reply.
+    let (done_tx, done_rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        for spec in flows.clone() {
+            let client = client.clone();
+            let done = done_tx.clone();
+            scope.spawn(move || {
+                let reply = client
+                    .submit(Request::Admit(spec))
+                    .expect("submit")
+                    .wait()
+                    .expect("reply");
+                done.send(reply).expect("collect");
+            });
+        }
+    });
+    drop(done_tx);
+    let replies: Vec<Reply> = done_rx.iter().collect();
+    assert_eq!(replies.len(), flows.len());
+    let admitted = replies
+        .iter()
+        .filter(|r| matches!(r, Reply::Admitted(_)))
+        .count();
+
+    let report = gateway.shutdown();
+    assert_eq!(report.service.admitted, admitted as u64);
+    assert_eq!(report.session.admits, flows.len() as u64);
+    // However the race shook out, batches never exceeded the configured
+    // bound and every admission solved exactly once.
+    assert!(report.service.max_batch_seen <= 16);
+    assert_eq!(report.state.flows.len(), admitted);
+}
+
+#[test]
+fn submissions_after_shutdown_fail_typed() {
+    let mesh = mesh(4);
+    let (gateway, client) = AdmissionGateway::start(
+        mesh.session(OrderPolicy::HopOrder),
+        sink_journal(),
+        GatewayConfig::default(),
+    )
+    .expect("gateway starts");
+    gateway.shutdown();
+    let err = client
+        .admit(FlowSpec::voip(1, NodeId(3), NodeId(0), VoipCodec::G729))
+        .expect_err("closed gateway refuses work");
+    assert!(matches!(err, SvcError::ShuttingDown));
+}

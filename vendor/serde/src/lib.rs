@@ -1,13 +1,18 @@
 //! Offline stand-in for `serde`.
 //!
 //! Exists so the workspace's *optional* `serde` dependency resolves
-//! without network access. The workspace never enables its `serde`
-//! features in the offline build (they require the `serde_derive` proc
-//! macro, which cannot be vendored as a stub meaningfully), so only the
-//! trait names need to exist.
+//! without network access. `Serialize`/`Deserialize` are marker traits;
+//! with the `derive` feature on, the vendored `serde_derive` stand-in
+//! expands `#[derive(serde::Serialize)]` sites to empty marker impls,
+//! so serde-annotated types compile offline (no actual serialization
+//! code is generated). Swapping in the real serde restores full
+//! functionality without touching any derive site.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait standing in for `serde::Serialize`.
 pub trait Serialize {}

@@ -1,0 +1,63 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace vendors a dependency-free `serde` facade whose
+//! `Serialize`/`Deserialize` are *marker traits* (see `vendor/serde`).
+//! This crate makes `#[derive(serde::Serialize)]`-style attributes
+//! compile against that facade: each derive scans the item's token
+//! stream for the type name and emits an empty marker impl —
+//! `impl ::serde::Serialize for Name {}` — nothing more.
+//!
+//! Limitations are deliberate: generic types are rejected with a
+//! `compile_error!` (the facade has no machinery for bounds, and no
+//! type in this workspace derives serde generically), and no actual
+//! serialization code is generated. Swapping in the real serde +
+//! serde_derive restores full functionality without touching any
+//! derive site.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` marker trait (empty impl).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl ::serde::Serialize for")
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait (empty impl).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl<'de> ::serde::Deserialize<'de> for")
+}
+
+/// Finds the name of the struct/enum/union being derived and whether it
+/// has a generic parameter list.
+fn type_name(input: TokenStream) -> Option<(String, bool)> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(word) = tt else { continue };
+        let word = word.to_string();
+        if word != "struct" && word != "enum" && word != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            return None;
+        };
+        let generic = matches!(tokens.next(), Some(TokenTree::Punct(p)) if p.as_char() == '<');
+        return Some((name.to_string(), generic));
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, header: &str) -> TokenStream {
+    let body = match type_name(input) {
+        Some((name, false)) => format!("{header} {name} {{}}"),
+        Some((name, true)) => format!(
+            "compile_error!(\"vendored serde_derive stand-in cannot derive for \
+             generic type `{name}`; add a manual marker impl instead\");"
+        ),
+        None => String::from(
+            "compile_error!(\"vendored serde_derive stand-in: could not find \
+             the type name in the derive input\");",
+        ),
+    };
+    body.parse().unwrap_or_default()
+}

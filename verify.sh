@@ -23,6 +23,17 @@ cargo run -p wimesh-bench --release --bin experiments -- parallel_scaling --quic
 # mutation probe that must be flagged.
 cargo test -q -p wimesh-obs --test obs_stream
 cargo run -p wimesh-bench --release --bin experiments -- slo_audit --quick
+# The admission gateway service: batched front-end semantics and the
+# crash-point recovery harness (every line-boundary and torn-write
+# truncation must recover certified or fail typed), then the
+# service-churn benchmark end to end with its >=2x batching gate and
+# kill-and-recover bit-identity checks.
+cargo test -q -p wimesh-svc --test service
+cargo test -q -p wimesh-svc --test crash_recovery
+cargo run -p wimesh-bench --release --bin experiments -- service_churn --quick
+# The serde feature must keep round-tripping the persistable types the
+# journal depends on (SessionState, FlowSpec, schedules, stats).
+cargo test -q -p wimesh --features serde --test serde_feature
 # Workspace lint: the repo-specific rules (no unwrap in adopted library
 # crates, no wall-clock in deterministic code, forbid(unsafe_code) roots,
 # error enums implementing Error, no stray printing) must hold.
