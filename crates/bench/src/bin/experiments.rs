@@ -51,7 +51,34 @@ fn span_name(id: &str) -> &'static str {
         "slo_audit" => "bench.slo_audit",
         "parallel_scaling" => "bench.parallel_scaling",
         "service_churn" => "bench.service_churn",
+        "approx_admission" => "bench.approx_admission",
         _ => "bench.experiment",
+    }
+}
+
+/// Warns about `BENCH_*.json` files in the output directory that no
+/// known experiment id accounts for — stale artifacts from a renamed or
+/// removed experiment would otherwise masquerade as current results.
+fn warn_orphaned_artifacts(ctx: &Ctx) {
+    let Ok(entries) = std::fs::read_dir(&ctx.out_dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(id) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        if !ALL_EXPERIMENTS.contains(&id) {
+            eprintln!(
+                "warning: orphaned artifact {} (no experiment id \"{id}\"); \
+                 delete it or rename the experiment back",
+                entry.path().display()
+            );
+        }
     }
 }
 
@@ -198,6 +225,7 @@ fn main() -> ExitCode {
         });
         any_failed.into_inner()
     };
+    warn_orphaned_artifacts(&ctx);
     if wimesh_obs::is_enabled() {
         wimesh_obs::finish();
     }

@@ -1,0 +1,396 @@
+//! Approximation-mode admission — greedy + LP-rounding oracles vs
+//! [`OrderPolicy::ExactMilp`].
+//!
+//! The exact feasibility oracle is a branch-and-bound MILP: correct,
+//! but its per-admission latency grows combinatorially with the
+//! conflict graph. The approximation policies trade certified
+//! optimality for oracle latency while keeping *soundness* — an
+//! approximate schedule may reserve more slots or reject more flows
+//! than the exact one, but every schedule it does produce still passes
+//! the independent `wimesh-check` certifier.
+//!
+//! This experiment replays the same admit/release churn trace through
+//! one [`wimesh::QosSession`] per policy across a sweep of mesh sizes
+//! and reports, per approximate policy:
+//!
+//! * the median per-admission latency and its speedup over exact,
+//! * the acceptance ratio vs exact (admissions accepted by the
+//!   approximation divided by admissions accepted by exact),
+//! * certification: after *every* event the approximate session's
+//!   schedule is re-proved by [`Certificate::check`] (certification
+//!   time is excluded from the latency measurements),
+//! * the certified optimality-gap bound
+//!   ([`wimesh::SessionStats::approx_gap`]).
+//!
+//! Full runs gate on the tentpole claim: the greedy policy must reach a
+//! ≥100× median admission-latency win at a ≥0.9 acceptance ratio on at
+//! least one churn scenario. Quick runs only check soundness (every
+//! event certifies, acceptance never collapses below 0.5).
+//!
+//! Writes `results/approx_admission.csv` plus the acceptance artifact
+//! `results/BENCH_approx_admission.json`.
+
+use std::time::Instant;
+
+use wimesh::conflict::ConflictGraph;
+use wimesh::sim::traffic::VoipCodec;
+use wimesh::sim::FlowId;
+use wimesh::{FlowSpec, GreedyKey, MeshQos, OrderPolicy, QosSession, SessionStats};
+use wimesh_check::{CertParams, Certificate, FlowRequirement};
+use wimesh_topology::{generators, MeshTopology, NodeId};
+
+use crate::{BenchError, Ctx, Table};
+
+#[derive(Debug, Clone)]
+enum Event {
+    Admit(FlowSpec),
+    Release(FlowId),
+}
+
+/// VoIP flows from spread-out sources toward the gateway `NodeId(0)`.
+fn gateway_flows(topo: &MeshTopology, n: usize) -> Vec<FlowSpec> {
+    let nodes = topo.node_count() as u32;
+    (0..n as u32)
+        .map(|i| {
+            let src = 1 + (i * 7) % (nodes - 1);
+            FlowSpec::voip(i, NodeId(src), NodeId(0), VoipCodec::G729)
+        })
+        .collect()
+}
+
+/// Admit everything, then `rounds` cycles of release + re-admit.
+fn churn_trace(flows: &[FlowSpec], rounds: usize) -> Vec<Event> {
+    let mut events: Vec<Event> = flows.iter().cloned().map(Event::Admit).collect();
+    for r in 0..rounds {
+        let victim = &flows[r % flows.len()];
+        events.push(Event::Release(victim.id));
+        events.push(Event::Admit(victim.clone()));
+    }
+    events
+}
+
+/// Re-proves the session's current schedule with the independent
+/// certifier. Approximation may only ever reject more — never emit a
+/// schedule the certifier would refuse.
+fn certify(session: &QosSession) -> Result<(), BenchError> {
+    let mesh = session.mesh();
+    let outcome = session.snapshot();
+    if outcome.admitted.is_empty() {
+        return Ok(());
+    }
+    let demands = mesh.demands_for(&outcome.admitted);
+    let graph = ConflictGraph::build_for_links(
+        mesh.topology(),
+        demands.links().collect(),
+        mesh.interference(),
+    );
+    let flows: Vec<FlowRequirement> = outcome
+        .admitted
+        .iter()
+        .map(|f| FlowRequirement {
+            id: u64::from(f.spec.id.0),
+            links: f.path.links().to_vec(),
+            deadline: f.spec.deadline,
+        })
+        .collect();
+    let params = CertParams::from_emulation(mesh.model());
+    Certificate::check(&outcome.schedule, &graph, &demands, &flows, &params)
+        .map(|_| ())
+        .map_err(|e| BenchError::Other(format!("approximate schedule failed certification: {e}")))
+}
+
+/// One policy's run over one churn trace.
+#[derive(Debug)]
+struct PolicyRun {
+    policy_label: &'static str,
+    /// Per-admission-event wall latencies, microseconds.
+    admit_us: Vec<f64>,
+    /// Admissions answered "admitted" across the whole trace.
+    accepted: u64,
+    /// Events whose resulting schedule passed certification.
+    certified_events: u64,
+    stats: SessionStats,
+}
+
+impl PolicyRun {
+    fn median_admit_us(&self) -> f64 {
+        let mut v = self.admit_us.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        if v.is_empty() {
+            return 0.0;
+        }
+        let mid = v.len() / 2;
+        if v.len().is_multiple_of(2) {
+            (v[mid - 1] + v[mid]) / 2.0
+        } else {
+            v[mid]
+        }
+    }
+}
+
+/// Replays `events` through a fresh session under `policy`, certifying
+/// the schedule after every event when `certify_each` is set.
+fn run_policy(
+    mesh: &MeshQos,
+    policy: OrderPolicy,
+    policy_label: &'static str,
+    events: &[Event],
+    certify_each: bool,
+) -> Result<PolicyRun, BenchError> {
+    let mut session = mesh.session(policy);
+    let mut admit_us = Vec::new();
+    let mut accepted = 0u64;
+    let mut certified_events = 0u64;
+    for event in events {
+        match event {
+            Event::Admit(spec) => {
+                let start = Instant::now();
+                let verdict = session.admit(spec)?;
+                admit_us.push(start.elapsed().as_secs_f64() * 1e6);
+                if verdict.is_admitted() {
+                    accepted += 1;
+                }
+            }
+            Event::Release(id) => {
+                session.release(*id)?;
+            }
+        }
+        if certify_each {
+            certify(&session)?;
+            certified_events += 1;
+        }
+    }
+    Ok(PolicyRun {
+        policy_label,
+        admit_us,
+        accepted,
+        certified_events,
+        stats: session.stats().clone(),
+    })
+}
+
+/// One mesh-size scenario: the exact baseline plus every approximate
+/// policy over the identical trace.
+#[derive(Debug)]
+struct Scenario {
+    name: &'static str,
+    flows: usize,
+    events: usize,
+    exact: PolicyRun,
+    approx: Vec<PolicyRun>,
+}
+
+impl Scenario {
+    fn run(
+        name: &'static str,
+        topo: MeshTopology,
+        n_flows: usize,
+        rounds: usize,
+    ) -> Result<Self, BenchError> {
+        let mesh = MeshQos::builder(topo.clone()).build()?;
+        let flows = gateway_flows(&topo, n_flows);
+        let events = churn_trace(&flows, rounds);
+        let exact = run_policy(&mesh, OrderPolicy::ExactMilp, "exact", &events, false)?;
+        let approx = vec![
+            run_policy(
+                &mesh,
+                OrderPolicy::GreedySequential {
+                    key: GreedyKey::CliqueLoad,
+                },
+                "greedy:clique",
+                &events,
+                true,
+            )?,
+            run_policy(
+                &mesh,
+                OrderPolicy::GreedySequential {
+                    key: GreedyKey::Demand,
+                },
+                "greedy:demand",
+                &events,
+                true,
+            )?,
+            run_policy(&mesh, OrderPolicy::LpRounding, "lp", &events, true)?,
+        ];
+        Ok(Scenario {
+            name,
+            flows: flows.len(),
+            events: events.len(),
+            exact,
+            approx,
+        })
+    }
+
+    fn acceptance_ratio(&self, run: &PolicyRun) -> f64 {
+        if self.exact.accepted == 0 {
+            1.0
+        } else {
+            run.accepted as f64 / self.exact.accepted as f64
+        }
+    }
+
+    fn speedup(&self, run: &PolicyRun) -> f64 {
+        let approx = run.median_admit_us();
+        if approx > 0.0 {
+            self.exact.median_admit_us() / approx
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Serialises the acceptance artifact
+/// (`results/BENCH_approx_admission.json`).
+fn artifact_json(scenarios: &[Scenario], quick: bool) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\"experiment\":\"approx_admission\",\"ok\":true,\"quick\":");
+    out.push_str(if quick { "true" } else { "false" });
+    out.push_str(",\"scenarios\":[");
+    for (i, s) in scenarios.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        wimesh_obs::json::push_str_value(&mut out, s.name);
+        out.push_str(&format!(",\"flows\":{},\"events\":{}", s.flows, s.events));
+        out.push_str(",\"exact_median_admit_us\":");
+        wimesh_obs::json::push_f64(&mut out, s.exact.median_admit_us());
+        out.push_str(&format!(",\"exact_accepted\":{}", s.exact.accepted));
+        out.push_str(",\"policies\":[");
+        for (j, run) in s.approx.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"policy\":");
+            wimesh_obs::json::push_str_value(&mut out, run.policy_label);
+            out.push_str(",\"median_admit_us\":");
+            wimesh_obs::json::push_f64(&mut out, run.median_admit_us());
+            out.push_str(",\"speedup_vs_exact\":");
+            wimesh_obs::json::push_f64(&mut out, s.speedup(run));
+            out.push_str(",\"acceptance_ratio\":");
+            wimesh_obs::json::push_f64(&mut out, s.acceptance_ratio(run));
+            out.push_str(&format!(
+                ",\"accepted\":{},\"certified_events\":{},\"approx_gap\":{},\
+                 \"clique_prunes\":{},\"greedy_solves\":{},\"lp_solves\":{}}}",
+                run.accepted,
+                run.certified_events,
+                run.stats.approx_gap,
+                run.stats.clique_prunes,
+                run.stats.greedy_solves,
+                run.stats.lp_solves
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Runs the approximation-mode admission comparison.
+///
+/// # Errors
+///
+/// Propagates admission/certification failures; in full (non-quick)
+/// mode additionally fails when the tentpole gate (≥100× greedy median
+/// speedup at ≥0.9 acceptance on some scenario) is missed.
+pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
+    let scenarios = if ctx.quick {
+        vec![Scenario::run("chain4", generators::chain(4), 3, 2)?]
+    } else {
+        vec![
+            Scenario::run("chain5", generators::chain(5), 4, 6)?,
+            Scenario::run("chain6", generators::chain(6), 5, 6)?,
+            Scenario::run("grid3x3", generators::grid(3, 3), 6, 6)?,
+            // The tentpole scenario: dense enough that exact
+            // branch-and-bound pays hundreds of milliseconds per
+            // admission while the greedy oracle stays in microseconds.
+            // Churn rounds are kept low because the *exact baseline*
+            // is what makes this scenario expensive to measure.
+            Scenario::run("grid4x4", generators::grid(4, 4), 10, 2)?,
+        ]
+    };
+
+    let mut table = Table::new(
+        "Approximation-mode admission vs ExactMilp (per-admission latency)",
+        &[
+            "scenario",
+            "policy",
+            "median_us",
+            "speedup",
+            "accept_ratio",
+            "accepted",
+            "certified",
+            "gap",
+        ],
+    );
+    for s in &scenarios {
+        table.row_strings(vec![
+            s.name.to_string(),
+            "exact".to_string(),
+            format!("{:.1}", s.exact.median_admit_us()),
+            "1.00x".to_string(),
+            "1.000".to_string(),
+            s.exact.accepted.to_string(),
+            "-".to_string(),
+            "0".to_string(),
+        ]);
+        for run in &s.approx {
+            table.row_strings(vec![
+                s.name.to_string(),
+                run.policy_label.to_string(),
+                format!("{:.1}", run.median_admit_us()),
+                format!("{:.0}x", s.speedup(run)),
+                format!("{:.3}", s.acceptance_ratio(run)),
+                run.accepted.to_string(),
+                run.certified_events.to_string(),
+                run.stats.approx_gap.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    ctx.write_csv("approx_admission", &table)?;
+
+    // Soundness gates (both modes): every approximate event certified,
+    // and acceptance never collapses.
+    let floor = if ctx.quick { 0.5 } else { 0.9 };
+    for s in &scenarios {
+        for run in &s.approx {
+            if run.certified_events != s.events as u64 {
+                return Err(BenchError::Other(format!(
+                    "{}/{}: only {}/{} events certified",
+                    s.name, run.policy_label, run.certified_events, s.events
+                )));
+            }
+            if s.acceptance_ratio(run) < floor {
+                return Err(BenchError::Other(format!(
+                    "{}/{}: acceptance ratio {:.3} below the {floor} floor",
+                    s.name,
+                    run.policy_label,
+                    s.acceptance_ratio(run)
+                )));
+            }
+        }
+    }
+
+    // Tentpole gate (full runs): a ≥100× greedy median-latency win at a
+    // ≥0.9 acceptance ratio on at least one churn scenario.
+    if !ctx.quick {
+        let hit = scenarios.iter().any(|s| {
+            s.approx
+                .iter()
+                .filter(|r| r.policy_label.starts_with("greedy"))
+                .any(|r| s.speedup(r) >= 100.0 && s.acceptance_ratio(r) >= 0.9)
+        });
+        if !hit {
+            return Err(BenchError::Other(String::from(
+                "no scenario reached a 100x greedy median speedup at a 0.9 acceptance ratio",
+            )));
+        }
+    }
+
+    std::fs::create_dir_all(&ctx.out_dir)?;
+    let artifact = ctx.out_dir.join("BENCH_approx_admission.json");
+    std::fs::write(&artifact, artifact_json(&scenarios, ctx.quick))?;
+    println!("  -> {}", artifact.display());
+    Ok(())
+}

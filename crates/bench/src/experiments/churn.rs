@@ -23,7 +23,7 @@
 //!   ([`wimesh::SessionStats::oracle_calls`]).
 //!
 //! Writes `results/churn.csv` plus the acceptance artifact
-//! `results/BENCH_admission_churn.json`.
+//! `results/BENCH_churn.json`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -185,11 +185,10 @@ fn run_scenario(
     })
 }
 
-/// Serialises the acceptance artifact
-/// (`results/BENCH_admission_churn.json`).
+/// Serialises the acceptance artifact (`results/BENCH_churn.json`).
 fn artifact_json(results: &[ScenarioResult], quick: bool) -> String {
     let mut out = String::with_capacity(1024);
-    out.push_str("{\"experiment\":\"admission_churn\",\"quick\":");
+    out.push_str("{\"experiment\":\"churn\",\"quick\":");
     out.push_str(if quick { "true" } else { "false" });
     out.push_str(",\"scenarios\":[");
     for (i, r) in results.iter().enumerate() {
@@ -305,7 +304,7 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     }
 
     std::fs::create_dir_all(&ctx.out_dir)?;
-    let artifact = ctx.out_dir.join("BENCH_admission_churn.json");
+    let artifact = ctx.out_dir.join("BENCH_churn.json");
     std::fs::write(&artifact, artifact_json(&results, ctx.quick))?;
     println!("  -> {}", artifact.display());
     Ok(())

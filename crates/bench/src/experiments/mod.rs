@@ -2,6 +2,7 @@
 
 pub(crate) mod common;
 
+pub mod approx_admission;
 pub mod churn;
 pub mod e1;
 pub mod e10;

@@ -35,7 +35,7 @@
 //! the modeled ratio otherwise; `timing_model` says which was used.
 //!
 //! Writes `results/parallel_scaling.csv` plus the acceptance artifact
-//! `results/BENCH_parallel.json`.
+//! `results/BENCH_parallel_scaling.json`.
 
 use std::sync::Mutex;
 use std::time::Instant;
@@ -322,7 +322,7 @@ fn csr_scenario(quick: bool) -> Result<CsrResult, BenchError> {
     })
 }
 
-/// Serialises `results/BENCH_parallel.json`.
+/// Serialises `results/BENCH_parallel_scaling.json`.
 #[allow(clippy::too_many_arguments)]
 fn artifact_json(
     quick: bool,
@@ -564,7 +564,7 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
     }
 
     std::fs::create_dir_all(&ctx.out_dir)?;
-    let artifact = ctx.out_dir.join("BENCH_parallel.json");
+    let artifact = ctx.out_dir.join("BENCH_parallel_scaling.json");
     std::fs::write(
         &artifact,
         artifact_json(

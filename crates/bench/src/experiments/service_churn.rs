@@ -119,6 +119,7 @@ fn run_kill_recover(ctx: &Ctx, mesh: &MeshQos) -> Result<KillRecover, BenchError
         max_batch: 8,
         snapshot_every: 3,
         request_timeout: None,
+        policy: Some(OrderPolicy::HopOrder),
     };
     let writer = JournalWriter::create(&journal_path)?;
     let (gateway, client) =

@@ -147,6 +147,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "slo_audit",
     "parallel_scaling",
     "service_churn",
+    "approx_admission",
 ];
 
 /// Runs one experiment by id.
@@ -176,6 +177,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Result<(), BenchError> {
         "slo_audit" => experiments::slo_audit::run(ctx),
         "parallel_scaling" => experiments::parallel_scaling::run(ctx),
         "service_churn" => experiments::service_churn::run(ctx),
+        "approx_admission" => experiments::approx_admission::run(ctx),
         other => Err(BenchError::Other(format!("unknown experiment id: {other}"))),
     }
 }

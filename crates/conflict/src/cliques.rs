@@ -9,20 +9,25 @@
 
 use crate::ConflictGraph;
 
-/// Grows a maximal clique containing vertex `seed` greedily: repeatedly
-/// adds the highest-degree vertex adjacent to everything already chosen.
+/// Shared greedy growth loop: starting from `seed`, repeatedly adds the
+/// highest-degree admissible neighbor of `seed` that is adjacent to
+/// everything already chosen. `admissible` restricts the candidate set
+/// (the clique cover uses it to exclude already-covered vertices).
 ///
 /// Returns dense vertex indices, sorted ascending, always containing
 /// `seed`.
-///
-/// # Panics
-///
-/// Panics if `seed >= graph.vertex_count()`.
-pub fn maximal_clique_containing(graph: &ConflictGraph, seed: usize) -> Vec<usize> {
-    assert!(seed < graph.vertex_count(), "seed out of range");
+fn grow_clique(
+    graph: &ConflictGraph,
+    seed: usize,
+    admissible: impl Fn(usize) -> bool,
+) -> Vec<usize> {
     let mut clique = vec![seed];
-    // Candidates: neighbors of seed, highest degree first.
-    let mut candidates: Vec<usize> = graph.neighbors(seed).to_vec();
+    let mut candidates: Vec<usize> = graph
+        .neighbors(seed)
+        .iter()
+        .copied()
+        .filter(|&v| admissible(v))
+        .collect();
     candidates.sort_by(|&a, &b| graph.degree(b).cmp(&graph.degree(a)).then(a.cmp(&b)));
     for v in candidates {
         if clique
@@ -34,6 +39,20 @@ pub fn maximal_clique_containing(graph: &ConflictGraph, seed: usize) -> Vec<usiz
     }
     clique.sort_unstable();
     clique
+}
+
+/// Grows a maximal clique containing vertex `seed` greedily: repeatedly
+/// adds the highest-degree vertex adjacent to everything already chosen.
+///
+/// Returns dense vertex indices, sorted ascending, always containing
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `seed >= graph.vertex_count()`.
+pub fn maximal_clique_containing(graph: &ConflictGraph, seed: usize) -> Vec<usize> {
+    assert!(seed < graph.vertex_count(), "seed out of range");
+    grow_clique(graph, seed, |_| true)
 }
 
 /// Greedy clique cover: partitions the vertex set into disjoint cliques.
@@ -53,28 +72,10 @@ pub fn greedy_clique_cover(graph: &ConflictGraph) -> Vec<Vec<usize>> {
         if covered[seed] {
             continue;
         }
-        let mut clique = vec![seed];
-        covered[seed] = true;
-        let mut candidates: Vec<usize> = graph
-            .neighbors(seed)
-            .iter()
-            .copied()
-            .filter(|&v| !covered[v])
-            .collect();
-        candidates.sort_by(|&a, &b| graph.degree(b).cmp(&graph.degree(a)).then(a.cmp(&b)));
-        for v in candidates {
-            if covered[v] {
-                continue;
-            }
-            if clique
-                .iter()
-                .all(|&u| graph.neighbors(v).binary_search(&u).is_ok())
-            {
-                clique.push(v);
-                covered[v] = true;
-            }
+        let clique = grow_clique(graph, seed, |v| !covered[v]);
+        for &v in &clique {
+            covered[v] = true;
         }
-        clique.sort_unstable();
         cover.push(clique);
     }
     cover
@@ -157,6 +158,19 @@ mod tests {
         let cover = greedy_clique_cover(&graph);
         assert_eq!(cover.len(), 2);
         assert!(cover.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn graph_methods_delegate_to_free_functions() {
+        let topo = generators::grid(3, 3);
+        let graph = ConflictGraph::build(&topo, InterferenceModel::protocol_default());
+        for seed in 0..graph.vertex_count() {
+            assert_eq!(
+                graph.maximal_clique_containing(seed),
+                maximal_clique_containing(&graph, seed)
+            );
+        }
+        assert_eq!(graph.clique_cover(), greedy_clique_cover(&graph));
     }
 
     #[test]

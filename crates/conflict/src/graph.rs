@@ -479,6 +479,32 @@ impl ConflictGraph {
         self.adj.maybe_compact();
         true
     }
+
+    /// Mines the maximal clique containing vertex `seed` (greedy growth:
+    /// highest-degree admissible neighbor first).
+    ///
+    /// Every clique must be served sequentially in TDMA, so the total
+    /// slot demand inside the returned clique lower-bounds any feasible
+    /// frame length that schedules all its links. Returns dense vertex
+    /// indices, sorted ascending, always containing `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed >= vertex_count()`.
+    pub fn maximal_clique_containing(&self, seed: usize) -> Vec<usize> {
+        crate::cliques::maximal_clique_containing(self, seed)
+    }
+
+    /// Mines a greedy clique cover: a partition of the vertex set into
+    /// disjoint cliques (every vertex appears in exactly one clique).
+    ///
+    /// Each clique's demand sum is a necessary frame-length condition;
+    /// the heaviest clique gives the admission controller a sound lower
+    /// bound on required slots without invoking any solver. Smaller
+    /// covers give tighter bounds, but any cover is sound.
+    pub fn clique_cover(&self) -> Vec<Vec<usize>> {
+        crate::cliques::greedy_clique_cover(self)
+    }
 }
 
 /// Decides whether two distinct links conflict under `model`.

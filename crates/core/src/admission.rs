@@ -56,6 +56,46 @@ pub enum OrderPolicy {
     },
     /// Exact minimum-minislot search with the MILP feasibility oracle.
     ExactMilp,
+    /// Approximation mode: candidates are ordered by `key` (cheapest
+    /// first) and placed sequentially with the one-pass Bellman–Ford
+    /// order revalidation, rejecting on conflict. Before any schedule
+    /// attempt the clique-cover lower bound prunes hopeless requests in
+    /// O(cliques) without touching a solver (counted as
+    /// `admission.clique_prunes`). Never calls the MILP; acceptance is
+    /// conservative (may reject flows the exact search would fit) but
+    /// every accepted schedule is real and validated.
+    GreedySequential {
+        /// The candidate-ordering key.
+        key: GreedyKey,
+    },
+    /// Approximation mode: solve the LP relaxation of the exact model
+    /// with the simplex, round the order variables deterministically at
+    /// 0.5, and greedily repair infeasibilities toward the hop-order
+    /// heuristic. The LP optimum is a certified lower bound on the
+    /// minimal guaranteed region, so every answer carries a true
+    /// optimality-gap bound (`SessionStats::approx_gap`). Like the
+    /// greedy mode, rejection is conservative and acceptance is exact
+    /// (the realised schedule is validated).
+    LpRounding,
+}
+
+/// The candidate-ordering key of [`OrderPolicy::GreedySequential`].
+///
+/// Candidates are placed cheapest-first — the knapsack-style greedy that
+/// maximizes the number of accepted flows under a shared slot budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GreedyKey {
+    /// Bottleneck clique load: the total demand of the heaviest maximal
+    /// clique any of the flow's links belongs to. Flows crossing
+    /// lightly-contended airspace place first.
+    CliqueLoad,
+    /// Hop count: shortest routes place first (they reserve the fewest
+    /// links).
+    HopCount,
+    /// Total minislot demand (`slots_per_link x hops`): smallest
+    /// reservations place first.
+    Demand,
 }
 
 /// Why a flow was not admitted.
@@ -188,27 +228,43 @@ pub(crate) fn admit_routed(
     let _span = wimesh_obs::span!("admission.admit");
     let frame = model.frame();
 
-    let mut accepted: Vec<Accepted> = Vec::new();
-    let mut rejected: Vec<(FlowSpec, RejectReason)> = Vec::new();
-    let mut best: Option<(Schedule, TransmissionOrder, u32)> = None;
-
-    for (spec, maybe_path) in flows {
-        // One span per flow decision: covers routing checks, demand
-        // aggregation and the (possibly MILP-backed) schedule attempt.
-        let _flow_span = wimesh_obs::span!("admission.flow");
-        let candidate = match vet_flow(
+    // Vet every flow up front (cheap, no solver). Greedy policies then
+    // reorder the surviving candidates by their key before sequential
+    // placement; every other policy keeps input order, as before.
+    let mut vetted: Vec<(usize, Accepted)> = Vec::new();
+    let mut rejected_idx: Vec<(usize, FlowSpec, RejectReason)> = Vec::new();
+    for (idx, (spec, maybe_path)) in flows.iter().enumerate() {
+        match vet_flow(
             model,
             link_payloads,
             loss_provisioning,
             spec,
             maybe_path.as_ref(),
         )? {
-            Ok(c) => c,
-            Err(reason) => {
-                rejected.push((spec.clone(), reason));
-                continue;
-            }
+            Ok(c) => vetted.push((idx, c)),
+            Err(reason) => rejected_idx.push((idx, spec.clone(), reason)),
+        }
+    }
+    if let OrderPolicy::GreedySequential { key } = policy {
+        // Rank against the joint demand of the whole candidate set: the
+        // clique loads a flow competes with are those of everyone asking.
+        let (demands, graph) = {
+            let refs: Vec<&Accepted> = vetted.iter().map(|(_, c)| c).collect();
+            let demands = aggregate_demands(model, link_payloads, loss_provisioning, &refs);
+            let graph =
+                ConflictGraph::build_for_links(topo, demands.links().collect(), interference);
+            (demands, graph)
         };
+        vetted.sort_by_cached_key(|(idx, c)| (greedy_rank(key, &graph, &demands, c), *idx));
+    }
+
+    let mut accepted: Vec<Accepted> = Vec::new();
+    let mut best: Option<(Schedule, TransmissionOrder, u32)> = None;
+
+    for (idx, candidate) in vetted {
+        // One span per flow decision: covers demand aggregation and the
+        // (possibly MILP-backed) schedule attempt.
+        let _flow_span = wimesh_obs::span!("admission.flow");
         let trial: Vec<&Accepted> = accepted.iter().chain(std::iter::once(&candidate)).collect();
         match try_schedule(
             topo,
@@ -227,14 +283,19 @@ pub(crate) fn admit_routed(
             Err(ScheduleError::Infeasible)
             | Err(ScheduleError::FrameTooShort { .. })
             | Err(ScheduleError::OrderCycle { .. }) => {
-                rejected.push((spec.clone(), RejectReason::Infeasible));
+                rejected_idx.push((idx, candidate.spec, RejectReason::Infeasible));
             }
             Err(ScheduleError::SolverFailed(msg)) => {
-                rejected.push((spec.clone(), RejectReason::SolverLimit(msg)));
+                rejected_idx.push((idx, candidate.spec, RejectReason::SolverLimit(msg)));
             }
             Err(e) => return Err(e.into()),
         }
     }
+
+    // Verdicts are reported in input order regardless of placement order.
+    rejected_idx.sort_by_key(|(idx, _, _)| *idx);
+    let rejected: Vec<(FlowSpec, RejectReason)> =
+        rejected_idx.into_iter().map(|(_, s, r)| (s, r)).collect();
 
     if wimesh_obs::is_enabled() {
         wimesh_obs::counter_add("admission.flows.accepted", accepted.len() as u64);
@@ -407,6 +468,36 @@ pub(crate) fn clique_lower_bound(graph: &ConflictGraph, demands: &Demands) -> u3
         .max(1)
 }
 
+/// The placement cost of a vetted flow under a [`GreedyKey`] — smaller
+/// ranks place first. `CliqueLoad` mines the maximal clique around each
+/// path link ([`ConflictGraph::maximal_clique_containing`]) and charges
+/// the flow its bottleneck clique's total demand.
+pub(crate) fn greedy_rank(
+    key: GreedyKey,
+    graph: &ConflictGraph,
+    demands: &Demands,
+    f: &Accepted,
+) -> u64 {
+    match key {
+        GreedyKey::CliqueLoad => f
+            .path
+            .links()
+            .iter()
+            .filter_map(|&l| graph.index_of(l))
+            .map(|i| {
+                graph
+                    .maximal_clique_containing(i)
+                    .iter()
+                    .map(|&v| demands.get(graph.link_at(v)) as u64)
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0),
+        GreedyKey::HopCount => f.path.hop_count() as u64,
+        GreedyKey::Demand => f.slots_per_link as u64 * f.path.hop_count() as u64,
+    }
+}
+
 /// The MILP path requirements (route + deadline budget) of a flow set.
 pub(crate) fn path_requirements(
     model: &EmulationModel,
@@ -492,16 +583,34 @@ pub(crate) fn solve_demands_on_graph(
 ) -> Result<(Schedule, TransmissionOrder, u32), ScheduleError> {
     let frame = model.frame();
     match policy {
-        OrderPolicy::HopOrder | OrderPolicy::TreeOrder { .. } => {
+        OrderPolicy::HopOrder
+        | OrderPolicy::TreeOrder { .. }
+        | OrderPolicy::GreedySequential { .. } => {
+            if matches!(policy, OrderPolicy::GreedySequential { .. }) {
+                // Approximation-mode fast reject: the heaviest clique's
+                // demand floors any feasible horizon, so a request whose
+                // bound exceeds the frame dies in O(cliques), solver
+                // untouched.
+                let lower = clique_lower_bound(graph, demands);
+                if lower > frame.slots() {
+                    wimesh_obs::counter_inc("admission.clique_prunes");
+                    return Err(ScheduleError::FrameTooShort {
+                        needed: lower,
+                        available: frame.slots(),
+                    });
+                }
+            }
             let paths: Vec<Path> = flows.iter().map(|f| f.path.clone()).collect();
             let ord = match policy {
-                OrderPolicy::HopOrder => order::hop_order(graph, &paths),
+                OrderPolicy::HopOrder | OrderPolicy::GreedySequential { .. } => {
+                    order::hop_order(graph, &paths)
+                }
                 OrderPolicy::TreeOrder { gateway } => {
                     let routing = GatewayRouting::new(topo, gateway)
                         .map_err(|e| ScheduleError::SolverFailed(e.to_string()))?;
                     order::tree_order(topo, &routing, graph)
                 }
-                OrderPolicy::ExactMilp => unreachable!(),
+                _ => unreachable!("outer match covers only order-heuristic policies"),
             };
             let used = min_slots_for_order(graph, demands, &ord)?;
             if used > frame.slots() {
@@ -521,6 +630,20 @@ pub(crate) fn solve_demands_on_graph(
                 }
             }
             Ok((schedule, ord, used))
+        }
+        OrderPolicy::LpRounding => {
+            let lower = clique_lower_bound(graph, demands);
+            if lower > frame.slots() {
+                wimesh_obs::counter_inc("admission.clique_prunes");
+                return Err(ScheduleError::FrameTooShort {
+                    needed: lower,
+                    available: frame.slots(),
+                });
+            }
+            let reqs = path_requirements(model, flows);
+            let rounded = wimesh_tdma::approx::lp_rounded_order(graph, demands, &reqs, frame)?;
+            let used = rounded.solution.schedule.makespan().max(1);
+            Ok((rounded.solution.schedule, rounded.solution.order, used))
         }
         OrderPolicy::ExactMilp => {
             let reqs = path_requirements(model, flows);
@@ -672,6 +795,102 @@ mod tests {
         for f in &out.admitted {
             assert!(f.worst_case_delay <= f.spec.deadline.unwrap());
         }
+    }
+
+    #[test]
+    fn approx_policies_admit_valid_schedules() {
+        let mesh = mesh(5);
+        let flows: Vec<FlowSpec> = (0..3)
+            .map(|i| FlowSpec::voip(i, NodeId(4), NodeId(0), VoipCodec::G729))
+            .collect();
+        let exact = mesh.admit(&flows, OrderPolicy::ExactMilp).unwrap();
+        for policy in [
+            OrderPolicy::GreedySequential {
+                key: GreedyKey::CliqueLoad,
+            },
+            OrderPolicy::GreedySequential {
+                key: GreedyKey::HopCount,
+            },
+            OrderPolicy::GreedySequential {
+                key: GreedyKey::Demand,
+            },
+            OrderPolicy::LpRounding,
+        ] {
+            let out = mesh.admit(&flows, policy).unwrap();
+            // Approximation may only reject more, never violate QoS.
+            assert!(out.admitted.len() <= exact.admitted.len());
+            assert!(out.guaranteed_slots <= mesh.model().frame().slots());
+            for f in &out.admitted {
+                assert!(f.worst_case_delay <= f.spec.deadline.unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_overload_rejects_in_input_order() {
+        let mesh = mesh(3);
+        let flows: Vec<FlowSpec> = (0..12)
+            .map(|i| {
+                FlowSpec::guaranteed(
+                    i,
+                    NodeId(2),
+                    NodeId(0),
+                    2_000_000.0,
+                    Duration::from_millis(200),
+                )
+            })
+            .collect();
+        let out = mesh
+            .admit(
+                &flows,
+                OrderPolicy::GreedySequential {
+                    key: GreedyKey::Demand,
+                },
+            )
+            .unwrap();
+        assert!(!out.admitted.is_empty());
+        assert!(!out.rejected.is_empty());
+        // Rejections are reported in input order even though placement
+        // order was greedy.
+        let ids: Vec<u32> = out.rejected.iter().map(|(s, _)| s.id.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn greedy_rank_orders_by_key() {
+        let mesh = mesh(5);
+        let short = FlowSpec::voip(0, NodeId(1), NodeId(0), VoipCodec::G729);
+        let long = FlowSpec::voip(1, NodeId(4), NodeId(0), VoipCodec::G729);
+        let vet = |spec: &FlowSpec| {
+            let path = shortest_path(mesh.topology(), spec.src, spec.dst).ok();
+            match vet_flow(mesh.model(), mesh.link_payloads(), 0.0, spec, path.as_ref()).unwrap() {
+                Ok(c) => c,
+                Err(r) => panic!("vet failed: {r:?}"),
+            }
+        };
+        let (a, b) = (vet(&short), vet(&long));
+        let refs = [&a, &b];
+        let demands = aggregate_demands(mesh.model(), mesh.link_payloads(), 0.0, &refs);
+        let graph = ConflictGraph::build_for_links(
+            mesh.topology(),
+            demands.links().collect(),
+            mesh.interference(),
+        );
+        assert!(
+            greedy_rank(GreedyKey::HopCount, &graph, &demands, &a)
+                < greedy_rank(GreedyKey::HopCount, &graph, &demands, &b)
+        );
+        assert!(
+            greedy_rank(GreedyKey::Demand, &graph, &demands, &a)
+                < greedy_rank(GreedyKey::Demand, &graph, &demands, &b)
+        );
+        // The long flow crosses every clique the short one does and more.
+        assert!(
+            greedy_rank(GreedyKey::CliqueLoad, &graph, &demands, &a)
+                <= greedy_rank(GreedyKey::CliqueLoad, &graph, &demands, &b)
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use wimesh_emu::EmulationParams;
 use wimesh_milp::SolverConfig;
 use wimesh_topology::MeshTopology;
 
-use crate::{MeshQos, QosError, RatePolicy};
+use crate::{MeshQos, OrderPolicy, QosError, RatePolicy};
 
 /// Builds a [`MeshQos`] with validated defaults.
 ///
@@ -42,6 +42,7 @@ pub struct MeshQosBuilder {
     rates: RatePolicy,
     solver: SolverConfig,
     loss_provisioning: f64,
+    default_policy: OrderPolicy,
 }
 
 impl MeshQosBuilder {
@@ -53,6 +54,7 @@ impl MeshQosBuilder {
             rates: RatePolicy::Uniform,
             solver: SolverConfig::default(),
             loss_provisioning: 0.0,
+            default_policy: OrderPolicy::HopOrder,
         }
     }
 
@@ -90,6 +92,16 @@ impl MeshQosBuilder {
         self
     }
 
+    /// Sets the admission policy [`MeshQos::default_session`] opens with
+    /// ([`OrderPolicy::HopOrder`] unless set). Approximation deployments
+    /// configure [`OrderPolicy::GreedySequential`] or
+    /// [`OrderPolicy::LpRounding`] here once instead of at every call
+    /// site.
+    pub fn default_policy(mut self, policy: OrderPolicy) -> Self {
+        self.default_policy = policy;
+        self
+    }
+
     /// Validates the configuration and builds the mesh.
     ///
     /// # Errors
@@ -109,6 +121,7 @@ impl MeshQosBuilder {
             mesh.set_loss_provisioning(self.loss_provisioning);
         }
         mesh.set_solver_config(self.solver);
+        mesh.set_default_policy(self.default_policy);
         Ok(mesh)
     }
 }

@@ -74,7 +74,7 @@ mod session;
 pub mod best_effort;
 pub mod multipath;
 
-pub use admission::{AdmissionOutcome, AdmittedFlow, OrderPolicy, RejectReason};
+pub use admission::{AdmissionOutcome, AdmittedFlow, GreedyKey, OrderPolicy, RejectReason};
 pub use builder::MeshQosBuilder;
 pub use error::QosError;
 pub use flow::FlowSpec;

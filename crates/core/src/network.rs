@@ -49,6 +49,8 @@ pub struct MeshQos {
     /// Expected per-transmission channel loss the reservations are
     /// over-provisioned for (demands scale by `1/(1-p)`).
     loss_provisioning: f64,
+    /// The admission policy [`MeshQos::default_session`] opens with.
+    default_policy: OrderPolicy,
 }
 
 impl MeshQos {
@@ -64,6 +66,23 @@ impl MeshQos {
     /// configuration; later changes to `self` do not affect it.
     pub fn session(&self, policy: OrderPolicy) -> crate::QosSession {
         crate::QosSession::new(self.clone(), policy)
+    }
+
+    /// Opens a session under the mesh's configured default policy
+    /// ([`MeshQosBuilder::default_policy`]; [`OrderPolicy::HopOrder`]
+    /// unless overridden).
+    pub fn default_session(&self) -> crate::QosSession {
+        self.session(self.default_policy)
+    }
+
+    /// The admission policy [`MeshQos::default_session`] opens with.
+    pub fn default_policy(&self) -> OrderPolicy {
+        self.default_policy
+    }
+
+    /// Sets the policy [`MeshQos::default_session`] opens with.
+    pub fn set_default_policy(&mut self, policy: OrderPolicy) {
+        self.default_policy = policy;
     }
 
     /// Reconstructs a session from a previously exported
@@ -154,6 +173,7 @@ impl MeshQos {
             solver: SolverConfig::default(),
             link_payloads,
             loss_provisioning: 0.0,
+            default_policy: OrderPolicy::HopOrder,
         })
     }
 

@@ -128,6 +128,22 @@ pub struct SessionStats {
     /// of their batch — each is a full feasibility search a
     /// one-at-a-time caller would have paid for.
     pub coalesced_admits: u64,
+    /// Requests rejected by the clique-cover lower bound before any
+    /// solver ran (approximation policies only; also emitted as the
+    /// `admission.clique_prunes` counter).
+    pub clique_prunes: u64,
+    /// Greedy-sequential oracle solves (one Bellman–Ford realisation per
+    /// call; the approximation-mode analogue of `oracle_calls`).
+    pub greedy_solves: u64,
+    /// LP-rounding oracle solves (one simplex relaxation plus repair per
+    /// call; the approximation-mode analogue of `oracle_calls`).
+    pub lp_solves: u64,
+    /// Certified optimality-gap upper bound (in minislots) of the most
+    /// recent approximate solve: the realised guaranteed region minus
+    /// the best certified lower bound (clique cover, and LP bound under
+    /// [`OrderPolicy::LpRounding`]). The true gap to the exact optimum
+    /// is never larger. Always 0 under exact or heuristic policies.
+    pub approx_gap: u64,
 }
 
 impl SessionStats {
@@ -141,7 +157,8 @@ impl SessionStats {
              \"search_iterations\":{},\"incremental_updates\":{},\
              \"graph_rebuilds\":{},\"speculative_probes\":{},\
              \"probes_cancelled\":{},\"batch_solves\":{},\
-             \"coalesced_admits\":{}}}",
+             \"coalesced_admits\":{},\"clique_prunes\":{},\
+             \"greedy_solves\":{},\"lp_solves\":{},\"approx_gap\":{}}}",
             self.admits,
             self.releases,
             self.oracle_calls,
@@ -154,6 +171,10 @@ impl SessionStats {
             self.probes_cancelled,
             self.batch_solves,
             self.coalesced_admits,
+            self.clique_prunes,
+            self.greedy_solves,
+            self.lp_solves,
+            self.approx_gap,
         )
     }
 }
@@ -536,8 +557,18 @@ impl QosSession {
                     | ScheduleError::OrderCycle { .. }
                     | ScheduleError::SolverFailed(_),
                 ) => {
-                    // The batch does not fit as a unit. Roll the graph
-                    // back and fall through to per-flow admission.
+                    // The batch does not fit as a unit: fall back to
+                    // per-flow admission. Greedy-sequential places the
+                    // candidates cheapest-first by its key (ranked while
+                    // the grown graph still holds the batch's links);
+                    // every other policy keeps input order. Verdicts are
+                    // indexed, so reporting order is unaffected.
+                    if let OrderPolicy::GreedySequential { key } = self.policy {
+                        candidates.sort_by_cached_key(|(i, c)| {
+                            (admission::greedy_rank(key, &self.graph, &demands, c), *i)
+                        });
+                    }
+                    // Roll the graph back to exactly the accepted set.
                     for l in inserted {
                         self.graph.remove_vertex(l);
                         self.stats.incremental_updates += 1;
@@ -1011,6 +1042,68 @@ fn solve_session(
             warm,
             stats,
         ),
+        OrderPolicy::GreedySequential { .. } | OrderPolicy::LpRounding => {
+            approx_solve(mesh, graph, demands, flows, policy, stats)
+        }
+    }
+}
+
+/// The approximation-mode oracles, with per-policy stats and the
+/// certified optimality-gap bookkeeping.
+///
+/// Both policies share the clique-cover fast reject: the heaviest
+/// clique's total demand floors any feasible guaranteed region, so a
+/// request whose bound exceeds the frame is rejected in O(cliques)
+/// without running any solver. The realised guaranteed region minus the
+/// best certified lower bound is a true upper bound on the optimality
+/// gap, recorded in [`SessionStats::approx_gap`].
+fn approx_solve(
+    mesh: &MeshQos,
+    graph: &ConflictGraph,
+    demands: &Demands,
+    flows: &[&Accepted],
+    policy: OrderPolicy,
+    stats: &mut SessionStats,
+) -> Result<(Schedule, TransmissionOrder, u32), ScheduleError> {
+    let _span = wimesh_obs::span!("session.approx");
+    let model = mesh.model();
+    let frame = model.frame();
+    let total = frame.slots();
+    let lower = admission::clique_lower_bound(graph, demands);
+    if lower > total {
+        stats.clique_prunes += 1;
+        wimesh_obs::counter_inc("admission.clique_prunes");
+        return Err(ScheduleError::FrameTooShort {
+            needed: lower,
+            available: total,
+        });
+    }
+    match policy {
+        OrderPolicy::GreedySequential { .. } => {
+            stats.greedy_solves += 1;
+            wimesh_obs::counter_inc("session.greedy.solves");
+            let (schedule, ord, used) = admission::solve_demands_on_graph(
+                mesh.topology(),
+                model,
+                graph,
+                demands,
+                flows,
+                policy,
+                mesh.solver_config(),
+            )?;
+            stats.approx_gap = u64::from(used.saturating_sub(lower));
+            Ok((schedule, ord, used))
+        }
+        OrderPolicy::LpRounding => {
+            stats.lp_solves += 1;
+            wimesh_obs::counter_inc("session.lp.solves");
+            let reqs = admission::path_requirements(model, flows);
+            let rounded = wimesh_tdma::approx::lp_rounded_order(graph, demands, &reqs, frame)?;
+            let used = rounded.solution.schedule.makespan().max(1);
+            stats.approx_gap = u64::from(used.saturating_sub(lower.max(rounded.lp_bound_slots)));
+            Ok((rounded.solution.schedule, rounded.solution.order, used))
+        }
+        _ => unreachable!("approx_solve is only dispatched for approximation policies"),
     }
 }
 

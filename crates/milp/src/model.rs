@@ -375,6 +375,34 @@ impl Model {
         self.solve_inner(config, warm, Some(cancel))
     }
 
+    /// Solves the LP relaxation of the model: every integer and binary
+    /// variable is treated as continuous over its declared bounds.
+    ///
+    /// For a minimization the relaxation's objective lower-bounds the
+    /// integral optimum (the relaxed feasible set is a superset), which
+    /// is what approximation-mode admission uses to certify optimality
+    /// gaps without running branch & bound. `nodes_explored()` is 1 and
+    /// the bound gap is closed: an LP solve is exact for the relaxation.
+    ///
+    /// # Errors
+    ///
+    /// See [`SolveError`]. `Infeasible` here proves the *integral* model
+    /// infeasible too.
+    pub fn solve_relaxed(&self) -> Result<Solution, SolveError> {
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.lb > v.ub {
+                return Err(SolveError::BadBounds { var: VarId(i) });
+            }
+        }
+        let (values, objective) = self.solve_relaxation(None)?;
+        Ok(Solution {
+            values,
+            objective,
+            nodes: 1,
+            bound_gap_open: false,
+        })
+    }
+
     fn solve_inner(
         &self,
         config: &SolverConfig,
@@ -787,6 +815,35 @@ mod tests {
         let sol = m.solve().unwrap();
         assert!((sol.value(x) - 3.0).abs() < 1e-6);
         assert!((sol.value(y) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_relaxed_lower_bounds_integral_optimum() {
+        // min x + y s.t. x + y >= 1.5 with x, y integer: integral optimum
+        // is 2 (e.g. x=2, y=0); the relaxation reaches 1.5 exactly.
+        let mut m = Model::new();
+        let x = m.add_integer_var(0.0, 10.0, "x");
+        let y = m.add_integer_var(0.0, 10.0, "y");
+        m.add_ge(LinExpr::from(x) + LinExpr::from(y), 1.5);
+        m.set_objective(Sense::Minimize, LinExpr::from(x) + LinExpr::from(y));
+        let relaxed = m.solve_relaxed().unwrap();
+        assert!((relaxed.objective() - 1.5).abs() < 1e-9);
+        assert_eq!(relaxed.nodes_explored(), 1);
+        assert!(!relaxed.is_bound_gap_open());
+        let exact = m.solve().unwrap();
+        assert!(relaxed.objective() <= exact.objective() + 1e-9);
+        assert!((exact.objective() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_relaxed_checks_bounds() {
+        let mut m = Model::new();
+        let x = m.add_var(2.0, 1.0, "x");
+        m.set_objective(Sense::Minimize, LinExpr::from(x));
+        assert_eq!(
+            m.solve_relaxed().unwrap_err(),
+            SolveError::BadBounds { var: x }
+        );
     }
 
     #[test]

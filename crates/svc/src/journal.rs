@@ -16,6 +16,14 @@
 //! {"t":"svc.rebalance"}
 //! ```
 //!
+//! plus the non-mutating policy declaration the gateway appends at
+//! start-up, so recovery can prove it is replaying under the same
+//! admission policy the journal was written under:
+//!
+//! ```text
+//! {"t":"svc.policy","policy":"greedy:clique"}
+//! ```
+//!
 //! and the periodic snapshot, a multi-line group bracketed by counts in
 //! its header and a terminator line:
 //!
@@ -51,7 +59,7 @@ use std::path::Path;
 use std::time::Duration;
 
 use wimesh::tdma::SlotRange;
-use wimesh::{FlowSpec, FlowState, OrderPolicy, SessionState};
+use wimesh::{FlowSpec, FlowState, GreedyKey, OrderPolicy, SessionState};
 use wimesh_obs::json;
 use wimesh_obs::reader::{JsonlError, JsonlLine, JsonlReader};
 use wimesh_sim::FlowId;
@@ -70,6 +78,12 @@ pub enum JournalRecord {
     Rebalance,
     /// A state snapshot; replay restarts from the last complete one.
     Snapshot(SessionState),
+    /// A declaration of the admission policy the service is running
+    /// under, appended by the gateway at start-up. Not a mutation —
+    /// replay skips it — but recovery cross-checks it against the
+    /// requested policy and fails with a state mismatch on
+    /// disagreement.
+    Policy(OrderPolicy),
 }
 
 /// Appends journal records to a byte stream, flushing each record
@@ -212,6 +226,10 @@ pub fn parse_journal(text: &str) -> Result<JournalLog, JsonlError> {
                 records.push(JournalRecord::Rebalance);
                 i += 1;
             }
+            "svc.policy" => {
+                records.push(JournalRecord::Policy(parse_policy(line)?));
+                i += 1;
+            }
             "svc.snap" => {
                 let policy = parse_policy(line)?;
                 let nf = line.require_u64("flows")? as usize;
@@ -311,6 +329,18 @@ fn parse_policy(line: &JsonlLine<'_>) -> Result<OrderPolicy, JsonlError> {
         Ok(OrderPolicy::HopOrder)
     } else if s == "exact" {
         Ok(OrderPolicy::ExactMilp)
+    } else if s == "lp" {
+        Ok(OrderPolicy::LpRounding)
+    } else if let Some(key) = s.strip_prefix("greedy:") {
+        let key = match key {
+            "clique" => GreedyKey::CliqueLoad,
+            "hop" => GreedyKey::HopCount,
+            "demand" => GreedyKey::Demand,
+            other => {
+                return Err(line.error(format!("unknown greedy key \"{other}\"")));
+            }
+        };
+        Ok(OrderPolicy::GreedySequential { key })
     } else if let Some(g) = s.strip_prefix("tree:") {
         let gateway: u32 = g
             .parse()
@@ -342,6 +372,11 @@ fn encode_record(record: &JournalRecord, out: &mut String) -> io::Result<()> {
         }
         JournalRecord::Rebalance => {
             out.push_str("{\"t\":\"svc.rebalance\"}\n");
+        }
+        JournalRecord::Policy(policy) => {
+            out.push_str("{\"t\":\"svc.policy\",\"policy\":");
+            json::push_str_value(out, &encode_policy(*policy)?);
+            out.push_str("}\n");
         }
         JournalRecord::Snapshot(state) => {
             out.push_str("{\"t\":\"svc.snap\",\"policy\":");
@@ -401,6 +436,14 @@ fn encode_policy(policy: OrderPolicy) -> io::Result<String> {
         OrderPolicy::HopOrder => Ok(String::from("hop")),
         OrderPolicy::ExactMilp => Ok(String::from("exact")),
         OrderPolicy::TreeOrder { gateway } => Ok(format!("tree:{}", gateway.0)),
+        OrderPolicy::LpRounding => Ok(String::from("lp")),
+        OrderPolicy::GreedySequential { key } => Ok(String::from(match key {
+            GreedyKey::CliqueLoad => "greedy:clique",
+            GreedyKey::HopCount => "greedy:hop",
+            GreedyKey::Demand => "greedy:demand",
+            // `GreedyKey` is non-exhaustive too.
+            _ => return Err(io::Error::other("greedy key has no journal encoding")),
+        })),
         // `OrderPolicy` is non-exhaustive: refuse to journal a policy
         // this writer has no stable encoding for.
         _ => Err(io::Error::other("order policy has no journal encoding")),
@@ -460,6 +503,55 @@ mod tests {
         let (at, snap) = log.replay_point();
         assert_eq!(at, 4);
         assert_eq!(snap, Some(&sample_state()));
+    }
+
+    #[test]
+    fn policy_records_roundtrip_for_every_encodable_policy() {
+        let policies = vec![
+            OrderPolicy::HopOrder,
+            OrderPolicy::ExactMilp,
+            OrderPolicy::TreeOrder { gateway: NodeId(2) },
+            OrderPolicy::LpRounding,
+            OrderPolicy::GreedySequential {
+                key: GreedyKey::CliqueLoad,
+            },
+            OrderPolicy::GreedySequential {
+                key: GreedyKey::HopCount,
+            },
+            OrderPolicy::GreedySequential {
+                key: GreedyKey::Demand,
+            },
+        ];
+        let records: Vec<JournalRecord> = policies.into_iter().map(JournalRecord::Policy).collect();
+        let text = roundtrip(&records);
+        let log = parse_journal(&text).expect("parses");
+        assert!(!log.torn_tail);
+        assert_eq!(log.records, records);
+        // Policy records never move the replay point.
+        assert_eq!(log.replay_point(), (0, None));
+    }
+
+    #[test]
+    fn unknown_policy_strings_are_corruption() {
+        for bad in [
+            "{\"t\":\"svc.policy\",\"policy\":\"greedy:bogus\"}\n",
+            "{\"t\":\"svc.policy\",\"policy\":\"simulated-annealing\"}\n",
+        ] {
+            let err = parse_journal(bad).expect_err("unknown policy is corrupt");
+            assert_eq!(err.line, 1);
+        }
+    }
+
+    #[test]
+    fn approx_policies_snapshot_roundtrip() {
+        let mut state = sample_state();
+        state.policy = OrderPolicy::GreedySequential {
+            key: GreedyKey::Demand,
+        };
+        let records = vec![JournalRecord::Snapshot(state)];
+        let text = roundtrip(&records);
+        let log = parse_journal(&text).expect("parses");
+        assert_eq!(log.records, records);
     }
 
     #[test]

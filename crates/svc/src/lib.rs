@@ -40,7 +40,7 @@ mod snapshot;
 pub use error::SvcError;
 pub use journal::{parse_journal, JournalLog, JournalRecord, JournalWriter};
 pub use journaled::JournaledSession;
-pub use recovery::{recover, recover_file, Recovered, RecoveryError};
+pub use recovery::{recover, recover_file, recover_recorded, Recovered, RecoveryError};
 pub use service::{
     AdmissionGateway, GatewayClient, GatewayConfig, GatewayReport, Reply, Request, ServiceStats,
     Ticket,

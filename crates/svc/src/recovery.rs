@@ -123,6 +123,19 @@ pub fn recover(
         line: e.line,
         reason: e.reason,
     })?;
+    // Every policy declaration in the journal must agree with the
+    // requested policy: recovering a greedy-admitted history under the
+    // exact oracle (or vice versa) would re-prove a different state
+    // than the one that crashed.
+    for record in &log.records {
+        if let JournalRecord::Policy(declared) = record {
+            if *declared != policy {
+                return Err(RecoveryError::StateMismatch(format!(
+                    "journal declares policy {declared:?}, recovery requested {policy:?}"
+                )));
+            }
+        }
+    }
     let (replay_from, snapshot) = log.replay_point();
 
     let base = match snapshot {
@@ -159,6 +172,10 @@ pub fn recover(
                 // snapshot mid-tail would simply be redundant.
                 continue;
             }
+            JournalRecord::Policy(_) => {
+                // Not a mutation; already cross-checked above.
+                continue;
+            }
         }
         replayed += 1;
     }
@@ -172,6 +189,37 @@ pub fn recover(
         snapshot_used: snapshot.is_some(),
         torn_tail: log.torn_tail,
     })
+}
+
+/// [`recover`], taking the policy from the journal itself instead of
+/// the caller.
+///
+/// The recorded policy is the last
+/// [`JournalRecord::Policy`](crate::JournalRecord::Policy) declaration,
+/// or failing that the policy of the last snapshot. Use this when the
+/// operator does not know (or does not want to restate) which policy
+/// the crashed service ran with.
+///
+/// # Errors
+///
+/// [`RecoveryError::StateMismatch`] when the journal records no policy
+/// at all, otherwise as [`recover`].
+pub fn recover_recorded(mesh: &MeshQos, journal: &str) -> Result<Recovered, RecoveryError> {
+    let log = parse_journal(journal).map_err(|e| RecoveryError::Corrupt {
+        line: e.line,
+        reason: e.reason,
+    })?;
+    let declared = log.records.iter().rev().find_map(|r| match r {
+        JournalRecord::Policy(p) => Some(*p),
+        _ => None,
+    });
+    let snapshot = log.replay_point().1.map(|s| s.policy);
+    let policy = declared.or(snapshot).ok_or_else(|| {
+        RecoveryError::StateMismatch(String::from(
+            "journal records no admission policy (no svc.policy record and no snapshot)",
+        ))
+    })?;
+    recover(mesh, policy, journal)
 }
 
 /// [`recover`], reading the journal from `path`.

@@ -26,11 +26,14 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::Instant;
 
-use wimesh::{AdmittedFlow, FlowSpec, QosSession, RejectReason, SessionState, SessionStats};
+use wimesh::{
+    AdmittedFlow, FlowSpec, OrderPolicy, QosError, QosSession, RejectReason, SessionState,
+    SessionStats,
+};
 use wimesh_sim::FlowId;
 
 use crate::error::SvcError;
-use crate::journal::JournalWriter;
+use crate::journal::{JournalRecord, JournalWriter};
 use crate::journaled::JournaledSession;
 use crate::snapshot::{EpochCell, ScheduleView, SnapshotReader};
 
@@ -47,6 +50,14 @@ pub struct GatewayConfig {
     /// Queue-wait deadline: requests older than this are answered
     /// [`Reply::Expired`] instead of being solved. `None` disables it.
     pub request_timeout: Option<std::time::Duration>,
+    /// The admission policy this gateway is expected to run under.
+    /// When set, [`AdmissionGateway::start`] rejects a session opened
+    /// with a different policy and appends a
+    /// [`JournalRecord::Policy`] declaration before serving, so
+    /// recovery re-proves the journal under the same policy (and
+    /// [`crate::recover_recorded`] needs no operator input). `None`
+    /// accepts whatever policy the session carries, undeclared.
+    pub policy: Option<OrderPolicy>,
 }
 
 impl Default for GatewayConfig {
@@ -56,6 +67,7 @@ impl Default for GatewayConfig {
             max_batch: 16,
             snapshot_every: 32,
             request_timeout: None,
+            policy: None,
         }
     }
 }
@@ -426,12 +438,27 @@ impl AdmissionGateway {
     ///
     /// # Errors
     ///
-    /// [`SvcError::Journal`] if the worker thread could not be spawned.
+    /// [`SvcError::Qos`] if [`GatewayConfig::policy`] is set and
+    /// disagrees with the session's policy, [`SvcError::Journal`] if
+    /// the policy declaration could not be appended or the worker
+    /// thread could not be spawned.
     pub fn start(
         session: QosSession,
-        journal: JournalWriter,
+        mut journal: JournalWriter,
         config: GatewayConfig,
     ) -> Result<(Self, GatewayClient), SvcError> {
+        if let Some(expected) = config.policy {
+            let actual = session.policy();
+            if actual != expected {
+                return Err(SvcError::Qos(QosError::Config(format!(
+                    "gateway configured for policy {expected:?}, session runs {actual:?}"
+                ))));
+            }
+            // Declare the policy up front (write-ahead, like every
+            // mutation) so the journal alone pins how it must be
+            // replayed.
+            journal.append(&JournalRecord::Policy(expected))?;
+        }
         let outcome = session.snapshot();
         let initial = ScheduleView {
             batches: 0,

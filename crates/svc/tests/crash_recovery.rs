@@ -8,11 +8,13 @@ use std::io::Write;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use proptest::prelude::*;
-use wimesh::{FlowSpec, MeshQos, OrderPolicy, SessionState};
+use wimesh::{FlowSpec, GreedyKey, MeshQos, OrderPolicy, SessionState};
 use wimesh_emu::EmulationParams;
 use wimesh_sim::traffic::VoipCodec;
 use wimesh_sim::FlowId;
-use wimesh_svc::{recover, JournalWriter, JournaledSession, RecoveryError};
+use wimesh_svc::{
+    recover, recover_recorded, JournalRecord, JournalWriter, JournaledSession, RecoveryError,
+};
 use wimesh_topology::{generators, NodeId};
 
 fn mesh(n: usize) -> MeshQos {
@@ -195,6 +197,94 @@ fn policy_mismatch_with_the_snapshot_is_rejected() {
     match recover(&mesh, OrderPolicy::ExactMilp, &journal) {
         Err(RecoveryError::StateMismatch(why)) => {
             assert!(why.contains("policy"), "unhelpful mismatch message: {why}");
+        }
+        other => panic!("expected StateMismatch, got {other:?}"),
+    }
+}
+
+/// [`churn`], but with a leading `svc.policy` declaration — the journal
+/// an [`wimesh_svc::AdmissionGateway`] with [`GatewayConfig::policy`]
+/// set would produce.
+fn churn_declared(
+    mesh: &MeshQos,
+    policy: OrderPolicy,
+    snapshot_every: u64,
+) -> (String, SessionState) {
+    let buf = SharedBuf::default();
+    let mut writer = JournalWriter::from_writer(Box::new(buf.clone()));
+    writer
+        .append(&JournalRecord::Policy(policy))
+        .expect("policy declaration");
+    let mut journaled = JournaledSession::new(mesh.session(policy), writer, snapshot_every);
+    journaled
+        .admit_flows(&[voip(1, 4), voip(2, 3)])
+        .expect("first batch");
+    journaled.admit_flows(&[voip(3, 2)]).expect("second batch");
+    journaled.release_flow(FlowId(1)).expect("release");
+    let truth = journaled.session().export_state();
+    (buf.text(), truth)
+}
+
+#[test]
+fn greedy_policy_journal_recovers_bit_identical() {
+    let mesh = mesh(5);
+    let policy = OrderPolicy::GreedySequential {
+        key: GreedyKey::CliqueLoad,
+    };
+    let (journal, truth) = churn_declared(&mesh, policy, 0);
+    let recovered = recover(&mesh, policy, &journal).expect("recovers");
+    assert!(!recovered.snapshot_used, "no snapshot in this journal");
+    assert_eq!(recovered.session.export_state(), truth);
+    assert_eq!(recovered.report.makespan, truth.guaranteed_slots);
+}
+
+#[test]
+fn declared_policy_mismatch_is_rejected_even_without_a_snapshot() {
+    let mesh = mesh(5);
+    let policy = OrderPolicy::GreedySequential {
+        key: GreedyKey::CliqueLoad,
+    };
+    let (journal, _) = churn_declared(&mesh, policy, 0);
+    match recover(&mesh, OrderPolicy::ExactMilp, &journal) {
+        Err(RecoveryError::StateMismatch(why)) => {
+            assert!(why.contains("policy"), "unhelpful mismatch message: {why}");
+        }
+        other => panic!("expected StateMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn recover_recorded_reads_the_policy_from_the_journal() {
+    let mesh = mesh(5);
+    let policy = OrderPolicy::GreedySequential {
+        key: GreedyKey::Demand,
+    };
+    let (journal, truth) = churn_declared(&mesh, policy, 0);
+    let recovered = recover_recorded(&mesh, &journal).expect("recovers");
+    assert_eq!(recovered.session.export_state(), truth);
+    assert_eq!(recovered.session.policy(), policy);
+
+    // Snapshot-only journals (no svc.policy record) also work: the
+    // snapshot carries the policy.
+    let (journal, truth, _) = churn(&mesh, OrderPolicy::HopOrder, 1);
+    let recovered = recover_recorded(&mesh, &journal).expect("recovers from snapshot policy");
+    assert_eq!(recovered.session.export_state(), truth);
+}
+
+#[test]
+fn recover_recorded_without_any_recorded_policy_is_a_mismatch() {
+    let mesh = mesh(5);
+    // No svc.policy record, no snapshot.
+    let (journal, _, _) = churn(&mesh, OrderPolicy::HopOrder, 0);
+    let lines: Vec<&str> = journal.lines().collect();
+    let no_snap: String = lines
+        .iter()
+        .take_while(|l| !l.contains("svc.snap"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    match recover_recorded(&mesh, &no_snap) {
+        Err(RecoveryError::StateMismatch(why)) => {
+            assert!(why.contains("no admission policy"), "message: {why}");
         }
         other => panic!("expected StateMismatch, got {other:?}"),
     }

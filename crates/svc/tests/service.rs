@@ -243,3 +243,70 @@ fn submissions_after_shutdown_fail_typed() {
         .expect_err("closed gateway refuses work");
     assert!(matches!(err, SvcError::ShuttingDown));
 }
+
+#[test]
+fn configured_policy_is_declared_and_survives_crash_recovery() {
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let mesh = mesh(5);
+    let policy = OrderPolicy::GreedySequential {
+        key: wimesh::GreedyKey::CliqueLoad,
+    };
+    let buf = SharedBuf::default();
+    let config = GatewayConfig {
+        policy: Some(policy),
+        snapshot_every: 0,
+        ..GatewayConfig::default()
+    };
+    let (gateway, client) = AdmissionGateway::start(
+        mesh.session(policy),
+        JournalWriter::from_writer(Box::new(buf.clone())),
+        config,
+    )
+    .expect("gateway starts");
+    for spec in voip_toward_gateway(3, 4) {
+        client.admit(spec).expect("submit").wait().expect("reply");
+    }
+    let report = gateway.shutdown();
+
+    let journal = {
+        let bytes = buf.0.lock().unwrap_or_else(PoisonError::into_inner);
+        String::from_utf8(bytes.clone()).expect("journals are UTF-8")
+    };
+    assert!(
+        journal.starts_with("{\"t\":\"svc.policy\",\"policy\":\"greedy:clique\"}"),
+        "gateway declares its policy first: {journal}"
+    );
+    // The operator does not need to restate the policy to recover.
+    let recovered = wimesh_svc::recover_recorded(&mesh, &journal).expect("recovers");
+    assert_eq!(recovered.session.export_state(), report.state);
+    assert_eq!(recovered.session.policy(), policy);
+}
+
+#[test]
+fn configured_policy_mismatch_refuses_to_start() {
+    let mesh = mesh(4);
+    let config = GatewayConfig {
+        policy: Some(OrderPolicy::ExactMilp),
+        ..GatewayConfig::default()
+    };
+    let err = AdmissionGateway::start(mesh.session(OrderPolicy::HopOrder), sink_journal(), config)
+        .expect_err("policy disagreement refuses to start");
+    assert!(matches!(err, SvcError::Qos(_)), "got {err:?}");
+    assert!(err.to_string().contains("policy"));
+}

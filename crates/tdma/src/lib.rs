@@ -54,6 +54,7 @@ mod error;
 mod frame;
 mod schedule;
 
+pub mod approx;
 pub mod delay;
 pub mod milp;
 pub mod order;

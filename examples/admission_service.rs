@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_batch: 8,
         snapshot_every: 4,
         request_timeout: None,
+        policy: Some(OrderPolicy::HopOrder),
     };
     let (gateway, client) = AdmissionGateway::start(
         mesh.session(OrderPolicy::HopOrder),

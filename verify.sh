@@ -15,8 +15,14 @@ cargo test -q -p wimesh-node --test node_runtime
 cargo test -q -p wimesh --test parallel_equivalence
 # The parallel scaling benchmark end to end (quick sweep): exercises the
 # work-sharing B&B, speculative probing, the threaded runner queue and
-# the BENCH_parallel.json acceptance checks.
+# the BENCH_parallel_scaling.json acceptance checks.
 cargo run -p wimesh-bench --release --bin experiments -- parallel_scaling --quick
+# Approximation-mode admission: the soundness property suite (every
+# greedy/LP-rounded schedule certifies, exact never needs more slots on
+# the accepted set, approx_gap bounds the true gap), then the benchmark
+# end to end with its certification-per-event and acceptance gates.
+cargo test -q -p wimesh --test approx_soundness
+cargo run -p wimesh-bench --release --bin experiments -- approx_admission --quick
 # The observability stream suite (sinks, concurrent JSONL writers, trace
 # round-trips) and the end-to-end SLO audit: causal trace reconstruction,
 # flight-recorder dump, zero violated verdicts for admitted flows and the
