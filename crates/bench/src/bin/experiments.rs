@@ -215,6 +215,7 @@ fn main() -> ExitCode {
         std::thread::scope(|scope| {
             for _ in 0..ctx.threads.min(ids.len()) {
                 scope.spawn(|| loop {
+                    // check: allow(atomic-ordering-pairing, reason = "work-stealing index; the RMW is the only access and thread::scope joins before reads")
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(id) = ids.get(i) else { return };
                     if !run_one(&ctx, id, summary) {

@@ -429,6 +429,11 @@ pub fn run(ctx: &Ctx) -> Result<(), BenchError> {
 
     // Headline: serial pass establishes per-instance durations + verdicts.
     let batch = instances(ctx.quick);
+    // One discarded run absorbs process-global first-touch costs
+    // (allocator warmup, lazy statics, page-in); without it the first
+    // measured instance dwarfs the rest and the LPT model sees a batch
+    // it cannot balance, deflating the modeled speedup.
+    run_instance(&batch[0], 1)?;
     let serial_start = Instant::now();
     let mut serial_verdicts = Vec::with_capacity(batch.len());
     let mut durations = Vec::with_capacity(batch.len());

@@ -1,0 +1,111 @@
+//! `journal-precedes-mutation`: every call-graph path that reaches a raw
+//! session mutator must pass through a write-ahead journal append first.
+//!
+//! This replaces the old token-tier file-name confinement rule
+//! (`no-unjournaled-mutation`, "mutators only in `journaled.rs`") with the
+//! property the recovery proof actually needs: at every mutator call site,
+//! either an append happens earlier in the same body, or **every** caller
+//! chain that can reach the site performs an append before the call. A
+//! refactor that moves a mutator out of `journaled.rs` but keeps the
+//! append-first discipline now passes; deleting the append fires at the
+//! exact mutator line no matter which file it lives in.
+
+use crate::callgraph::{CallGraph, FnId};
+use crate::lint::{Diagnostic, Rule};
+use crate::parse::{Event, EventKind};
+
+use super::{push, AnalyzeConfig, CrateAst};
+
+pub(crate) fn check(
+    krate: &CrateAst,
+    graph: &CallGraph<'_>,
+    config: &AnalyzeConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !config.journaled.contains(&krate.name) {
+        return;
+    }
+    let append_names: Vec<&str> = config.journal_appends.iter().map(String::as_str).collect();
+    // Functions that (transitively) perform a journal append somewhere in
+    // their body: calling one of these counts as appending.
+    let appending = graph.transitive_callers_of_names(&append_names);
+
+    let is_append_event = |e: &Event| -> bool {
+        match &e.kind {
+            EventKind::Call(c) => {
+                append_names.contains(&c.name())
+                    || graph.resolve(e).iter().any(|t| appending.contains(t))
+            }
+            _ => false,
+        }
+    };
+
+    for id in graph.all_fns() {
+        let def = graph.def(id);
+        for (mi, event) in def.events.iter().enumerate() {
+            let EventKind::Call(callee) = &event.kind else {
+                continue;
+            };
+            let name = callee.name();
+            if !config.mutators.iter().any(|m| m == name) {
+                continue;
+            }
+            // Guarded directly: an append strictly earlier in this body.
+            if def.events[..mi].iter().any(is_append_event) {
+                continue;
+            }
+            // Otherwise climb the inverse call graph: every caller chain
+            // must append before the call site that leads here.
+            if let Some(entry) = unguarded_entry(graph, id, &is_append_event) {
+                let entry_desc = if entry == id {
+                    format!("`{}`", def.name)
+                } else {
+                    format!("`{}` via `{}`", graph.def(entry).name, def.name)
+                };
+                push(
+                    out,
+                    Rule::JournalPrecedesMutation,
+                    graph.file(id),
+                    event.line,
+                    format!(
+                        ".{name}() reachable from {entry_desc} without a prior journal \
+                         append; the mutation escapes crash recovery"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Walks callers of `id` breadth-first. A caller chain is guarded when an
+/// append event precedes the call site in the caller's body. Returns the
+/// first function with an unguarded path and no further callers (a crate
+/// entry point), or `None` when every path is guarded.
+fn unguarded_entry(
+    graph: &CallGraph<'_>,
+    id: FnId,
+    is_append_event: &dyn Fn(&Event) -> bool,
+) -> Option<FnId> {
+    let mut visited = std::collections::BTreeSet::new();
+    let mut queue = std::collections::VecDeque::new();
+    visited.insert(id);
+    queue.push_back(id);
+    while let Some(f) = queue.pop_front() {
+        let callers = graph.callers(f);
+        if callers.is_empty() {
+            // Unguarded all the way up to a function nothing in the crate
+            // calls: an entry point (public API, spawn closure, CLI).
+            return Some(f);
+        }
+        for (caller, ei) in callers {
+            let cdef = graph.def(*caller);
+            if cdef.events[..*ei].iter().any(is_append_event) {
+                continue; // this chain appends before calling down
+            }
+            if visited.insert(*caller) {
+                queue.push_back(*caller);
+            }
+        }
+    }
+    None
+}

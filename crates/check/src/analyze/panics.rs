@@ -1,0 +1,76 @@
+//! `no-panic-in-worker`: in the worker crates (the admission gateway
+//! service and the parallel solver pool), no `panic!`-family macro and no
+//! `.unwrap()` / `.expect()` may be reachable through the call graph from
+//! a thread entry point — a function that spawns. A panicking gateway
+//! worker silently drops its queue; a panicking solver thread poisons the
+//! shared work pool and hangs the rendezvous.
+//!
+//! The spawn closure's body is scanned as part of the spawning function,
+//! so `spawn(move || worker.run())` marks both the spawner and, through
+//! resolution of `run`, everything the worker touches. `unwrap_or_else` /
+//! `unwrap_or_default` and `assert!` (a stated invariant, not an escape
+//! hatch) are deliberately not matched.
+
+use crate::callgraph::CallGraph;
+use crate::lint::{Diagnostic, Rule};
+use crate::parse::{Callee, EventKind};
+
+use super::{push, AnalyzeConfig, CrateAst};
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "expect_err"];
+
+pub(crate) fn check(
+    krate: &CrateAst,
+    graph: &CallGraph<'_>,
+    config: &AnalyzeConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !config.worker_crates.contains(&krate.name) {
+        return;
+    }
+    // Entry points: functions that spawn a thread (scoped or std).
+    let entries: Vec<_> = graph
+        .all_fns()
+        .into_iter()
+        .filter(|&id| {
+            graph
+                .def(id)
+                .events
+                .iter()
+                .any(|e| matches!(&e.kind, EventKind::Call(c) if c.name() == "spawn"))
+        })
+        .collect();
+    if entries.is_empty() {
+        return;
+    }
+    for id in graph.reachable(&entries) {
+        let def = graph.def(id);
+        for e in &def.events {
+            let EventKind::Call(callee) = &e.kind else {
+                continue;
+            };
+            let offence = match callee {
+                Callee::Method { name, .. } if PANIC_METHODS.contains(&name.as_str()) => {
+                    format!(".{name}()")
+                }
+                Callee::Macro { name } if PANIC_MACROS.contains(&name.as_str()) => {
+                    format!("{name}!")
+                }
+                _ => continue,
+            };
+            push(
+                out,
+                Rule::NoPanicInWorker,
+                graph.file(id),
+                e.line,
+                format!(
+                    "{offence} in `{}` is reachable from a thread entry point; a \
+                     worker panic drops the queue or poisons the pool — return the \
+                     error instead",
+                    def.name
+                ),
+            );
+        }
+    }
+}

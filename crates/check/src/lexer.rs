@@ -4,9 +4,9 @@
 //! a token stream with line numbers that is immune to the classic grep
 //! failure modes: string literals, comments, raw strings, char literals and
 //! lifetimes. The lexer produces identifiers, punctuation and opaque
-//! literals, records every comment (so `// check: allow(<rule>)` directives
-//! can be collected) and never panics on malformed input — unterminated
-//! constructs simply run to end of file.
+//! literals, records every comment (so allow directives can be collected)
+//! and never panics on malformed input — unterminated constructs simply
+//! run to end of file.
 //!
 //! On top of the raw token stream, [`Lexed::test_mask`] computes which
 //! tokens belong to `#[cfg(test)]` items so rules can exempt test code
@@ -302,7 +302,15 @@ impl Lexer {
         self.pos += 1; // opening quote
         while let Some(c) = self.peek(0) {
             match c {
-                '\\' => self.pos += 2,
+                // An escape skips the next char — which may be the real
+                // newline of a `\` line continuation, and must still
+                // advance the line counter.
+                '\\' => {
+                    if self.peek(1) == Some('\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
                 '"' => {
                     self.pos += 1;
                     break;
@@ -470,6 +478,18 @@ mod tests {
         assert_eq!(lexed.comments.len(), 2);
         assert!(lexed.comments[0].text.contains("real comment"));
         assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn string_line_continuation_advances_line_count() {
+        let src = "let a = \"first \\\n second\";\nafter();";
+        let lexed = Lexed::lex(src);
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("after".into()))
+            .expect("after token");
+        assert_eq!(after.line, 3, "the continuation newline must count");
     }
 
     #[test]

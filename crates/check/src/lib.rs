@@ -3,13 +3,26 @@
 //! Two engines, one goal: the paper's *guaranteed* QoS must not rest on
 //! "the optimizer said so".
 //!
-//! * [`lint`] — a workspace lint built on a handwritten Rust lexer
-//!   ([`lexer`]) that enforces repo-specific rules generic tooling cannot
-//!   express: library code returns errors instead of unwrapping, no
-//!   wall-clock reads in deterministic model code, no printing from
-//!   library crates, `#![forbid(unsafe_code)]` on every crate root, and
-//!   public `*Error` types implementing `Display` + `std::error::Error`.
-//!   Run it with `cargo run -p wimesh-check -- lint --workspace`.
+//! * [`lint`] + [`analyze`] — a two-tier workspace static analysis built
+//!   on a handwritten Rust lexer ([`lexer`]). The **token tier**
+//!   ([`lint`]) enforces repo-specific surface rules generic tooling
+//!   cannot express: library code returns errors instead of unwrapping,
+//!   no wall-clock reads in deterministic model code, no printing from
+//!   library crates, `#![forbid(unsafe_code)]` on every crate root,
+//!   public `*Error` types implementing `Display` + `std::error::Error`,
+//!   and every `check: allow` carrying a written reason. The **semantic
+//!   tier** ([`analyze`]) parses each file into a skeleton AST
+//!   ([`parse`]), builds a cross-file call graph, and runs flow-sensitive
+//!   rules: every call-graph path to a session mutator in the gateway
+//!   passes a journal append first, `Release` stores pair with `Acquire`
+//!   loads per atomic field, mutex acquisition order is globally
+//!   consistent, no panic is reachable from a worker thread entry point,
+//!   and no hash-map iteration feeds an order-sensitive result in the
+//!   deterministic crates. Run them with
+//!   `cargo run -p wimesh-check -- lint --workspace` and
+//!   `cargo run -p wimesh-check -- analyze --workspace`; the semantic
+//!   pass gates on the committed ratchet [`baseline`]
+//!   (`crates/check/baseline.json`).
 //! * [`certify`] — a deliberately-simple re-verification of every schedule
 //!   the admission controller emits: conflict-freedom slot by slot, demand
 //!   satisfaction, per-flow delay bounds re-derived hop by hop, guard-time
@@ -23,14 +36,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod baseline;
+mod callgraph;
 pub mod certify;
 pub mod error;
 pub mod lexer;
 pub mod lint;
+pub mod parse;
 
+pub use analyze::{analyze_crate, analyze_workspace, AnalyzeConfig};
+pub use baseline::{Baseline, BaselineEntry, GateResult};
 pub use certify::{
     CertParams, Certificate, CertificateReport, CertifyError, DriftModel, FlowRequirement,
     Violation,
 };
 pub use error::CheckError;
-pub use lint::{lint_crate, lint_workspace, Diagnostic, LintConfig, LintReport, Rule};
+pub use lint::{
+    lint_crate, lint_workspace, AllowDirective, Diagnostic, LintConfig, LintReport, Rule,
+};

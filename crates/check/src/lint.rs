@@ -1,11 +1,18 @@
-//! The workspace lint engine.
+//! The token-tier workspace lint engine.
 //!
 //! Walks every crate of the workspace, lexes each `src/**/*.rs` file with
 //! the handwritten [`crate::lexer`] and enforces the repo-specific rules
 //! that generic clippy cannot express. Diagnostics carry `file:line`
-//! locations, can be suppressed with a `// check: allow(<rule>)` comment on
-//! the same or the immediately preceding line, and serialise to JSON for
-//! machine consumption (`--json`).
+//! locations, can be suppressed with a
+//! `// check: allow(<rule>, reason = "…")` comment on the same or the
+//! immediately preceding line, and serialise to JSON for machine
+//! consumption (`--json`).
+//!
+//! This module owns the *token* tier: rules decidable from the raw token
+//! stream of one file. The flow-sensitive *semantic* tier (call graphs,
+//! atomics pairing, lock order) lives in [`crate::analyze`] and shares the
+//! [`Rule`] enum, [`Diagnostic`] type and allow-directive machinery
+//! defined here.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -14,7 +21,8 @@ use std::path::{Path, PathBuf};
 use crate::error::CheckError;
 use crate::lexer::{Lexed, TokenKind};
 
-/// The lint rules, in the order they are reported.
+/// The lint rules — token tier and semantic tier — in the order they are
+/// reported.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Library code must return errors instead of calling
@@ -41,26 +49,73 @@ pub enum Rule {
     /// [`LintConfig::traced_sends`] must carry a `ctx` field: a fabric
     /// send without a trace context is invisible to the causal tracer.
     NoUntracedFabricSend,
-    /// In the journaled service crates listed in
-    /// [`LintConfig::journaled`], raw session mutators
-    /// (`.admit(` / `.admit_via(` / `.admit_batch(` / `.release(` /
-    /// `.rebalance(`) may only be called from `journaled.rs` — every
-    /// other call site must go through the journaled wrapper, or a
-    /// mutation could escape the write-ahead journal and break crash
-    /// recovery.
-    NoUnjournaledMutation,
+    /// Every allow directive must carry a `reason = "…"` clause: an
+    /// unexplained suppression is a finding in its own right.
+    AllowWithoutReason,
+    /// Semantic: every call-graph path in the journaled service crates
+    /// that reaches a raw session mutator (`.admit(` / `.admit_batch(` /
+    /// `.release(` / `.rebalance(` / `.admit_via(`) must pass through a
+    /// write-ahead journal append first — otherwise a mutation escapes
+    /// crash recovery. Replaces the old file-name confinement rule
+    /// `no-unjournaled-mutation`.
+    JournalPrecedesMutation,
+    /// Semantic: each atomic field's `Release` stores must have matching
+    /// `Acquire` loads and vice versa, and a field that is both written
+    /// and read cross-thread with only `Relaxed` orderings is flagged as
+    /// unsynchronised publication.
+    AtomicOrderingPairing,
+    /// Semantic: `Mutex` acquisition order must be globally consistent —
+    /// two locks taken in both orders somewhere in the crate are a
+    /// potential deadlock (both sites are reported), as is re-locking a
+    /// mutex already held.
+    LockOrderConsistency,
+    /// Semantic: no `panic!` / `.unwrap()` / `.expect()` may be reachable
+    /// through the call graph from a thread entry point (a function that
+    /// spawns) in the worker crates — a panicking worker kills the
+    /// gateway or poisons the solver pool.
+    NoPanicInWorker,
+    /// Semantic: no `HashMap`/`HashSet` iteration may feed an
+    /// order-sensitive computation (loop bodies, `collect` into ordered
+    /// containers) in deterministic crates — the bit-for-bit
+    /// parallel-equivalence guarantee depends on stable iteration order.
+    DeterministicIteration,
 }
 
 impl Rule {
     /// All rules in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 12] = [
         Rule::NoUnwrapInLib,
         Rule::NoWallclockInDeterministic,
         Rule::NoPrintlnInLib,
         Rule::ForbidUnsafeEverywhere,
         Rule::ErrorEnumsImplError,
         Rule::NoUntracedFabricSend,
-        Rule::NoUnjournaledMutation,
+        Rule::AllowWithoutReason,
+        Rule::JournalPrecedesMutation,
+        Rule::AtomicOrderingPairing,
+        Rule::LockOrderConsistency,
+        Rule::NoPanicInWorker,
+        Rule::DeterministicIteration,
+    ];
+
+    /// The token-tier rules run by `wimesh-check lint`.
+    pub const TOKEN: [Rule; 7] = [
+        Rule::NoUnwrapInLib,
+        Rule::NoWallclockInDeterministic,
+        Rule::NoPrintlnInLib,
+        Rule::ForbidUnsafeEverywhere,
+        Rule::ErrorEnumsImplError,
+        Rule::NoUntracedFabricSend,
+        Rule::AllowWithoutReason,
+    ];
+
+    /// The semantic-tier rules run by `wimesh-check analyze`.
+    pub const SEMANTIC: [Rule; 5] = [
+        Rule::JournalPrecedesMutation,
+        Rule::AtomicOrderingPairing,
+        Rule::LockOrderConsistency,
+        Rule::NoPanicInWorker,
+        Rule::DeterministicIteration,
     ];
 
     /// The kebab-case rule name used in diagnostics and allow directives.
@@ -72,7 +127,22 @@ impl Rule {
             Rule::ForbidUnsafeEverywhere => "forbid-unsafe-everywhere",
             Rule::ErrorEnumsImplError => "error-enums-impl-error",
             Rule::NoUntracedFabricSend => "no-untraced-fabric-send",
-            Rule::NoUnjournaledMutation => "no-unjournaled-mutation",
+            Rule::AllowWithoutReason => "allow-without-reason",
+            Rule::JournalPrecedesMutation => "journal-precedes-mutation",
+            Rule::AtomicOrderingPairing => "atomic-ordering-pairing",
+            Rule::LockOrderConsistency => "lock-order-consistency",
+            Rule::NoPanicInWorker => "no-panic-in-worker",
+            Rule::DeterministicIteration => "deterministic-iteration",
+        }
+    }
+
+    /// Which engine runs the rule: `"token"` (per-file lexing, `lint`) or
+    /// `"semantic"` (parsed skeletons + call graph, `analyze`).
+    pub fn tier(self) -> &'static str {
+        if Rule::SEMANTIC.contains(&self) {
+            "semantic"
+        } else {
+            "token"
         }
     }
 
@@ -93,8 +163,23 @@ impl Rule {
             Rule::NoUntracedFabricSend => {
                 "fabric Deliver events carry a `ctx` trace context in traced crates"
             }
-            Rule::NoUnjournaledMutation => {
-                "session mutators flow through the journaled wrapper in service crates"
+            Rule::AllowWithoutReason => {
+                "every check: allow(..) directive carries a reason = \"…\" clause"
+            }
+            Rule::JournalPrecedesMutation => {
+                "every call path to a session mutator passes a journal append first"
+            }
+            Rule::AtomicOrderingPairing => {
+                "Release stores pair with Acquire loads; no Relaxed-only publication"
+            }
+            Rule::LockOrderConsistency => {
+                "mutex acquisition order is globally consistent (no lock cycles)"
+            }
+            Rule::NoPanicInWorker => {
+                "no panic!/unwrap/expect reachable from worker thread entry points"
+            }
+            Rule::DeterministicIteration => {
+                "no HashMap/HashSet iteration feeding order-sensitive results"
             }
         }
     }
@@ -146,9 +231,6 @@ pub struct LintConfig {
     /// Crates whose `Deliver { .. }` fabric events must carry a `ctx`
     /// trace context (`no-untraced-fabric-send`).
     pub traced_sends: Vec<String>,
-    /// Crates whose raw session mutators must be confined to
-    /// `journaled.rs` (`no-unjournaled-mutation`).
-    pub journaled: Vec<String>,
     /// Also walk `vendor/*` stand-in crates (off by default: they mirror
     /// external APIs and are not held to workspace rules).
     pub include_vendor: bool,
@@ -171,9 +253,27 @@ impl Default for LintConfig {
             ],
             println_exempt: vec!["wimesh-bench".into()],
             traced_sends: vec!["wimesh-node".into()],
-            journaled: vec!["wimesh-svc".into()],
             include_vendor: false,
         }
+    }
+}
+
+/// One parsed `// check: allow(<rule>[, reason = "…"])` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The rule name being allowed.
+    pub rule: String,
+    /// Whether the directive carried a non-empty `reason = "…"` clause.
+    pub has_reason: bool,
+}
+
+impl AllowDirective {
+    /// True when this directive suppresses a `rule_name` finding at
+    /// `line` (same line or the line directly below the comment).
+    pub fn suppresses(&self, rule_name: &str, line: u32) -> bool {
+        self.rule == rule_name && (self.line == line || self.line + 1 == line)
     }
 }
 
@@ -182,7 +282,7 @@ impl Default for LintConfig {
 pub struct LintReport {
     /// Diagnostics that survived allow-directive filtering.
     pub diagnostics: Vec<Diagnostic>,
-    /// Number of diagnostics suppressed by `// check: allow(..)`.
+    /// Number of diagnostics suppressed by allow directives.
     pub suppressed: usize,
     /// Crates walked.
     pub crates_scanned: usize,
@@ -265,8 +365,8 @@ struct SourceFile {
     kind: FileKind,
     lexed: Lexed,
     mask: Vec<bool>,
-    /// `(line, rule-name)` allow directives found in comments.
-    allows: Vec<(u32, String)>,
+    /// Allow directives found in comments.
+    allows: Vec<AllowDirective>,
 }
 
 struct CrateSource {
@@ -319,18 +419,18 @@ pub fn lint_crate(dir: &Path, config: &LintConfig) -> Result<LintReport, CheckEr
     Ok(report)
 }
 
-/// A diagnostic is suppressed when an `// check: allow(<rule>)` comment
-/// sits on the same line or the line directly above it, in the same file.
+/// A diagnostic is suppressed when an allow directive for its rule sits
+/// on the same line or the line directly above it, in the same file.
 fn is_allowed(krate: &CrateSource, diag: &Diagnostic) -> bool {
     krate.files.iter().any(|f| {
         f.path == diag.path
-            && f.allows.iter().any(|(line, rule)| {
-                rule == diag.rule.name() && (*line == diag.line || *line + 1 == diag.line)
-            })
+            && f.allows
+                .iter()
+                .any(|a| a.suppresses(diag.rule.name(), diag.line))
     })
 }
 
-fn crate_dirs(parent: &Path) -> Result<Vec<PathBuf>, CheckError> {
+pub(crate) fn crate_dirs(parent: &Path) -> Result<Vec<PathBuf>, CheckError> {
     if !parent.exists() {
         return Ok(Vec::new());
     }
@@ -383,14 +483,14 @@ fn load_crate(dir: &Path) -> Result<CrateSource, CheckError> {
     Ok(CrateSource { name, files })
 }
 
-fn read_file(path: &Path) -> Result<String, CheckError> {
+pub(crate) fn read_file(path: &Path) -> Result<String, CheckError> {
     std::fs::read_to_string(path).map_err(|source| CheckError::Io {
         path: path.to_path_buf(),
         source,
     })
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), CheckError> {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), CheckError> {
     let entries = std::fs::read_dir(dir).map_err(|source| CheckError::Io {
         path: dir.to_path_buf(),
         source,
@@ -423,7 +523,7 @@ fn classify(src: &Path, path: &Path) -> FileKind {
 /// Extracts the `[package] name` from a manifest without a TOML parser:
 /// tracks section headers and takes the first `name = "..."` inside
 /// `[package]`.
-fn package_name(toml: &str) -> Option<String> {
+pub(crate) fn package_name(toml: &str) -> Option<String> {
     let mut in_package = false;
     for line in toml.lines() {
         let line = line.trim();
@@ -445,8 +545,11 @@ fn package_name(toml: &str) -> Option<String> {
     None
 }
 
-/// Parses `check: allow(<rule>)` directives out of comments.
-fn allow_directives(lexed: &Lexed) -> Vec<(u32, String)> {
+/// Parses `check: allow(<rule>[, reason = "…"])` directives out of
+/// comments. The rule name runs to the first `,` or `)`; the directive
+/// `has_reason` only when a `reason = "…"` clause with a non-empty quoted
+/// string follows.
+pub(crate) fn allow_directives(lexed: &Lexed) -> Vec<AllowDirective> {
     let mut out = Vec::new();
     for comment in &lexed.comments {
         let Some(idx) = comment.text.find("check:") else {
@@ -456,10 +559,29 @@ fn allow_directives(lexed: &Lexed) -> Vec<(u32, String)> {
         let Some(rest) = rest.strip_prefix("allow(") else {
             continue;
         };
-        let Some(end) = rest.find(')') else {
+        let name_end = rest.find([',', ')']);
+        let Some(name_end) = name_end else {
             continue;
         };
-        out.push((comment.line, rest[..end].trim().to_string()));
+        let rule = rest[..name_end].trim().to_string();
+        let mut has_reason = false;
+        if rest.as_bytes()[name_end] == b',' {
+            let clause = rest[name_end + 1..].trim_start();
+            if let Some(clause) = clause.strip_prefix("reason") {
+                let clause = clause.trim_start();
+                if let Some(clause) = clause.strip_prefix('=') {
+                    let clause = clause.trim_start();
+                    if let Some(quoted) = clause.strip_prefix('"') {
+                        has_reason = quoted.find('"').is_some_and(|q| q > 0);
+                    }
+                }
+            }
+        }
+        out.push(AllowDirective {
+            line: comment.line,
+            rule,
+            has_reason,
+        });
     }
     out
 }
@@ -469,7 +591,6 @@ fn run_rules(krate: &CrateSource, config: &LintConfig, out: &mut Vec<Diagnostic>
     let deterministic = config.deterministic.contains(&krate.name);
     let println_exempt = config.println_exempt.contains(&krate.name);
     let traced = config.traced_sends.contains(&krate.name);
-    let journaled = config.journaled.contains(&krate.name);
     for file in &krate.files {
         if adopted && file.kind.is_lib() {
             rule_no_unwrap(file, out);
@@ -486,11 +607,27 @@ fn run_rules(krate: &CrateSource, config: &LintConfig, out: &mut Vec<Diagnostic>
         if traced {
             rule_no_untraced_fabric_send(file, out);
         }
-        if journaled && file.kind.is_lib() {
-            rule_no_unjournaled_mutation(file, out);
-        }
+        rule_allow_without_reason(file, out);
     }
     rule_error_enums(krate, out);
+}
+
+/// A bare allow directive with no `reason = "…"` clause is itself a
+/// finding: suppressions must be justified in place.
+fn rule_allow_without_reason(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for allow in &file.allows {
+        if !allow.has_reason {
+            out.push(Diagnostic {
+                rule: Rule::AllowWithoutReason,
+                path: file.path.clone(),
+                line: allow.line,
+                message: format!(
+                    "allow({}) without a reason; write check: allow({}, reason = \"…\")",
+                    allow.rule, allow.rule
+                ),
+            });
+        }
+    }
 }
 
 fn ident_at(file: &SourceFile, i: usize) -> Option<&str> {
@@ -665,44 +802,6 @@ fn rule_no_untraced_fabric_send(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
-fn rule_no_unjournaled_mutation(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    // The one sanctioned call site: the journaled wrapper itself lives
-    // in `journaled.rs` and appends the write-ahead record before each
-    // of these calls.
-    if file
-        .path
-        .file_name()
-        .is_some_and(|name| name == "journaled.rs")
-    {
-        return;
-    }
-    for (i, token) in file.lexed.tokens.iter().enumerate() {
-        if file.mask[i] {
-            continue;
-        }
-        let TokenKind::Ident(name) = &token.kind else {
-            continue;
-        };
-        if !matches!(
-            name.as_str(),
-            "admit" | "admit_via" | "admit_batch" | "release" | "rebalance"
-        ) {
-            continue;
-        }
-        if i > 0 && punct_at(file, i - 1, '.') && punct_at(file, i + 1, '(') {
-            out.push(Diagnostic {
-                rule: Rule::NoUnjournaledMutation,
-                path: file.path.clone(),
-                line: token.line,
-                message: format!(
-                    ".{name}() outside journaled.rs; session mutations must flow through \
-                     the journaled wrapper or they escape crash recovery"
-                ),
-            });
-        }
-    }
-}
-
 fn rule_error_enums(krate: &CrateSource, out: &mut Vec<Diagnostic>) {
     // Public `*Error` definitions in library code.
     let mut defs: Vec<(&SourceFile, u32, String)> = Vec::new();
@@ -796,7 +895,39 @@ mod tests {
             "// check: allow(no-unwrap-in-lib) invariant: always present\nlet x = 1;\n// plain comment\n",
         );
         let allows = allow_directives(&lexed);
-        assert_eq!(allows, vec![(1, "no-unwrap-in-lib".to_string())]);
+        assert_eq!(
+            allows,
+            vec![AllowDirective {
+                line: 1,
+                rule: "no-unwrap-in-lib".to_string(),
+                has_reason: false,
+            }]
+        );
+    }
+
+    #[test]
+    fn allow_directive_with_reason() {
+        let lexed = Lexed::lex(
+            "// check: allow(no-unwrap-in-lib, reason = \"slice is never empty\")\n\
+             // check: allow(no-println-in-lib, reason = \"\")\n\
+             // check: allow(deterministic-iteration, reason=\"order-free fold\")\n",
+        );
+        let allows = allow_directives(&lexed);
+        assert_eq!(allows.len(), 3);
+        assert!(allows[0].has_reason);
+        assert_eq!(allows[0].rule, "no-unwrap-in-lib");
+        assert!(!allows[1].has_reason, "empty reason counts as missing");
+        assert!(allows[2].has_reason, "spaces around = are optional");
+    }
+
+    #[test]
+    fn rule_tiers_partition_all() {
+        for rule in Rule::ALL {
+            let token = Rule::TOKEN.contains(&rule);
+            let semantic = Rule::SEMANTIC.contains(&rule);
+            assert!(token ^ semantic, "{} must be in exactly one tier", rule);
+            assert_eq!(rule.tier(), if token { "token" } else { "semantic" });
+        }
     }
 
     #[test]

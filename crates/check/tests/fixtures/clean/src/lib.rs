@@ -28,13 +28,13 @@ pub fn first(xs: &[u32]) -> Result<u32, CleanError> {
 
 /// A justified, annotated unwrap: suppressed, not reported.
 pub fn annotated(xs: &[u32]) -> u32 {
-    // check: allow(no-unwrap-in-lib) fixture: slice is never empty here
+    // check: allow(no-unwrap-in-lib, reason = "fixture: slice is never empty here")
     xs.first().copied().unwrap()
 }
 
 /// Same-line directive form.
 pub fn same_line(x: Option<u32>) -> u32 {
-    x.unwrap() // check: allow(no-unwrap-in-lib) fixture: caller checked
+    x.unwrap() // check: allow(no-unwrap-in-lib, reason = "fixture: caller checked")
 }
 
 /// A traced fabric event: definition and constructions carry `ctx`.

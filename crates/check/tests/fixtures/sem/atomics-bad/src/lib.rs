@@ -1,0 +1,37 @@
+//! Violates atomic-ordering-pairing: a Relaxed publish/read pair (the
+//! "flip Release to Relaxed" mutation of the EpochCell pattern) and a
+//! Release store read back with a Relaxed load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The epoch counter with its Release flipped to Relaxed.
+pub struct EpochCell {
+    epoch: AtomicU64,
+}
+
+impl EpochCell {
+    /// Publish with Relaxed → finding at the RMW (line 16).
+    pub fn publish(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Read with Relaxed: same field, counted once at the store site.
+    pub fn read(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+}
+
+/// Mixed discipline: the store publishes with Release, but the load
+/// side dropped its Acquire → finding at the Relaxed load (line 31).
+pub struct ReadyFlag {
+    ready: AtomicU64,
+}
+
+impl ReadyFlag {
+    pub fn set(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+    pub fn peek(&self) -> u64 {
+        self.ready.load(Ordering::Relaxed)
+    }
+}

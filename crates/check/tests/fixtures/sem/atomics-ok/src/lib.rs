@@ -1,0 +1,45 @@
+//! Passes atomic-ordering-pairing: a correctly paired Release/Acquire
+//! epoch, one-sided Relaxed counters (no publication), and a reasoned
+//! allow on a deliberate Relaxed pair.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The paired epoch counter: Release RMW publishes, Acquire load reads.
+pub struct EpochCell {
+    epoch: AtomicU64,
+}
+
+impl EpochCell {
+    pub fn publish(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Release)
+    }
+    pub fn read(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+/// A store-only Relaxed counter: nobody loads it, not a publication.
+pub struct WriteOnly {
+    dropped: AtomicU64,
+}
+
+impl WriteOnly {
+    pub fn bump(&self) {
+        self.dropped.store(1, Ordering::Relaxed);
+    }
+}
+
+/// A deliberate Relaxed pair under a reasoned allow.
+pub struct Stats {
+    hits: AtomicU64,
+}
+
+impl Stats {
+    pub fn record(&self) {
+        // check: allow(atomic-ordering-pairing, reason = "fixture: stats counter tolerates stale reads")
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn snapshot(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}

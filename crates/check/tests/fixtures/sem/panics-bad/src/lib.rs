@@ -1,0 +1,34 @@
+//! Violates no-panic-in-worker: an unwrap and a panic! reachable through
+//! the call graph from thread entry points (the "add an unwrap in the
+//! worker" mutation).
+
+pub struct Worker;
+
+impl Worker {
+    /// Reached from `start`'s spawn → finding at the unwrap.
+    pub fn run(&self, job: Option<u32>) -> u32 {
+        job.unwrap()
+    }
+}
+
+/// Spawns the gateway worker.
+pub fn start(w: &'static Worker) {
+    std::thread::spawn(move || {
+        let _ = w.run(Some(1));
+    });
+}
+
+/// Reached from `spawn_solver` → finding at the panic! macro.
+fn solver_step(x: u32) -> u32 {
+    if x > 10 {
+        panic!("infeasible branch")
+    }
+    x
+}
+
+/// Spawns the solver thread.
+pub fn spawn_solver() {
+    std::thread::spawn(|| {
+        let _ = solver_step(1);
+    });
+}

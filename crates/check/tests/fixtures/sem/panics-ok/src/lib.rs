@@ -1,0 +1,37 @@
+//! Passes no-panic-in-worker: workers return errors, an unwrap exists
+//! only outside the spawn-reachable region, and one reachable unwrap is
+//! justified with a reasoned allow.
+
+pub struct Worker;
+
+impl Worker {
+    /// The worker propagates instead of panicking.
+    pub fn run(&self, job: Option<u32>) -> Result<u32, String> {
+        job.ok_or_else(|| "empty job".to_string())
+    }
+}
+
+/// Spawns the gateway worker.
+pub fn start(w: &'static Worker) {
+    std::thread::spawn(move || {
+        let _ = w.run(Some(1));
+    });
+}
+
+/// Never called from any spawn-reachable function: unwrap is fine here.
+pub fn cli_helper(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Reachable from `start_checked`, but justified in place.
+fn checked_step(x: Option<u32>) -> u32 {
+    // check: allow(no-panic-in-worker, reason = "fixture: x is Some by construction at every call site")
+    x.unwrap()
+}
+
+/// Spawns a worker whose one unwrap carries a reasoned allow.
+pub fn start_checked() {
+    std::thread::spawn(|| {
+        let _ = checked_step(Some(1));
+    });
+}

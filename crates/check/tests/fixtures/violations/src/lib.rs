@@ -71,16 +71,16 @@ mod tests {
     }
 }
 
-/// Raw session mutators outside journaled.rs →
-/// no-unjournaled-mutation (two findings, at the calls below).
-pub fn unjournaled_mutations(session: &mut Deliver) -> u32 {
-    session.admit(1);
-    session.release(2)
+/// A bare allow directive with no reason clause → allow-without-reason
+/// (one finding, at the directive's own line). It still suppresses the
+/// unwrap it covers.
+pub fn bare_allow(x: Option<u32>) -> u32 {
+    // check: allow(no-unwrap-in-lib)
+    x.unwrap()
 }
 
-/// Wrapper-method names and free-function calls must NOT trip the
-/// rule; neither may mutator calls inside #[cfg(test)] code above.
-pub fn journaled_decoys(session: &mut Deliver) -> u32 {
-    let admit = session.admit_flows(3);
-    admit(4) + rebalance(5)
+/// A reasoned directive is not a finding — and still suppresses.
+pub fn reasoned_allow(x: Option<u32>) -> u32 {
+    // check: allow(no-unwrap-in-lib, reason = "fixture: reasoned suppressions are not findings")
+    x.unwrap()
 }

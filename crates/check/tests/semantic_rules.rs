@@ -1,0 +1,194 @@
+//! Self-tests for the semantic analysis pass: each of the five rules
+//! fires at exact `file:line` locations on its deliberately-broken
+//! fixture crate, stays silent on the matching clean fixture (reasoned
+//! allows included), and the real workspace analyzes clean against the
+//! committed ratchet baseline.
+
+use std::path::{Path, PathBuf};
+
+use wimesh_check::{analyze_crate, analyze_workspace, AnalyzeConfig, Baseline, Diagnostic, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/sem")
+        .join(name)
+}
+
+/// Config that opts the semantic fixtures into their rules.
+fn fixture_config() -> AnalyzeConfig {
+    AnalyzeConfig {
+        journaled: vec!["sem-journal-bad".into(), "sem-journal-ok".into()],
+        worker_crates: vec!["sem-panics-bad".into(), "sem-panics-ok".into()],
+        deterministic_order: vec!["sem-determinism-bad".into(), "sem-determinism-ok".into()],
+        ..AnalyzeConfig::default()
+    }
+}
+
+fn lines_for(diags: &[Diagnostic], rule: Rule) -> Vec<u32> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn journal_rule_fires_on_every_unguarded_path() {
+    let report = analyze_crate(&fixture("journal-bad"), &fixture_config()).unwrap();
+    let d = &report.diagnostics;
+    // Direct mutation in an entry (26), raw mutation in a helper whose
+    // caller never appends (32), and an append AFTER the mutation (43).
+    assert_eq!(
+        lines_for(d, Rule::JournalPrecedesMutation),
+        vec![26, 32, 43],
+        "unexpected journal findings: {d:#?}"
+    );
+    assert_eq!(d.len(), 3);
+}
+
+#[test]
+fn journal_rule_accepts_direct_caller_and_allowed_guards() {
+    let report = analyze_crate(&fixture("journal-ok"), &fixture_config()).unwrap();
+    assert!(
+        report.is_clean(),
+        "journal-ok flagged: {:#?}",
+        report.diagnostics
+    );
+    // The replay path's reasoned allow.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn atomics_rule_fires_on_relaxed_publication_and_broken_pairs() {
+    let report = analyze_crate(&fixture("atomics-bad"), &fixture_config()).unwrap();
+    let d = &report.diagnostics;
+    // Relaxed publish/read of `epoch` (once, at the RMW store, 15); the
+    // Release store of `ready` with no Acquire load anywhere (32); the
+    // Relaxed load of Release-published `ready` (35).
+    assert_eq!(
+        lines_for(d, Rule::AtomicOrderingPairing),
+        vec![15, 32, 35],
+        "unexpected atomics findings: {d:#?}"
+    );
+    assert_eq!(d.len(), 3);
+}
+
+#[test]
+fn atomics_rule_accepts_paired_one_sided_and_allowed_fields() {
+    let report = analyze_crate(&fixture("atomics-ok"), &fixture_config()).unwrap();
+    assert!(
+        report.is_clean(),
+        "atomics-ok flagged: {:#?}",
+        report.diagnostics
+    );
+    // The deliberate Relaxed stats pair under its reasoned allow.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn lock_rule_reports_both_sides_of_a_cycle_and_self_deadlock() {
+    let report = analyze_crate(&fixture("locks-bad"), &fixture_config()).unwrap();
+    let d = &report.diagnostics;
+    // The queue→stats witness (15), the reversed stats→queue witness
+    // (24) and the stats re-entry (32).
+    assert_eq!(
+        lines_for(d, Rule::LockOrderConsistency),
+        vec![15, 24, 32],
+        "unexpected lock findings: {d:#?}"
+    );
+    assert_eq!(d.len(), 3);
+    // Each cycle witness names the opposite site so both ends surface.
+    let cycle: Vec<&Diagnostic> = d.iter().filter(|d| d.line != 32).collect();
+    assert!(cycle.iter().all(|d| d.message.contains("reverse order at")));
+}
+
+#[test]
+fn lock_rule_accepts_consistent_order_and_scoped_guards() {
+    let report = analyze_crate(&fixture("locks-ok"), &fixture_config()).unwrap();
+    assert!(
+        report.is_clean(),
+        "locks-ok flagged: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn panic_rule_fires_only_inside_the_spawn_reachable_region() {
+    let report = analyze_crate(&fixture("panics-bad"), &fixture_config()).unwrap();
+    let d = &report.diagnostics;
+    // The worker's unwrap (10) and the solver's panic! (24).
+    assert_eq!(
+        lines_for(d, Rule::NoPanicInWorker),
+        vec![10, 24],
+        "unexpected panic findings: {d:#?}"
+    );
+    assert_eq!(d.len(), 2);
+}
+
+#[test]
+fn panic_rule_accepts_error_returns_unreachable_unwraps_and_allows() {
+    let report = analyze_crate(&fixture("panics-ok"), &fixture_config()).unwrap();
+    assert!(
+        report.is_clean(),
+        "panics-ok flagged: {:#?}",
+        report.diagnostics
+    );
+    // `checked_step`'s reasoned allow; `cli_helper`'s unwrap needs none
+    // because no spawn reaches it.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn determinism_rule_fires_on_hash_iteration_feeding_order() {
+    let report = analyze_crate(&fixture("determinism-bad"), &fixture_config()).unwrap();
+    let d = &report.diagnostics;
+    // The branching for-loop (10), the `.keys()` chain collected in hash
+    // order (18) and the serializing for-loop (24).
+    assert_eq!(
+        lines_for(d, Rule::DeterministicIteration),
+        vec![10, 18, 24],
+        "unexpected determinism findings: {d:#?}"
+    );
+    assert_eq!(d.len(), 3);
+}
+
+#[test]
+fn determinism_rule_accepts_btree_reductions_lookups_and_allows() {
+    let report = analyze_crate(&fixture("determinism-ok"), &fixture_config()).unwrap();
+    assert!(
+        report.is_clean(),
+        "determinism-ok flagged: {:#?}",
+        report.diagnostics
+    );
+    // The debug dump's reasoned allow.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn production_config_holds_over_the_real_workspace() {
+    // The acceptance gate: the shipped tree analyzes clean against the
+    // committed ratchet baseline — same invocation verify.sh runs via
+    // the CLI.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let report = analyze_workspace(root, &AnalyzeConfig::default()).unwrap();
+    let baseline = Baseline::load(&root.join("crates/check/baseline.json")).unwrap();
+    let gate = baseline.gate(&report, root);
+    assert!(
+        gate.fresh.is_empty(),
+        "workspace analysis regressed:\n{}",
+        gate.fresh
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        gate.stale.is_empty(),
+        "stale baseline entries should be removed: {:#?}",
+        gate.stale
+    );
+    assert!(report.crates_scanned >= 13);
+}

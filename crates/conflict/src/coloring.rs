@@ -78,7 +78,7 @@ pub fn greedy_coloring(graph: &ConflictGraph) -> Coloring {
         let c = used
             .iter()
             .position(|&taken| !taken)
-            // check: allow(no-unwrap-in-lib) pigeonhole: degree(v)+1 candidates, at most degree(v) taken
+            // check: allow(no-unwrap-in-lib, reason = "pigeonhole: degree(v)+1 candidates, at most degree(v) taken")
             .expect("degree+1 colors always suffice");
         colors[v] = c;
         color_count = color_count.max(c + 1);

@@ -158,7 +158,7 @@ impl CsrPool {
         let s = self.spans[j];
         let pos = self.pool[s.start..s.start + s.len]
             .binary_search(&v)
-            // check: allow(no-unwrap-in-lib) adjacency is symmetric: v is in j's span iff j is in v's
+            // check: allow(no-unwrap-in-lib, reason = "adjacency is symmetric: v is in j's span iff j is in v's")
             .expect("symmetric edge");
         for k in pos..s.len - 1 {
             self.pool[s.start + k] = self.pool[s.start + k + 1];
@@ -174,7 +174,7 @@ impl CsrPool {
         let s = self.spans[j];
         let pos = self.pool[s.start..s.start + s.len]
             .binary_search(&new)
-            // check: allow(no-unwrap-in-lib) the graph is irreflexive, so `new` cannot already be adjacent
+            // check: allow(no-unwrap-in-lib, reason = "the graph is irreflexive, so `new` cannot already be adjacent")
             .expect_err("irreflexive");
         for k in (pos..s.len).rev() {
             self.pool[s.start + k + 1] = self.pool[s.start + k];
@@ -282,10 +282,10 @@ impl ConflictGraph {
         let n = links.len();
         let mut edges = Vec::new();
         for i in 0..n {
-            // check: allow(no-unwrap-in-lib) every id was checked against the topology at entry
+            // check: allow(no-unwrap-in-lib, reason = "every id was checked against the topology at entry")
             let li = *topo.link(links[i]).expect("validated above");
             for (j, &link_j) in links.iter().enumerate().skip(i + 1) {
-                // check: allow(no-unwrap-in-lib) every id was checked against the topology at entry
+                // check: allow(no-unwrap-in-lib, reason = "every id was checked against the topology at entry")
                 let lj = *topo.link(link_j).expect("validated above");
                 if conflicts(topo, &li, &lj, model, hop_dist.as_deref()) {
                     edges.push((i, j));
@@ -403,7 +403,7 @@ impl ConflictGraph {
         if self.index.contains_key(&link) {
             return false;
         }
-        // check: allow(no-unwrap-in-lib) documented panic contract: callers pass links of `topo`
+        // check: allow(no-unwrap-in-lib, reason = "documented panic contract: callers pass links of `topo`")
         let new = *topo.link(link).expect("link not in topology");
         // For the protocol model the conflict test needs
         // `hop_distance(a.tx, b.rx)` both ways; BFS from the new link's
@@ -418,7 +418,7 @@ impl ConflictGraph {
         let i = self.links.len();
         let mut nbrs = Vec::new();
         for (j, &lj) in self.links.iter().enumerate() {
-            // check: allow(no-unwrap-in-lib) vertices were validated when inserted; topologies never drop links
+            // check: allow(no-unwrap-in-lib, reason = "vertices were validated when inserted; topologies never drop links")
             let other = *topo.link(lj).expect("existing vertices stay valid");
             let conflict = if new.shares_endpoint(&other) {
                 true
@@ -426,13 +426,13 @@ impl ConflictGraph {
                 match model {
                     InterferenceModel::PrimaryOnly => false,
                     InterferenceModel::Protocol { hops } => {
-                        // check: allow(no-unwrap-in-lib) dist is Some exactly when the model is Protocol
+                        // check: allow(no-unwrap-in-lib, reason = "dist is Some exactly when the model is Protocol")
                         let (from_tx, from_rx) = dist.as_ref().expect("computed above");
                         from_tx[other.rx.index()] <= hops || from_rx[other.tx.index()] <= hops
                     }
                     InterferenceModel::Distance { range_m } => {
                         let node =
-                            // check: allow(no-unwrap-in-lib) link endpoints are nodes of the same topology
+                            // check: allow(no-unwrap-in-lib, reason = "link endpoints are nodes of the same topology")
                             |id: NodeId| *topo.node(id).expect("links reference valid nodes");
                         node(new.tx).distance_to(&node(other.rx)) <= range_m
                             || node(other.tx).distance_to(&node(new.rx)) <= range_m
@@ -521,13 +521,13 @@ fn conflicts(
     match model {
         InterferenceModel::PrimaryOnly => false,
         InterferenceModel::Protocol { hops } => {
-            // check: allow(no-unwrap-in-lib) hop_dist is Some exactly when the model is Protocol
+            // check: allow(no-unwrap-in-lib, reason = "hop_dist is Some exactly when the model is Protocol")
             let dist = hop_dist.expect("precomputed for protocol model");
             let d = |t: NodeId, r: NodeId| dist[t.index()][r.index()];
             d(a.tx, b.rx) <= hops || d(b.tx, a.rx) <= hops
         }
         InterferenceModel::Distance { range_m } => {
-            // check: allow(no-unwrap-in-lib) link endpoints are nodes of the same topology
+            // check: allow(no-unwrap-in-lib, reason = "link endpoints are nodes of the same topology")
             let node = |id: NodeId| *topo.node(id).expect("links reference valid nodes");
             node(a.tx).distance_to(&node(b.rx)) <= range_m
                 || node(b.tx).distance_to(&node(a.rx)) <= range_m

@@ -524,9 +524,9 @@ pub(crate) fn finalize_admitted(
     let mut admitted = Vec::with_capacity(accepted.len());
     for a in accepted {
         let pipeline =
-            // check: allow(no-unwrap-in-lib) the solver scheduled every accepted demand or it would have errored
+            // check: allow(no-unwrap-in-lib, reason = "the solver scheduled every accepted demand or it would have errored")
             delay::path_delay_slots(schedule, &a.path).expect("admitted paths are fully scheduled");
-        // check: allow(no-unwrap-in-lib) same invariant: accepted paths are fully scheduled
+        // check: allow(no-unwrap-in-lib, reason = "same invariant: accepted paths are fully scheduled")
         let wraps = delay::frame_wraps(schedule, &a.path).expect("scheduled");
         let worst_case_delay =
             mesh_frame.frame_duration() + frame.slots_to_duration(pipeline) + ctrl * wraps as u32;

@@ -155,9 +155,9 @@ impl MeshQos {
         let mut link_payloads = vec![model.slot_payload_bytes(); topo.link_count()];
         if let RatePolicy::DistanceAdaptive(table) = &rates {
             for link in topo.links() {
-                // check: allow(no-unwrap-in-lib) MeshTopology guarantees link endpoints are its own nodes
+                // check: allow(no-unwrap-in-lib, reason = "MeshTopology guarantees link endpoints are its own nodes")
                 let a = topo.node(link.tx).expect("links reference valid nodes");
-                // check: allow(no-unwrap-in-lib) MeshTopology guarantees link endpoints are its own nodes
+                // check: allow(no-unwrap-in-lib, reason = "MeshTopology guarantees link endpoints are its own nodes")
                 let b = topo.node(link.rx).expect("links reference valid nodes");
                 let d = a.distance_to(b);
                 let rate = table
@@ -340,7 +340,7 @@ impl MeshQos {
                 source: make_source(&a.spec),
             })
             .collect();
-        let payloads: std::collections::HashMap<_, _> = outcome
+        let payloads: std::collections::BTreeMap<_, _> = outcome
             .schedule
             .links()
             .map(|l| (l, self.link_payloads[l.index()]))

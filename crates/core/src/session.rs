@@ -416,7 +416,7 @@ impl QosSession {
                     .outcome
                     .admitted
                     .last()
-                    // check: allow(no-unwrap-in-lib) the candidate was pushed above, so admitted is non-empty
+                    // check: allow(no-unwrap-in-lib, reason = "the candidate was pushed above, so admitted is non-empty")
                     .expect("candidate was just accepted")
                     .clone();
                 Ok(FlowAdmission::Admitted(admitted))
@@ -592,7 +592,7 @@ impl QosSession {
 
         Ok(verdicts
             .into_iter()
-            // check: allow(no-unwrap-in-lib) every index was filled above: vet rejection, coalesced admit, or per-flow fallback
+            // check: allow(no-unwrap-in-lib, reason = "every index was filled above: vet rejection, coalesced admit, or per-flow fallback")
             .map(|v| v.expect("every spec received a verdict"))
             .collect())
     }
@@ -994,7 +994,7 @@ impl QosSession {
 
 fn empty_outcome(model: &EmulationModel) -> AdmissionOutcome {
     let schedule = Schedule::from_ranges(model.frame(), Default::default())
-        // check: allow(no-unwrap-in-lib) no ranges to overflow: an empty schedule fits any frame
+        // check: allow(no-unwrap-in-lib, reason = "no ranges to overflow: an empty schedule fits any frame")
         .expect("an empty schedule fits any frame");
     AdmissionOutcome {
         admitted: Vec::new(),
@@ -1337,7 +1337,7 @@ fn speculative_search(
         let (prev_lo, prev_hi) = (lo, hi);
         let mut fatal: Option<ScheduleError> = None;
         for (k, outcome) in outcomes.into_iter().enumerate() {
-            // check: allow(no-unwrap-in-lib) the scoped threads above fill every probe slot before joining
+            // check: allow(no-unwrap-in-lib, reason = "the scoped threads above fill every probe slot before joining")
             let res = outcome.expect("every probe reports exactly once");
             let q = points[k];
             stats.oracle_calls += 1;

@@ -158,7 +158,10 @@ impl TdmaSimulation {
     /// # Panics
     ///
     /// Panics if a payload is zero.
-    pub fn with_link_payloads(mut self, payloads: &std::collections::HashMap<LinkId, u32>) -> Self {
+    pub fn with_link_payloads(
+        mut self,
+        payloads: &std::collections::BTreeMap<LinkId, u32>,
+    ) -> Self {
         for (&link, &p) in payloads {
             assert!(p > 0, "payload must be positive");
             if let Some(&i) = self.link_index.get(&link) {
@@ -197,7 +200,7 @@ impl TdmaSimulation {
     /// Runs the simulation for `duration` of virtual time.
     pub fn run<R: Rng>(&mut self, duration: Duration, rng: &mut R) {
         let _span = wimesh_obs::span!("emu.tdma.run");
-        // check: allow(no-wallclock-in-deterministic) host wall-time feeds the sim.virtual_per_wall obs gauge only; no simulated state depends on it
+        // check: allow(no-wallclock-in-deterministic, reason = "host wall-time feeds the sim.virtual_per_wall obs gauge only; no simulated state depends on it")
         let wall_start = std::time::Instant::now();
         let missed_before = self.missed_slots;
         let mut q: EventQueue<Event> = EventQueue::new();

@@ -38,6 +38,7 @@ impl CancelToken {
 
     /// Raises the stop flag. Idempotent; visible to all clones.
     pub fn cancel(&self) {
+        // check: allow(atomic-ordering-pairing, reason = "cancellation flag publishes no data; a stale false only delays the stop by one poll")
         self.flag.store(true, Ordering::Relaxed);
     }
 

@@ -190,15 +190,15 @@ fn earliest_starts(
         // Walk predecessors n times to land on the cycle, then collect it.
         let mut v = start;
         for _ in 0..n {
-            // check: allow(no-unwrap-in-lib) a vertex relaxed in round n has a predecessor by construction
+            // check: allow(no-unwrap-in-lib, reason = "a vertex relaxed in round n has a predecessor by construction")
             v = pred[v].expect("relaxed vertices have predecessors");
         }
         let mut cycle = vec![v];
-        // check: allow(no-unwrap-in-lib) v was reached by a predecessor walk, so pred[v] is set
+        // check: allow(no-unwrap-in-lib, reason = "v was reached by a predecessor walk, so pred[v] is set")
         let mut cur = pred[v].expect("on cycle");
         while cur != v {
             cycle.push(cur);
-            // check: allow(no-unwrap-in-lib) every vertex of the positive cycle has a predecessor on it
+            // check: allow(no-unwrap-in-lib, reason = "every vertex of the positive cycle has a predecessor on it")
             cur = pred[cur].expect("on cycle");
         }
         cycle.reverse();

@@ -40,14 +40,28 @@ cargo run -p wimesh-bench --release --bin experiments -- service_churn --quick
 # The serde feature must keep round-tripping the persistable types the
 # journal depends on (SessionState, FlowSpec, schedules, stats).
 cargo test -q -p wimesh --features serde --test serde_feature
-# Workspace lint: the repo-specific rules (no unwrap in adopted library
-# crates, no wall-clock in deterministic code, forbid(unsafe_code) roots,
-# error enums implementing Error, no stray printing) must hold.
+# Workspace lint (token tier): the repo-specific rules (no unwrap in
+# adopted library crates, no wall-clock in deterministic code,
+# forbid(unsafe_code) roots, error enums implementing Error, no stray
+# printing, reasoned allow directives) must hold.
 cargo run -p wimesh-check --release -- lint --workspace
-# The certifier must keep rejecting every mutated schedule, and the lint
-# rules must keep firing on the fixture crates; run both suites by name.
+# Semantic analysis (flow tier): journal-precedes-mutation, atomic
+# ordering pairs, lock order, worker panics and hash-iteration
+# determinism over the skeleton parser + call graph. Exits non-zero on
+# any finding not in the committed ratchet baseline
+# (crates/check/baseline.json) and warns on stale baseline entries.
+cargo run -p wimesh-check --release -- analyze --workspace
+# The certifier must keep rejecting every mutated schedule, and both
+# rule tiers must keep firing at exact file:line on their fixture
+# crates; the parser must survive every workspace file plus fuzz input.
+# Run each suite by name so a filter typo can't skip one.
 cargo test -q -p wimesh-check --test certifier_mutations
 cargo test -q -p wimesh-check --test lint_rules
+cargo test -q -p wimesh-check --test semantic_rules
+cargo test -q -p wimesh-check --test parser_props
+# The emulation pipeline must stay bit-deterministic under a fixed seed
+# (guards the BTreeMap payload-ordering fix the analyzer forced).
+cargo test -q -p wimesh --test determinism
 # Cross-check the session paths against the certifier at every
 # admit/release/rebalance (the `checked` feature gates the oracle calls).
 cargo test -q -p wimesh --features checked --test session_equivalence
